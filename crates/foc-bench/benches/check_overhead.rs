@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: end-to-end guest execution per mode, and
+//! the cost of the failure-oblivious continuation path itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use foc_memory::Mode;
+use foc_vm::{Machine, MachineConfig};
+
+/// A pointer-chasing guest kernel: the worst case for checking.
+const POINTER_KERNEL: &str = r#"
+    int kernel(int n) {
+        char buf[256];
+        int i;
+        int acc = 0;
+        char *p = buf;
+        for (i = 0; i < 256; i++) buf[i] = (char) i;
+        while (n--) {
+            p = buf;
+            while (p < buf + 256) { acc += *p; p++; }
+        }
+        return acc;
+    }
+"#;
+
+/// A guest kernel that continually commits memory errors (the
+/// continuation path: log + manufacture).
+const VIOLATION_KERNEL: &str = r#"
+    int kernel(int n) {
+        int xs[4];
+        int acc = 0;
+        while (n--) acc += xs[1000 + n];
+        return acc;
+    }
+"#;
+
+fn bench_guest_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest_execution");
+    for mode in [Mode::Standard, Mode::BoundsCheck, Mode::FailureOblivious] {
+        group.bench_with_input(
+            BenchmarkId::new("pointer_kernel", mode.name()),
+            &mode,
+            |b, &mode| {
+                let mut m =
+                    Machine::from_source(POINTER_KERNEL, MachineConfig::with_mode(mode)).unwrap();
+                b.iter(|| m.call("kernel", &[std::hint::black_box(8)]).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_continuation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuation_code");
+    group.bench_function("manufacture_reads", |b| {
+        let mut m = Machine::from_source(
+            VIOLATION_KERNEL,
+            MachineConfig::with_mode(Mode::FailureOblivious),
+        )
+        .unwrap();
+        b.iter(|| m.call("kernel", &[std::hint::black_box(64)]).unwrap());
+    });
+    group.bench_function("boundless_reads", |b| {
+        let mut m =
+            Machine::from_source(VIOLATION_KERNEL, MachineConfig::with_mode(Mode::Boundless))
+                .unwrap();
+        b.iter(|| m.call("kernel", &[std::hint::black_box(64)]).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_mutt_server", |b| {
+        b.iter(|| {
+            foc_compiler::compile_source(std::hint::black_box(foc_servers::mutt::MUTT_SOURCE))
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_guest_modes,
+    bench_continuation,
+    bench_compile
+);
+criterion_main!(benches);

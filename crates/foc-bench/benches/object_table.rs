@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks: the object-table implementations under
+//! server-like access traces (real wall time — this is the one place the
+//! repository measures host performance rather than virtual time).
+//!
+//! The splay tree's advantage is temporal locality: server request
+//! processing hammers a handful of data units repeatedly, so the splayed
+//! root hits. The uniform-random trace shows the flip side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use foc_memory::{BTreeTable, ObjectTable, SplayTable, UnitId};
+
+const UNITS: u64 = 1024;
+
+fn populate<T: ObjectTable>(t: &mut T) {
+    for i in 0..UNITS {
+        t.insert(i * 64, 48, UnitId(i as u32));
+    }
+}
+
+/// A server-like trace: long runs of accesses to the same few units.
+fn local_trace() -> Vec<u64> {
+    let mut trace = Vec::with_capacity(10_000);
+    let mut unit = 7u64;
+    for i in 0..10_000u64 {
+        if i % 200 == 0 {
+            unit = (unit * 31 + 17) % UNITS;
+        }
+        trace.push(unit * 64 + (i % 48));
+    }
+    trace
+}
+
+/// A uniform-random trace (adversarial for the splay tree).
+fn random_trace() -> Vec<u64> {
+    let mut x = 0x12345678u64;
+    (0..10_000)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % (UNITS * 64)
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_table_lookup");
+    for (trace_name, trace) in [("local", local_trace()), ("random", random_trace())] {
+        group.bench_with_input(BenchmarkId::new("splay", trace_name), &trace, |b, trace| {
+            let mut t = SplayTable::new();
+            populate(&mut t);
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &addr in trace {
+                    if t.lookup(std::hint::black_box(addr)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btree", trace_name), &trace, |b, trace| {
+            let mut t = BTreeTable::new();
+            populate(&mut t);
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &addr in trace {
+                    if t.lookup(std::hint::black_box(addr)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Allocation churn: insert/remove cycles as malloc/free drives them.
+    let mut group = c.benchmark_group("object_table_churn");
+    group.bench_function("splay", |b| {
+        b.iter(|| {
+            let mut t = SplayTable::new();
+            for round in 0..8u64 {
+                for i in 0..256u64 {
+                    t.insert(i * 64 + round, 32, UnitId(i as u32));
+                }
+                for i in 0..256u64 {
+                    t.remove(i * 64 + round);
+                }
+            }
+            t.len()
+        });
+    });
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut t = BTreeTable::new();
+            for round in 0..8u64 {
+                for i in 0..256u64 {
+                    t.insert(i * 64 + round, 32, UnitId(i as u32));
+                }
+                for i in 0..256u64 {
+                    t.remove(i * 64 + round);
+                }
+            }
+            t.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_churn);
+criterion_main!(benches);

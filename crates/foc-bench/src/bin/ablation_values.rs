@@ -1,0 +1,16 @@
+//! Regenerates the §3 manufactured-value-sequence ablation.
+fn main() {
+    println!("Manufactured-value ablation: MC '/' scan over a name with no slash\n");
+    println!(
+        "{:<20} {:>12} {:>18}",
+        "strategy", "terminates", "manufactured reads"
+    );
+    for r in foc_bench::ablation_values() {
+        println!(
+            "{:<20} {:>12} {:>18}",
+            r.strategy,
+            if r.terminated { "yes" } else { "HANGS" },
+            r.reads
+        );
+    }
+}

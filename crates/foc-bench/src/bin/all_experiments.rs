@@ -1,0 +1,41 @@
+//! Runs every experiment and prints the complete paper-vs-measured
+//! report (the source of EXPERIMENTS.md).
+fn main() {
+    println!("# Failure-Oblivious Computing: full experiment sweep\n");
+    for (title, rows) in [
+        ("Figure 2: Pine (ms)", foc_bench::fig2_pine()),
+        ("Figure 3: Apache (ms)", foc_bench::fig3_apache()),
+        ("Figure 4: Sendmail (ms)", foc_bench::fig4_sendmail()),
+        (
+            "Figure 5: Midnight Commander (ms, sizes 1:64)",
+            foc_bench::fig5_mc(),
+        ),
+        ("Figure 6: Mutt (ms)", foc_bench::fig6_mutt()),
+    ] {
+        println!("{}", foc_bench::render_rpt_table(title, &rows));
+    }
+    println!("Apache throughput under attack (§4.3.2):");
+    println!(
+        "{}",
+        foc_bench::render_throughput(&foc_bench::apache_throughput(400))
+    );
+    println!("Security & resilience matrix (§4.x.2):");
+    println!("{}", foc_bench::render_security_matrix());
+    println!("Manufactured-value ablation (§3):");
+    for r in foc_bench::ablation_values() {
+        println!(
+            "  {:<20} {:>10} {:>8} manufactured reads",
+            r.strategy,
+            if r.terminated { "exits" } else { "HANGS" },
+            r.reads
+        );
+    }
+    println!("\n§5.1 variants (server survives attack and keeps serving):");
+    for (mode, cells) in foc_bench::variants_matrix() {
+        let all: Vec<String> = cells
+            .iter()
+            .map(|(s, ok)| format!("{s}={}", if *ok { "yes" } else { "NO" }))
+            .collect();
+        println!("  {:<20} {}", mode.name(), all.join("  "));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §4.3.2 throughput-under-attack experiment.
+fn main() {
+    let results = foc_bench::apache_throughput(400);
+    println!("Apache throughput under attack (50% attack URLs, 50% legitimate):\n");
+    print!("{}", foc_bench::render_throughput(&results));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 2: Pine request processing times.
+fn main() {
+    let rows = foc_bench::fig2_pine();
+    print!(
+        "{}",
+        foc_bench::render_rpt_table(
+            "Figure 2: Request Processing Times for Pine (milliseconds)",
+            &rows
+        )
+    );
+}

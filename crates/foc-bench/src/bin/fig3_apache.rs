@@ -1,0 +1,11 @@
+//! Regenerates Figure 3: Apache request processing times.
+fn main() {
+    let rows = foc_bench::fig3_apache();
+    print!(
+        "{}",
+        foc_bench::render_rpt_table(
+            "Figure 3: Request Processing Times for Apache (milliseconds)",
+            &rows
+        )
+    );
+}

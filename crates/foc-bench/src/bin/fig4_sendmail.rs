@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: Sendmail request processing times.
+fn main() {
+    let rows = foc_bench::fig4_sendmail();
+    print!(
+        "{}",
+        foc_bench::render_rpt_table(
+            "Figure 4: Request Processing Times for Sendmail (milliseconds)",
+            &rows
+        )
+    );
+}

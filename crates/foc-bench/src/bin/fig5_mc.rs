@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: Midnight Commander request processing times.
+fn main() {
+    let rows = foc_bench::fig5_mc();
+    print!(
+        "{}",
+        foc_bench::render_rpt_table(
+            "Figure 5: Request Processing Times for Midnight Commander (milliseconds)",
+            &rows
+        )
+    );
+    println!(
+        "(file sizes scaled 1:{}; slowdowns are scale-invariant)",
+        foc_bench::MC_SIZE_SCALE
+    );
+}

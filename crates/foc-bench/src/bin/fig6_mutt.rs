@@ -1,0 +1,11 @@
+//! Regenerates Figure 6: Mutt request processing times.
+fn main() {
+    let rows = foc_bench::fig6_mutt();
+    print!(
+        "{}",
+        foc_bench::render_rpt_table(
+            "Figure 6: Request Processing Times for Mutt (milliseconds)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates the §4.7 discussion: restart-on-crash supervision versus
+//! failure-oblivious execution when the error trigger persists in the
+//! environment (poisoned mailbox, blank config line, wake-up error,
+//! malicious startup folder).
+use foc_memory::Mode;
+use foc_servers::supervisor;
+
+fn main() {
+    println!("Restart supervision with persistent triggers (§4.7)");
+    println!(
+        "(supervisor budget: {} restarts)\n",
+        supervisor::RESTART_BUDGET
+    );
+    println!(
+        "{:<10} {:<18} {:>9} {:>10}",
+        "server", "version", "restarts", "recovered"
+    );
+    for mode in [Mode::Standard, Mode::BoundsCheck, Mode::FailureOblivious] {
+        for s in supervisor::study(mode) {
+            println!(
+                "{:<10} {:<18} {:>9} {:>10}",
+                s.server,
+                s.mode.name(),
+                s.attempts,
+                if s.recovered { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!();
+    println!("Bounds Check + restart never recovers: the trigger is waiting");
+    println!("for every restarted process during initialization. The");
+    println!("failure-oblivious versions never need the supervisor at all.");
+}

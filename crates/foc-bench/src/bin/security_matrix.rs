@@ -1,0 +1,5 @@
+//! Regenerates the qualitative security & resilience results of §4.
+fn main() {
+    println!("Security & resilience matrix (attack behaviour per compiler version):\n");
+    print!("{}", foc_bench::render_security_matrix());
+}

@@ -1,0 +1,42 @@
+//! Compressed stability study (§4.x.4): long failure-oblivious runs with
+//! attacks interleaved, ending with the administrator's error-log digest
+//! the paper's §3 describes.
+use foc_memory::{summarize, Mode};
+use foc_servers::{sendmail, workload};
+
+fn main() {
+    let mut sm = sendmail::Sendmail::boot(Mode::FailureOblivious);
+    assert!(sm.usable());
+    let mut delivered = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..500u64 {
+        sm.wakeup();
+        if i % 7 == 0 {
+            if sm.mail_from(&sendmail::attack_address(150)).outcome.ret() == Some(501) {
+                rejected += 1;
+            }
+        } else {
+            let r = sm.receive(
+                &workload::sendmail_address(i),
+                &workload::sendmail_address(7000 + i),
+                &workload::lorem(100 + (i as usize % 16) * 250, i),
+            );
+            assert_eq!(r.outcome.ret(), Some(250), "message {i}");
+            delivered += 1;
+        }
+    }
+    println!("sendmail stability run: 500 cycles");
+    println!("  delivered: {delivered}   attacks rejected: {rejected}");
+    println!(
+        "  live data units: {}",
+        sm.process().machine().space().live_units()
+    );
+    println!();
+    println!("administrator's error-log digest:");
+    let report = summarize(sm.process().machine().space().error_log());
+    print!("{}", report.render());
+    println!();
+    println!("The top site is the daemon wake-up loop — the 'steady stream of");
+    println!("memory errors during its normal execution' of §4.4.4, identified");
+    println!("exactly the way the paper's log analysis identified it.");
+}

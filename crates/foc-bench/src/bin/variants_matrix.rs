@@ -1,0 +1,21 @@
+//! Regenerates the §5.1 variants experiment: do boundless memory blocks
+//! and redirection also keep the servers running acceptably?
+fn main() {
+    println!("§5.1 variants: server survives its attack and keeps serving\n");
+    println!(
+        "{:<20} {:>8} {:>8} {:>10} {:>6} {:>6}",
+        "variant", "Pine", "Apache", "Sendmail", "MC", "Mutt"
+    );
+    for (mode, cells) in foc_bench::variants_matrix() {
+        let mark = |ok: bool| if ok { "yes" } else { "NO" };
+        println!(
+            "{:<20} {:>8} {:>8} {:>10} {:>6} {:>6}",
+            mode.name(),
+            mark(cells[0].1),
+            mark(cells[1].1),
+            mark(cells[2].1),
+            mark(cells[3].1),
+            mark(cells[4].1)
+        );
+    }
+}

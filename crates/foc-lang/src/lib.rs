@@ -1,0 +1,67 @@
+//! MiniC: the guest language front end.
+//!
+//! The paper applies failure-oblivious computing to C programs through a
+//! safe-C compiler. Reproducing that offline requires a C-like language we
+//! control end to end; MiniC is that language — a substantial C subset
+//! chosen so the five servers of §4 (and the paper's Figure 1 code) can be
+//! written essentially verbatim:
+//!
+//! * types: `void`, `char`, `unsigned char`, `short`, `int`, `long` (and
+//!   unsigned variants), `size_t`, pointers, arrays, `struct`s;
+//! * expressions: the full C operator set including assignment and
+//!   compound assignment, `++`/`--`, the comma operator, the ternary
+//!   operator, short-circuit `&&`/`||`, casts, and `sizeof`;
+//! * statements: `if`/`else`, `while`, `do`/`while`, `for`, `switch`,
+//!   `break`/`continue`, `return`, and `goto`/labels (Figure 1's
+//!   `goto bail` pattern);
+//! * declarations: globals with initialisers, string literals, struct
+//!   definitions, and functions.
+//!
+//! Deliberate omissions (not needed by any server in the study): the
+//! preprocessor, function pointers, `float`/`double`, bit-fields, unions,
+//! struct-by-value parameters and returns, and variadic user functions
+//! (`printf` is a runtime builtin).
+//!
+//! `char` is signed and widening is sign-extending — this is load-bearing:
+//! the Sendmail vulnerability (§4.4) depends on a `char` comparing equal
+//! to `-1` after promotion.
+
+pub mod ast;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+pub mod types;
+
+pub use lexer::{LexError, Lexer};
+pub use parser::{parse, ParseError};
+pub use sema::{analyze, SemaError};
+pub use types::{CType, IntWidth};
+
+/// Parses and type-checks a MiniC translation unit.
+pub fn frontend(source: &str) -> Result<hir::Program, FrontendError> {
+    let ast = parse(source).map_err(FrontendError::Parse)?;
+    analyze(&ast).map_err(FrontendError::Sema)
+}
+
+/// Any front-end failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexing/parsing failure.
+    Parse(ParseError),
+    /// Type checking failure.
+    Sema(SemaError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Sema(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}

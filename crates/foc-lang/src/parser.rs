@@ -1,0 +1,1141 @@
+//! Recursive-descent parser for MiniC.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer};
+use crate::token::{Keyword, Pos, Tok, Token};
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.pos)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Parses a MiniC translation unit.
+pub fn parse(source: &str) -> Result<TranslationUnit, ParseError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser { tokens, at: 0 }.parse_unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.at].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.at + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Ident(s) => Ok((s, pos)),
+            other => Err(ParseError {
+                message: format!("expected identifier, found {other}"),
+                pos,
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types.
+    // ------------------------------------------------------------------
+
+    /// Whether the current token can begin a type.
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(
+                Keyword::Void
+                    | Keyword::Char
+                    | Keyword::Short
+                    | Keyword::Int
+                    | Keyword::Long
+                    | Keyword::Signed
+                    | Keyword::Unsigned
+                    | Keyword::Struct
+                    | Keyword::SizeT
+                    | Keyword::Static
+                    | Keyword::Const
+            )
+        )
+    }
+
+    /// Parses a type specifier (without declarator pointers).
+    fn parse_base_type(&mut self) -> Result<TypeExpr, ParseError> {
+        // Skip storage/qualifier keywords.
+        while matches!(self.peek(), Tok::Kw(Keyword::Static | Keyword::Const)) {
+            self.bump();
+        }
+        let mut signed: Option<bool> = None;
+        let mut base: Option<TypeExpr> = None;
+        let mut long_count = 0;
+        loop {
+            match self.peek() {
+                Tok::Kw(Keyword::Signed) => {
+                    self.bump();
+                    signed = Some(true);
+                }
+                Tok::Kw(Keyword::Unsigned) => {
+                    self.bump();
+                    signed = Some(false);
+                }
+                Tok::Kw(Keyword::Const) => {
+                    self.bump();
+                }
+                Tok::Kw(Keyword::Void) => {
+                    self.bump();
+                    base = Some(TypeExpr::Void);
+                }
+                Tok::Kw(Keyword::Char) => {
+                    self.bump();
+                    base = Some(TypeExpr::Int {
+                        width: 1,
+                        signed: true,
+                    });
+                }
+                Tok::Kw(Keyword::Short) => {
+                    self.bump();
+                    base = Some(TypeExpr::Int {
+                        width: 2,
+                        signed: true,
+                    });
+                    // Allow `short int`.
+                    if matches!(self.peek(), Tok::Kw(Keyword::Int)) {
+                        self.bump();
+                    }
+                }
+                Tok::Kw(Keyword::Int) => {
+                    self.bump();
+                    if base.is_none() {
+                        base = Some(TypeExpr::Int {
+                            width: 4,
+                            signed: true,
+                        });
+                    }
+                }
+                Tok::Kw(Keyword::Long) => {
+                    self.bump();
+                    long_count += 1;
+                    base = Some(TypeExpr::Int {
+                        width: 8,
+                        signed: true,
+                    });
+                    if long_count > 2 {
+                        return Err(self.err("too many `long`s"));
+                    }
+                }
+                Tok::Kw(Keyword::SizeT) => {
+                    self.bump();
+                    base = Some(TypeExpr::Int {
+                        width: 8,
+                        signed: false,
+                    });
+                }
+                Tok::Kw(Keyword::Struct) => {
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    base = Some(TypeExpr::Struct(name));
+                }
+                _ => break,
+            }
+        }
+        let mut ty = match base {
+            Some(t) => t,
+            None if signed.is_some() => TypeExpr::Int {
+                width: 4,
+                signed: true,
+            },
+            None => return Err(self.err("expected type")),
+        };
+        if let (TypeExpr::Int { width, .. }, Some(s)) = (&ty, signed) {
+            ty = TypeExpr::Int {
+                width: *width,
+                signed: s,
+            };
+        }
+        Ok(ty)
+    }
+
+    /// Applies `*` pointer declarator syntax.
+    fn parse_pointers(&mut self, mut ty: TypeExpr) -> TypeExpr {
+        while self.eat(&Tok::Star) {
+            // `const` may qualify the pointer; ignored.
+            while matches!(self.peek(), Tok::Kw(Keyword::Const)) {
+                self.bump();
+            }
+            ty = TypeExpr::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    /// Parses a complete abstract type (for casts and sizeof).
+    fn parse_type(&mut self) -> Result<TypeExpr, ParseError> {
+        let base = self.parse_base_type()?;
+        Ok(self.parse_pointers(base))
+    }
+
+    /// Parses array dimensions after a declarator name.
+    fn parse_array_dims(&mut self) -> Result<Vec<u64>, ParseError> {
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            if self.eat(&Tok::RBracket) {
+                // `[]`: size inferred from the initialiser.
+                dims.push(0);
+                continue;
+            }
+            let e = self.parse_conditional()?;
+            let v = const_eval(&e)
+                .ok_or_else(|| self.err("array dimension must be a constant expression"))?;
+            if v <= 0 {
+                return Err(self.err("array dimension must be positive"));
+            }
+            dims.push(v as u64);
+            self.expect(Tok::RBracket)?;
+        }
+        Ok(dims)
+    }
+
+    // ------------------------------------------------------------------
+    // Top level.
+    // ------------------------------------------------------------------
+
+    fn parse_unit(mut self) -> Result<TranslationUnit, ParseError> {
+        let mut items = Vec::new();
+        while self.peek() != &Tok::Eof {
+            items.push(self.parse_item()?);
+        }
+        Ok(TranslationUnit { items })
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        // `struct Name { ... };` is a struct definition; `struct Name x;`
+        // is a global. Disambiguate by looking past the tag.
+        if matches!(self.peek(), Tok::Kw(Keyword::Struct))
+            && matches!(self.peek2(), Tok::Ident(_))
+            && self.tokens.get(self.at + 2).map(|t| &t.kind) == Some(&Tok::LBrace)
+        {
+            return Ok(Item::Struct(self.parse_struct()?));
+        }
+        if !self.at_type() {
+            return Err(self.err(format!(
+                "expected declaration or function, found {}",
+                self.peek()
+            )));
+        }
+        let base = self.parse_base_type()?;
+        let ty = self.parse_pointers(base.clone());
+        let (name, pos) = self.expect_ident()?;
+        if self.peek() == &Tok::LParen {
+            return Ok(Item::Func(self.parse_func(ty, name, pos)?));
+        }
+        // Global declarator list.
+        let decls = self.parse_declarator_list(base, ty, name, pos)?;
+        Ok(Item::Global(decls))
+    }
+
+    fn parse_struct(&mut self) -> Result<StructDecl, ParseError> {
+        self.expect(Tok::Kw(Keyword::Struct))?;
+        let (name, pos) = self.expect_ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let base = self.parse_base_type()?;
+            loop {
+                let fty = self.parse_pointers(base.clone());
+                let (fname, _) = self.expect_ident()?;
+                let dims = self.parse_array_dims()?;
+                fields.push(FieldDecl {
+                    name: fname,
+                    ty: fty,
+                    array_dims: dims,
+                });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi)?;
+        }
+        self.expect(Tok::Semi)?;
+        Ok(StructDecl { name, fields, pos })
+    }
+
+    fn parse_func(
+        &mut self,
+        ret: TypeExpr,
+        name: String,
+        pos: Pos,
+    ) -> Result<FuncDecl, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            // `(void)` means no parameters.
+            if matches!(self.peek(), Tok::Kw(Keyword::Void)) && self.peek2() == &Tok::RParen {
+                self.bump();
+                self.expect(Tok::RParen)?;
+            } else {
+                loop {
+                    let base = self.parse_base_type()?;
+                    let ty = self.parse_pointers(base);
+                    let (pname, _) = self.expect_ident()?;
+                    // Array parameters decay to pointers.
+                    let dims = self.parse_array_dims()?;
+                    let ty = if dims.is_empty() {
+                        ty
+                    } else {
+                        TypeExpr::Ptr(Box::new(ty))
+                    };
+                    params.push(Param { name: pname, ty });
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+            }
+        }
+        self.expect(Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            body.push(self.parse_stmt()?);
+        }
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    /// Parses the rest of a declarator list, having already consumed the
+    /// base type, pointers, and the first name.
+    fn parse_declarator_list(
+        &mut self,
+        base: TypeExpr,
+        first_ty: TypeExpr,
+        first_name: String,
+        first_pos: Pos,
+    ) -> Result<Vec<Declarator>, ParseError> {
+        let mut decls = Vec::new();
+        let dims = self.parse_array_dims()?;
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.parse_initializer()?)
+        } else {
+            None
+        };
+        decls.push(Declarator {
+            name: first_name,
+            ty: first_ty,
+            array_dims: dims,
+            init,
+            pos: first_pos,
+        });
+        while self.eat(&Tok::Comma) {
+            let ty = self.parse_pointers(base.clone());
+            let (name, pos) = self.expect_ident()?;
+            let dims = self.parse_array_dims()?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.parse_initializer()?)
+            } else {
+                None
+            };
+            decls.push(Declarator {
+                name,
+                ty,
+                array_dims: dims,
+                init,
+                pos,
+            });
+        }
+        self.expect(Tok::Semi)?;
+        Ok(decls)
+    }
+
+    fn parse_initializer(&mut self) -> Result<Initializer, ParseError> {
+        if self.eat(&Tok::LBrace) {
+            let mut items = Vec::new();
+            if !self.eat(&Tok::RBrace) {
+                loop {
+                    items.push(self.parse_assign()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    // Allow a trailing comma.
+                    if self.peek() == &Tok::RBrace {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+            }
+            Ok(Initializer::List(items))
+        } else {
+            Ok(Initializer::Expr(self.parse_assign()?))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements.
+    // ------------------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    stmts.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            Tok::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let then = Box::new(self.parse_stmt()?);
+                let els = if self.eat(&Tok::Kw(Keyword::Else)) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::Kw(Keyword::While) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.parse_stmt()?);
+                self.expect(Tok::Kw(Keyword::While))?;
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::Kw(Keyword::For) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.at_type() {
+                    Some(Box::new(self.parse_decl_stmt()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Keyword::Switch) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let scrutinee = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut body = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    body.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Switch { scrutinee, body })
+            }
+            Tok::Kw(Keyword::Case) => {
+                self.bump();
+                let e = self.parse_conditional()?;
+                let v = const_eval(&e).ok_or_else(|| self.err("case label must be constant"))?;
+                self.expect(Tok::Colon)?;
+                Ok(Stmt::Case(v, pos))
+            }
+            Tok::Kw(Keyword::Default) => {
+                self.bump();
+                self.expect(Tok::Colon)?;
+                Ok(Stmt::Default(pos))
+            }
+            Tok::Kw(Keyword::Break) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Kw(Keyword::Continue) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::Kw(Keyword::Return) => {
+                self.bump();
+                if self.eat(&Tok::Semi) {
+                    Ok(Stmt::Return(None, pos))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e), pos))
+                }
+            }
+            Tok::Kw(Keyword::Goto) => {
+                self.bump();
+                let (label, _) = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Goto(label, pos))
+            }
+            // `ident:` is a label.
+            Tok::Ident(_) if self.peek2() == &Tok::Colon => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Colon)?;
+                Ok(Stmt::Label(name, pos))
+            }
+            _ if self.at_type() => self.parse_decl_stmt(),
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn parse_decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let base = self.parse_base_type()?;
+        let ty = self.parse_pointers(base.clone());
+        let (name, pos) = self.expect_ident()?;
+        let decls = self.parse_declarator_list(base, ty, name, pos)?;
+        Ok(Stmt::Decl(decls))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing).
+    // ------------------------------------------------------------------
+
+    /// Full expression, including the comma operator.
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_assign()?;
+        while self.peek() == &Tok::Comma {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_assign()?;
+            e = Expr::Comma {
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(e)
+    }
+
+    /// Assignment expression (no top-level comma).
+    fn parse_assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_conditional()?;
+        let pos = self.pos();
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PercentAssign => Some(BinOp::Rem),
+            Tok::AmpAssign => Some(BinOp::And),
+            Tok::PipeAssign => Some(BinOp::Or),
+            Tok::CaretAssign => Some(BinOp::Xor),
+            Tok::ShlAssign => Some(BinOp::Shl),
+            Tok::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign()?; // right associative
+        Ok(match op {
+            None => Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            },
+            Some(op) => Expr::OpAssign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            },
+        })
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.peek() == &Tok::Question {
+            let pos = self.pos();
+            self.bump();
+            let then = self.parse_expr()?;
+            self.expect(Tok::Colon)?;
+            let els = self.parse_assign()?;
+            Ok(Expr::Conditional {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+                pos,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_of(tok: &Tok) -> Option<(BinOp, u8)> {
+        Some(match tok {
+            Tok::OrOr => (BinOp::LogicalOr, 1),
+            Tok::AndAnd => (BinOp::LogicalAnd, 2),
+            Tok::Pipe => (BinOp::Or, 3),
+            Tok::Caret => (BinOp::Xor, 4),
+            Tok::Amp => (BinOp::And, 5),
+            Tok::Eq => (BinOp::Eq, 6),
+            Tok::Ne => (BinOp::Ne, 6),
+            Tok::Lt => (BinOp::Lt, 7),
+            Tok::Gt => (BinOp::Gt, 7),
+            Tok::Le => (BinOp::Le, 7),
+            Tok::Ge => (BinOp::Ge, 7),
+            Tok::Shl => (BinOp::Shl, 8),
+            Tok::Shr => (BinOp::Shr, 8),
+            Tok::Plus => (BinOp::Add, 9),
+            Tok::Minus => (BinOp::Sub, 9),
+            Tok::Star => (BinOp::Mul, 10),
+            Tok::Slash => (BinOp::Div, 10),
+            Tok::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, prec)) = Self::binop_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(e),
+                    pos,
+                })
+            }
+            Tok::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::BitNot,
+                    operand: Box::new(e),
+                    pos,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(e),
+                    pos,
+                })
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::Deref(Box::new(e), pos))
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::AddrOf(Box::new(e), pos))
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let inc = self.peek() == &Tok::PlusPlus;
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::IncDec {
+                    target: Box::new(e),
+                    inc,
+                    prefix: true,
+                    pos,
+                })
+            }
+            Tok::Kw(Keyword::Sizeof) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    // Could be `sizeof(type)` or `sizeof(expr)`.
+                    let save = self.at;
+                    self.bump();
+                    if self.at_type() {
+                        let ty = self.parse_type()?;
+                        self.expect(Tok::RParen)?;
+                        return Ok(Expr::SizeofType(ty, pos));
+                    }
+                    self.at = save;
+                }
+                let e = self.parse_unary()?;
+                Ok(Expr::SizeofExpr(Box::new(e), pos))
+            }
+            // Cast: `(type) unary`.
+            Tok::LParen => {
+                let save = self.at;
+                self.bump();
+                if self.at_type() {
+                    let ty = self.parse_type()?;
+                    self.expect(Tok::RParen)?;
+                    let e = self.parse_unary()?;
+                    return Ok(Expr::Cast {
+                        ty,
+                        expr: Box::new(e),
+                        pos,
+                    });
+                }
+                self.at = save;
+                self.parse_postfix()
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let pos = self.pos();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                        pos,
+                    };
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let (field, _) = self.expect_ident()?;
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field,
+                        arrow: false,
+                        pos,
+                    };
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let (field, _) = self.expect_ident()?;
+                    e = Expr::Member {
+                        base: Box::new(e),
+                        field,
+                        arrow: true,
+                        pos,
+                    };
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    let inc = self.peek() == &Tok::PlusPlus;
+                    self.bump();
+                    e = Expr::IncDec {
+                        target: Box::new(e),
+                        inc,
+                        prefix: false,
+                        pos,
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::IntLit(v, pos)),
+            Tok::StrLit(bytes) => Ok(Expr::StrLit(bytes, pos)),
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_assign()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        pos,
+                    })
+                } else {
+                    Ok(Expr::Ident(name, pos))
+                }
+            }
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                message: format!("expected expression, found {other}"),
+                pos,
+            }),
+        }
+    }
+}
+
+/// Constant folding for array dimensions and case labels.
+fn const_eval(e: &Expr) -> Option<i64> {
+    Some(match e {
+        Expr::IntLit(v, _) => *v,
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => const_eval(operand)?.wrapping_neg(),
+        Expr::Unary {
+            op: UnOp::BitNot,
+            operand,
+            ..
+        } => !const_eval(operand)?,
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = const_eval(lhs)?;
+            let r = const_eval(rhs)?;
+            match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div => l.checked_div(r)?,
+                BinOp::Rem => l.checked_rem(r)?,
+                BinOp::Shl => l.wrapping_shl(r as u32),
+                BinOp::Shr => l.wrapping_shr(r as u32),
+                BinOp::And => l & r,
+                BinOp::Or => l | r,
+                BinOp::Xor => l ^ r,
+                _ => return None,
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> TranslationUnit {
+        match parse(src) {
+            Ok(u) => u,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_function() {
+        let u = parse_ok("int main() { return 0; }");
+        assert_eq!(u.items.len(), 1);
+        let Item::Func(f) = &u.items[0] else {
+            panic!("expected function");
+        };
+        assert_eq!(f.name, "main");
+        assert_eq!(f.params.len(), 0);
+    }
+
+    #[test]
+    fn parses_void_parameter_list() {
+        let u = parse_ok("int f(void) { return 1; }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        assert!(f.params.is_empty());
+    }
+
+    #[test]
+    fn parses_pointer_and_array_declarations() {
+        let u = parse_ok("char *p; int xs[10]; char grid[3][4]; unsigned long n = 7;");
+        assert_eq!(u.items.len(), 4);
+        let Item::Global(g) = &u.items[1] else {
+            panic!()
+        };
+        assert_eq!(g[0].array_dims, vec![10]);
+        let Item::Global(g) = &u.items[2] else {
+            panic!()
+        };
+        assert_eq!(g[0].array_dims, vec![3, 4]);
+    }
+
+    #[test]
+    fn parses_struct_definition_and_use() {
+        let u = parse_ok(
+            "struct point { int x; int y; char tag[8]; };\n\
+             struct point origin;\n\
+             int get_x(struct point *p) { return p->x; }",
+        );
+        assert_eq!(u.items.len(), 3);
+        let Item::Struct(s) = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[2].array_dims, vec![8]);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        parse_ok(
+            "int f(int n) {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < n; i++) { acc += i; }\n\
+               while (acc > 100) acc /= 2;\n\
+               do { acc--; } while (acc % 3);\n\
+               if (acc) return acc; else return -1;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_goto_and_labels() {
+        let u = parse_ok(
+            "int f() {\n\
+               int x = 0;\n\
+             retry:\n\
+               x++;\n\
+               if (x < 3) goto retry;\n\
+               return x;\n\
+             }",
+        );
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        assert!(f
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Label(name, _) if name == "retry")));
+    }
+
+    #[test]
+    fn parses_switch() {
+        parse_ok(
+            "int f(int c) {\n\
+               switch (c) {\n\
+                 case 1: return 10;\n\
+                 case 2:\n\
+                 case 3: return 20;\n\
+                 default: break;\n\
+               }\n\
+               return 0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_casts_sizeof_and_ternary() {
+        parse_ok(
+            "unsigned long f(char *p) {\n\
+               unsigned long n = sizeof(int) + sizeof *p;\n\
+               int c = (int)(unsigned char)*p;\n\
+               return c ? n : (unsigned long)0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_comma_operator_figure1_style() {
+        // The paper's Figure 1 uses `if (c < 0x80) ch = c, n = 0;`.
+        parse_ok(
+            "int f(int c) {\n\
+               int ch; int n;\n\
+               if (c < 128) ch = c, n = 0;\n\
+               else ch = c & 31, n = 1;\n\
+               return ch + n;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_string_initialisers() {
+        let u = parse_ok(
+            "char B64Chars[64] = \"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+,\";\n\
+             char greeting[] = \"hi\";\n\
+             int nums[3] = {1, 2, 3};",
+        );
+        assert_eq!(u.items.len(), 3);
+        let Item::Global(g) = &u.items[1] else {
+            panic!()
+        };
+        assert_eq!(g[0].array_dims, vec![0], "[] must mean inferred");
+    }
+
+    #[test]
+    fn parses_for_with_declaration() {
+        parse_ok("int f() { int s = 0; for (int i = 0; i < 4; ++i) s += i; return s; }");
+    }
+
+    #[test]
+    fn parses_multiple_declarators_per_line() {
+        let u = parse_ok("int f() { int a = 1, b = 2; char *p, buf[16]; return a + b; }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        let Stmt::Decl(d) = &f.body[1] else { panic!() };
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0].ty,
+            TypeExpr::Ptr(Box::new(TypeExpr::Int {
+                width: 1,
+                signed: true
+            }))
+        );
+        // `buf` is an array of char, not a pointer.
+        assert_eq!(
+            d[1].ty,
+            TypeExpr::Int {
+                width: 1,
+                signed: true
+            }
+        );
+        assert_eq!(d[1].array_dims, vec![16]);
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let u = parse_ok("int f() { int a; int b; a = b = 3; return a; }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        let Stmt::Expr(Expr::Assign { rhs, .. }) = &f.body[2] else {
+            panic!("expected assignment");
+        };
+        assert!(matches!(**rhs, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn precedence_shift_vs_compare() {
+        // `1 << 2 < 3` parses as `(1 << 2) < 3` in our table (C's actual
+        // precedence puts shift above comparison, which matches).
+        let u = parse_ok("int f() { return 1 << 2 < 3; }");
+        let Item::Func(f) = &u.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { op, .. }), _) = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Lt);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("int f() { x = ; }").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(parse("int f() {").is_err());
+        assert!(parse("int 3x;").is_err());
+    }
+
+    #[test]
+    fn static_and_const_are_accepted() {
+        parse_ok("static const char *msg = \"x\"; static int f() { return 0; }");
+    }
+
+    #[test]
+    fn array_dims_allow_constant_expressions() {
+        let u = parse_ok("char buf[4 * 16 + 2];");
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        assert_eq!(g[0].array_dims, vec![66]);
+    }
+}

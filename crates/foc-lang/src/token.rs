@@ -1,0 +1,226 @@
+//! Token definitions for MiniC.
+
+use std::fmt;
+
+/// Source position (byte offset, line, column), 1-based line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexed token with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Keywords recognised by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Signed,
+    Unsigned,
+    Struct,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    Sizeof,
+    Static,
+    Const,
+    /// `size_t`, treated as a built-in alias for `unsigned long`.
+    SizeT,
+}
+
+impl Keyword {
+    /// Maps an identifier spelling to a keyword.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "void" => Keyword::Void,
+            "char" => Keyword::Char,
+            "short" => Keyword::Short,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "signed" => Keyword::Signed,
+            "unsigned" => Keyword::Unsigned,
+            "struct" => Keyword::Struct,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "return" => Keyword::Return,
+            "goto" => Keyword::Goto,
+            "sizeof" => Keyword::Sizeof,
+            "static" => Keyword::Static,
+            "const" => Keyword::Const,
+            "size_t" => Keyword::SizeT,
+            _ => return None,
+        })
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Keyword),
+    /// Integer literal (value already decoded; char literals become this).
+    IntLit(i64),
+    /// String literal (escape sequences decoded, no terminating NUL).
+    StrLit(Vec<u8>),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+
+    PlusPlus,
+    MinusMinus,
+
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::IntLit(v) => write!(f, "integer literal {v}"),
+            Tok::StrLit(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", other.spelling()),
+        }
+    }
+}
+
+impl Tok {
+    /// Canonical spelling of punctuation tokens (diagnostics).
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Bang => "!",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::AmpAssign => "&=",
+            Tok::PipeAssign => "|=",
+            Tok::CaretAssign => "^=",
+            Tok::ShlAssign => "<<=",
+            Tok::ShrAssign => ">>=",
+            Tok::Eq => "==",
+            Tok::Ne => "!=",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            _ => "?",
+        }
+    }
+}

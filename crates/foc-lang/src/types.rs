@@ -1,0 +1,292 @@
+//! The MiniC type system.
+
+use std::fmt;
+
+/// Width of an integer type, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntWidth {
+    /// `char`.
+    W1,
+    /// `short`.
+    W2,
+    /// `int`.
+    W4,
+    /// `long` (also pointers' width).
+    W8,
+}
+
+impl IntWidth {
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            IntWidth::W1 => 1,
+            IntWidth::W2 => 2,
+            IntWidth::W4 => 4,
+            IntWidth::W8 => 8,
+        }
+    }
+
+    /// Width from a byte count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on byte counts other than 1, 2, 4, 8.
+    pub fn from_bytes(bytes: u8) -> IntWidth {
+        match bytes {
+            1 => IntWidth::W1,
+            2 => IntWidth::W2,
+            4 => IntWidth::W4,
+            8 => IntWidth::W8,
+            other => panic!("bad integer width: {other}"),
+        }
+    }
+}
+
+/// Identifier of a struct definition within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructId(pub u32);
+
+/// A resolved MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// `void` (function returns and `void*` pointees only).
+    Void,
+    /// An integer type.
+    Int {
+        /// Width in bytes.
+        width: IntWidth,
+        /// Signedness. `char` is signed.
+        signed: bool,
+    },
+    /// Pointer to a type.
+    Ptr(Box<CType>),
+    /// Fixed-size array.
+    Array(Box<CType>, u64),
+    /// A struct by id (layout lives in the program's struct table).
+    Struct(StructId),
+}
+
+impl CType {
+    /// `char`.
+    pub const CHAR: CType = CType::Int {
+        width: IntWidth::W1,
+        signed: true,
+    };
+    /// `unsigned char`.
+    pub const UCHAR: CType = CType::Int {
+        width: IntWidth::W1,
+        signed: false,
+    };
+    /// `int`.
+    pub const INT: CType = CType::Int {
+        width: IntWidth::W4,
+        signed: true,
+    };
+    /// `unsigned int`.
+    pub const UINT: CType = CType::Int {
+        width: IntWidth::W4,
+        signed: false,
+    };
+    /// `long`.
+    pub const LONG: CType = CType::Int {
+        width: IntWidth::W8,
+        signed: true,
+    };
+    /// `unsigned long` / `size_t`.
+    pub const ULONG: CType = CType::Int {
+        width: IntWidth::W8,
+        signed: false,
+    };
+
+    /// `char*`.
+    pub fn char_ptr() -> CType {
+        CType::Ptr(Box::new(CType::CHAR))
+    }
+
+    /// `void*`.
+    pub fn void_ptr() -> CType {
+        CType::Ptr(Box::new(CType::Void))
+    }
+
+    /// Whether this is any integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Int { .. })
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+
+    /// Whether this is an integer or pointer (usable in conditions and
+    /// scalar assignment).
+    pub fn is_scalar(&self) -> bool {
+        self.is_integer() || self.is_pointer()
+    }
+
+    /// For pointers and arrays, the element/pointee type.
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(t) => Some(t),
+            CType::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Signedness of integer types (pointers behave as unsigned).
+    pub fn is_signed(&self) -> bool {
+        matches!(self, CType::Int { signed: true, .. })
+    }
+
+    /// The array-to-pointer decayed version of this type.
+    pub fn decayed(&self) -> CType {
+        match self {
+            CType::Array(elem, _) => CType::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Int { width, signed } => {
+                let name = match (width, signed) {
+                    (IntWidth::W1, true) => "char",
+                    (IntWidth::W1, false) => "unsigned char",
+                    (IntWidth::W2, true) => "short",
+                    (IntWidth::W2, false) => "unsigned short",
+                    (IntWidth::W4, true) => "int",
+                    (IntWidth::W4, false) => "unsigned int",
+                    (IntWidth::W8, true) => "long",
+                    (IntWidth::W8, false) => "unsigned long",
+                };
+                write!(f, "{name}")
+            }
+            CType::Ptr(t) => write!(f, "{t}*"),
+            CType::Array(t, n) => write!(f, "{t}[{n}]"),
+            CType::Struct(id) => write!(f, "struct#{}", id.0),
+        }
+    }
+}
+
+/// A struct field with resolved layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: CType,
+    /// Byte offset from the struct base.
+    pub offset: u64,
+}
+
+/// A struct with computed size and alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order with offsets.
+    pub fields: Vec<FieldLayout>,
+    /// Total size in bytes (padded to alignment).
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+}
+
+impl StructLayout {
+    /// Finds a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// Size/alignment oracle: resolves struct ids against a layout table.
+#[derive(Debug, Clone, Default)]
+pub struct Layouts {
+    /// Struct layouts indexed by [`StructId`].
+    pub structs: Vec<StructLayout>,
+}
+
+impl Layouts {
+    /// Size of a type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void` (which has no size) and unknown struct ids.
+    pub fn size_of(&self, ty: &CType) -> u64 {
+        match ty {
+            CType::Void => panic!("void has no size"),
+            CType::Int { width, .. } => width.bytes(),
+            CType::Ptr(_) => 8,
+            CType::Array(elem, n) => self.size_of(elem) * n,
+            CType::Struct(id) => self.structs[id.0 as usize].size,
+        }
+    }
+
+    /// Alignment of a type in bytes.
+    pub fn align_of(&self, ty: &CType) -> u64 {
+        match ty {
+            CType::Void => 1,
+            CType::Int { width, .. } => width.bytes(),
+            CType::Ptr(_) => 8,
+            CType::Array(elem, _) => self.align_of(elem),
+            CType::Struct(id) => self.structs[id.0 as usize].align,
+        }
+    }
+
+    /// Layout for a struct id.
+    pub fn layout(&self, id: StructId) -> &StructLayout {
+        &self.structs[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CType::CHAR.to_string(), "char");
+        assert_eq!(CType::UCHAR.to_string(), "unsigned char");
+        assert_eq!(CType::char_ptr().to_string(), "char*");
+        assert_eq!(CType::Array(Box::new(CType::INT), 4).to_string(), "int[4]");
+    }
+
+    #[test]
+    fn decay_turns_arrays_into_pointers() {
+        let arr = CType::Array(Box::new(CType::CHAR), 10);
+        assert_eq!(arr.decayed(), CType::char_ptr());
+        assert_eq!(CType::INT.decayed(), CType::INT);
+    }
+
+    #[test]
+    fn sizes_and_alignment() {
+        let layouts = Layouts {
+            structs: vec![StructLayout {
+                name: "pair".into(),
+                fields: vec![
+                    FieldLayout {
+                        name: "a".into(),
+                        ty: CType::CHAR,
+                        offset: 0,
+                    },
+                    FieldLayout {
+                        name: "b".into(),
+                        ty: CType::LONG,
+                        offset: 8,
+                    },
+                ],
+                size: 16,
+                align: 8,
+            }],
+        };
+        assert_eq!(layouts.size_of(&CType::INT), 4);
+        assert_eq!(layouts.size_of(&CType::char_ptr()), 8);
+        assert_eq!(layouts.size_of(&CType::Array(Box::new(CType::INT), 5)), 20);
+        assert_eq!(layouts.size_of(&CType::Struct(StructId(0))), 16);
+        assert_eq!(layouts.align_of(&CType::Struct(StructId(0))), 8);
+        assert_eq!(layouts.align_of(&CType::Array(Box::new(CType::LONG), 2)), 8);
+    }
+}

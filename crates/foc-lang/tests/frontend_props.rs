@@ -1,0 +1,107 @@
+//! Property tests for the front end: the parser must never panic on
+//! arbitrary input, and generated well-formed programs must round-trip
+//! through the pretty-printer and type-check deterministically.
+
+use proptest::prelude::*;
+
+use foc_lang::parser::parse;
+use foc_lang::pretty::print_unit;
+
+/// Strategy: arbitrary byte soup rendered as a string — the parser must
+/// reject or accept without panicking.
+fn arbitrary_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("int".to_string()),
+            Just("char".to_string()),
+            Just("struct".to_string()),
+            Just("if".to_string()),
+            Just("while".to_string()),
+            Just("return".to_string()),
+            Just("sizeof".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just(";".to_string()),
+            Just(",".to_string()),
+            Just("*".to_string()),
+            Just("&".to_string()),
+            Just("=".to_string()),
+            Just("+".to_string()),
+            Just("->".to_string()),
+            Just("...".to_string()),
+            Just("\"str\"".to_string()),
+            Just("'c'".to_string()),
+            Just("0x1F".to_string()),
+            "[a-z]{1,6}",
+            "[0-9]{1,6}",
+        ],
+        0..60,
+    )
+    .prop_map(|tokens| tokens.join(" "))
+}
+
+/// Strategy: a small well-formed arithmetic program.
+fn well_formed_program() -> impl Strategy<Value = String> {
+    let expr = prop_oneof![
+        (0i64..1000).prop_map(|v| v.to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+    ];
+    let op = prop_oneof![
+        Just("+"),
+        Just("-"),
+        Just("*"),
+        Just("|"),
+        Just("&"),
+        Just("^"),
+        Just("<<"),
+        Just("=="),
+        Just("<"),
+    ];
+    proptest::collection::vec((expr.clone(), op, expr), 1..12).prop_map(|terms| {
+        let mut body = String::from("int f(int a, int b) { int acc = 0;\n");
+        for (l, o, r) in terms {
+            body.push_str(&format!("acc = acc + ({l} {o} {r});\n"));
+        }
+        body.push_str("return acc; }");
+        body
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(src in arbitrary_source()) {
+        let _ = parse(&src); // must not panic, Ok or Err both fine
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0x20u8..0x7F, 0..200)) {
+        let src = String::from_utf8(bytes).unwrap();
+        let _ = foc_lang::Lexer::new(&src).tokenize();
+    }
+
+    #[test]
+    fn well_formed_programs_round_trip(src in well_formed_program()) {
+        let first = parse(&src).expect("well-formed program parses");
+        let printed = print_unit(&first);
+        let second = parse(&printed).expect("printed program reparses");
+        prop_assert_eq!(print_unit(&first), print_unit(&second));
+        // And both type-check to the same HIR.
+        let a = foc_lang::frontend(&src).expect("type checks");
+        let b = foc_lang::frontend(&printed).expect("printed type checks");
+        prop_assert_eq!(format!("{:?}", a.funcs), format!("{:?}", b.funcs));
+    }
+
+    #[test]
+    fn sema_never_panics_on_parsed_soup(src in arbitrary_source()) {
+        if let Ok(unit) = parse(&src) {
+            let _ = foc_lang::analyze(&unit); // Ok or Err, no panic
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Virtual address space layout.
+//!
+//! The simulated address space is a 64-bit flat space carved into fixed
+//! regions. Addresses below [`GLOBAL_BASE`] are never mapped so that null
+//! and near-null dereferences fault in every mode, as they would on a real
+//! OS with an unmapped zero page.
+//!
+//! ```text
+//!   0x0000_0000_0000_0000 .. GLOBAL_BASE     unmapped (null page)
+//!   GLOBAL_BASE .. GLOBAL_BASE+len           globals and string literals
+//!   HEAP_BASE   .. HEAP_BASE+len             heap (free-list allocator)
+//!   STACK_BASE  .. STACK_BASE+len            stack (grows downward)
+//!   OOB_ZONE_BASE ..                         out-of-bounds descriptors
+//! ```
+//!
+//! The OOB zone is never backed by bytes: addresses in it encode an index
+//! into the [`crate::oob::OobRegistry`], mirroring how CRED replaces
+//! out-of-bounds pointer values with pointers to descriptor objects.
+
+/// Base address of the global data region.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// Base address of the stack region. The stack grows downward from
+/// `STACK_BASE + stack_len` toward `STACK_BASE`.
+pub const STACK_BASE: u64 = 0x7000_0000;
+
+/// Base of the out-of-bounds descriptor zone.
+///
+/// Pointer arithmetic that leaves its data unit produces an address in this
+/// zone; dereferencing such an address is a memory error in every checked
+/// mode. The zone is placed far above all mapped regions so no legitimate
+/// address can collide with it.
+pub const OOB_ZONE_BASE: u64 = 0xF000_0000_0000_0000;
+
+/// Stride between consecutive OOB descriptor addresses.
+///
+/// A non-unit stride keeps distinct descriptors from comparing equal after
+/// small integer offsets are folded into the encoded address.
+pub const OOB_STRIDE: u64 = 0x10;
+
+/// Which mapped region an address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Global variables and string literals.
+    Global,
+    /// The simulated heap.
+    Heap,
+    /// The simulated stack.
+    Stack,
+}
+
+/// Width of a single memory access, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// One byte (`char`).
+    B1,
+    /// Two bytes (`short`).
+    B2,
+    /// Four bytes (`int`).
+    B4,
+    /// Eight bytes (`long` and pointers).
+    B8,
+}
+
+impl AccessSize {
+    /// Number of bytes covered by the access.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            AccessSize::B1 => 1,
+            AccessSize::B2 => 2,
+            AccessSize::B4 => 4,
+            AccessSize::B8 => 8,
+        }
+    }
+
+    /// Access size for a value of `bytes` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2, 4, or 8.
+    #[inline]
+    pub fn from_bytes(bytes: u64) -> AccessSize {
+        match bytes {
+            1 => AccessSize::B1,
+            2 => AccessSize::B2,
+            4 => AccessSize::B4,
+            8 => AccessSize::B8,
+            other => panic!("unsupported access width: {other}"),
+        }
+    }
+}
+
+/// A contiguous mapped region backed by real bytes.
+#[derive(Debug)]
+pub struct Region {
+    kind: RegionKind,
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl Region {
+    /// Creates a zero-initialised region of `len` bytes starting at `base`.
+    pub fn new(kind: RegionKind, base: u64, len: usize) -> Region {
+        Region {
+            kind,
+            base,
+            bytes: vec![0; len],
+        }
+    }
+
+    /// The region's kind.
+    #[inline]
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// First mapped address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the last mapped address.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether the whole access `[addr, addr + len)` is inside the region.
+    #[inline]
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.checked_add(len).is_some_and(|e| e <= self.end())
+    }
+
+    /// Reads `size` bytes at `addr` as a little-endian unsigned value.
+    ///
+    /// Returns `None` when any byte of the access is outside the region.
+    #[inline]
+    pub fn read(&self, addr: u64, size: AccessSize) -> Option<u64> {
+        let len = size.bytes();
+        if !self.contains(addr, len) {
+            return None;
+        }
+        let off = (addr - self.base) as usize;
+        let mut buf = [0u8; 8];
+        buf[..len as usize].copy_from_slice(&self.bytes[off..off + len as usize]);
+        Some(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`, little-endian.
+    ///
+    /// Returns `false` when any byte of the access is outside the region.
+    #[inline]
+    pub fn write(&mut self, addr: u64, size: AccessSize, value: u64) -> bool {
+        let len = size.bytes();
+        if !self.contains(addr, len) {
+            return false;
+        }
+        let off = (addr - self.base) as usize;
+        self.bytes[off..off + len as usize].copy_from_slice(&value.to_le_bytes()[..len as usize]);
+        true
+    }
+
+    /// Borrows `len` raw bytes starting at `addr`.
+    pub fn slice(&self, addr: u64, len: u64) -> Option<&[u8]> {
+        if !self.contains(addr, len) {
+            return None;
+        }
+        let off = (addr - self.base) as usize;
+        Some(&self.bytes[off..off + len as usize])
+    }
+
+    /// Mutably borrows `len` raw bytes starting at `addr`.
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> Option<&mut [u8]> {
+        if !self.contains(addr, len) {
+            return None;
+        }
+        let off = (addr - self.base) as usize;
+        Some(&mut self.bytes[off..off + len as usize])
+    }
+}
+
+/// Whether `addr` encodes an out-of-bounds descriptor.
+#[inline]
+pub const fn is_oob_zone(addr: u64) -> bool {
+    addr >= OOB_ZONE_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_round_trips_all_access_sizes() {
+        let mut r = Region::new(RegionKind::Heap, 0x1000, 64);
+        for (size, value) in [
+            (AccessSize::B1, 0xABu64),
+            (AccessSize::B2, 0xBEEF),
+            (AccessSize::B4, 0xDEAD_BEEF),
+            (AccessSize::B8, 0x0123_4567_89AB_CDEF),
+        ] {
+            assert!(r.write(0x1008, size, value));
+            assert_eq!(r.read(0x1008, size), Some(value));
+        }
+    }
+
+    #[test]
+    fn region_truncates_to_access_width() {
+        let mut r = Region::new(RegionKind::Heap, 0, 16);
+        assert!(r.write(0, AccessSize::B8, 0));
+        assert!(r.write(0, AccessSize::B1, 0x1FF));
+        assert_eq!(r.read(0, AccessSize::B8), Some(0xFF));
+    }
+
+    #[test]
+    fn region_rejects_out_of_range_accesses() {
+        let mut r = Region::new(RegionKind::Stack, 0x100, 8);
+        assert_eq!(r.read(0xFF, AccessSize::B1), None);
+        assert_eq!(r.read(0x108, AccessSize::B1), None);
+        assert_eq!(r.read(0x101, AccessSize::B8), None);
+        assert!(!r.write(0x105, AccessSize::B4, 1));
+        // The final in-bounds byte is still writable.
+        assert!(r.write(0x107, AccessSize::B1, 1));
+    }
+
+    #[test]
+    fn region_rejects_wrapping_accesses() {
+        let r = Region::new(RegionKind::Heap, 0x1000, 64);
+        assert_eq!(r.read(u64::MAX - 2, AccessSize::B8), None);
+        assert!(!r.contains(u64::MAX, 8));
+    }
+
+    #[test]
+    fn little_endian_layout_is_observable_bytewise() {
+        let mut r = Region::new(RegionKind::Global, 0, 8);
+        assert!(r.write(0, AccessSize::B4, 0x0403_0201));
+        assert_eq!(r.read(0, AccessSize::B1), Some(0x01));
+        assert_eq!(r.read(1, AccessSize::B1), Some(0x02));
+        assert_eq!(r.read(2, AccessSize::B1), Some(0x03));
+        assert_eq!(r.read(3, AccessSize::B1), Some(0x04));
+    }
+
+    #[test]
+    fn oob_zone_is_disjoint_from_regions() {
+        assert!(is_oob_zone(OOB_ZONE_BASE));
+        assert!(!is_oob_zone(STACK_BASE + 0x100_0000));
+        // Any mapped region must end far below the zone.
+        let r = Region::new(RegionKind::Stack, STACK_BASE, 64 << 20);
+        assert!(!is_oob_zone(r.end()));
+    }
+}

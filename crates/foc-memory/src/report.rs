@@ -1,0 +1,170 @@
+//! Memory-error log analysis.
+//!
+//! §3 motivates the log as an administration tool: "This log may help
+//! administrators to detect and respond appropriately to the presence of
+//! such errors." The stability studies read it exactly that way — it is
+//! how the authors discovered that Sendmail errs on every wake-up and
+//! that Midnight Commander errs on every blank configuration line.
+//!
+//! [`summarize`] aggregates raw records into per-site counts (a *site* is
+//! a guest function/pc pair — the static program location committing the
+//! error), which is the form an administrator would actually read.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::log::{ErrorKind, MemoryErrorLog};
+
+/// Aggregated statistics for one error site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteReport {
+    /// Guest function index.
+    pub func: u32,
+    /// Guest program counter.
+    pub pc: u32,
+    /// Violation classification.
+    pub kind: ErrorKind,
+    /// Occurrences among the retained records.
+    pub count: u64,
+    /// Smallest intended offset observed (when provenance was known).
+    pub min_offset: Option<i64>,
+    /// Largest intended offset observed.
+    pub max_offset: Option<i64>,
+}
+
+impl fmt::Display for SiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fn {} pc {}: {} ×{}",
+            self.func, self.pc, self.kind, self.count
+        )?;
+        if let (Some(lo), Some(hi)) = (self.min_offset, self.max_offset) {
+            write!(f, " (offsets {lo}..{hi})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A digest of the whole log.
+#[derive(Debug, Clone, Default)]
+pub struct LogReport {
+    /// Per-site aggregates, most frequent first.
+    pub sites: Vec<SiteReport>,
+    /// Total errors ever recorded (including evicted records).
+    pub total: u64,
+    /// Of which reads.
+    pub reads: u64,
+    /// Of which writes.
+    pub writes: u64,
+}
+
+impl LogReport {
+    /// Number of distinct error sites among retained records.
+    pub fn distinct_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Renders a plain-text administrator summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "memory errors: {} total ({} reads, {} writes), {} distinct sites",
+            self.total,
+            self.reads,
+            self.writes,
+            self.distinct_sites()
+        );
+        for site in &self.sites {
+            let _ = writeln!(out, "  {site}");
+        }
+        out
+    }
+}
+
+/// Aggregates a log's retained records into per-site counts.
+pub fn summarize(log: &MemoryErrorLog) -> LogReport {
+    let mut map: HashMap<(u32, u32, ErrorKind), SiteReport> = HashMap::new();
+    for rec in log.records() {
+        let entry = map
+            .entry((rec.func, rec.pc, rec.kind))
+            .or_insert_with(|| SiteReport {
+                func: rec.func,
+                pc: rec.pc,
+                kind: rec.kind,
+                count: 0,
+                min_offset: None,
+                max_offset: None,
+            });
+        entry.count += 1;
+        if let Some(off) = rec.offset {
+            entry.min_offset = Some(entry.min_offset.map_or(off, |m| m.min(off)));
+            entry.max_offset = Some(entry.max_offset.map_or(off, |m| m.max(off)));
+        }
+    }
+    let mut sites: Vec<SiteReport> = map.into_values().collect();
+    sites.sort_by(|a, b| b.count.cmp(&a.count).then(a.pc.cmp(&b.pc)));
+    LogReport {
+        sites,
+        total: log.total(),
+        reads: log.total_reads(),
+        writes: log.total_writes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AccessSize;
+    use crate::unit::UnitId;
+
+    fn record(log: &mut MemoryErrorLog, kind: ErrorKind, pc: u32, offset: i64) {
+        log.record(
+            kind,
+            0x1000,
+            AccessSize::B1,
+            Some(UnitId(1)),
+            Some(offset),
+            3,
+            pc,
+        );
+    }
+
+    #[test]
+    fn aggregates_by_site() {
+        let mut log = MemoryErrorLog::new(128);
+        for i in 0..5 {
+            record(&mut log, ErrorKind::InvalidWrite, 10, 64 + i);
+        }
+        record(&mut log, ErrorKind::InvalidRead, 22, -1);
+        let report = summarize(&log);
+        assert_eq!(report.distinct_sites(), 2);
+        assert_eq!(report.sites[0].pc, 10);
+        assert_eq!(report.sites[0].count, 5);
+        assert_eq!(report.sites[0].min_offset, Some(64));
+        assert_eq!(report.sites[0].max_offset, Some(68));
+        assert_eq!(report.sites[1].kind, ErrorKind::InvalidRead);
+        assert_eq!(report.total, 6);
+        assert_eq!(report.writes, 5);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut log = MemoryErrorLog::new(16);
+        record(&mut log, ErrorKind::DanglingRead, 7, 0);
+        let text = summarize(&log).render();
+        assert!(text.contains("1 total"));
+        assert!(text.contains("dangling read"));
+        assert!(text.contains("pc 7"));
+    }
+
+    #[test]
+    fn empty_log_reports_cleanly() {
+        let log = MemoryErrorLog::new(16);
+        let report = summarize(&log);
+        assert_eq!(report.distinct_sites(), 0);
+        assert!(report.render().contains("0 total"));
+    }
+}

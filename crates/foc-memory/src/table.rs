@@ -1,0 +1,511 @@
+//! The object table: locations → data units.
+//!
+//! Jones & Kelly's checking scheme keeps every live allocation in an
+//! ordered structure searched by address on each pointer operation; their
+//! implementation (and CRED's) used a splay tree because memory accesses
+//! have high temporal locality — the unit touched by one access is very
+//! likely to be touched by the next. We provide both a [`SplayTable`]
+//! (faithful to the original) and a [`BTreeTable`] baseline; the bench
+//! suite compares them on server-like access traces.
+//!
+//! The table stores `(base, size, unit)` entries keyed by base address.
+//! A lookup finds the entry with the greatest base not exceeding the query
+//! address and checks that the address falls before `base + size`. The
+//! memory space guarantees entries never overlap.
+
+use std::collections::BTreeMap;
+
+use crate::unit::UnitId;
+
+/// A table entry: a live allocation's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// First byte of the unit.
+    pub base: u64,
+    /// Size of the unit in bytes.
+    pub size: u64,
+    /// The unit occupying `[base, base + size)`.
+    pub unit: UnitId,
+}
+
+/// Address-indexed lookup of live data units.
+///
+/// Lookup takes `&mut self` because self-adjusting implementations (the
+/// splay tree) reorganise on every query.
+pub trait ObjectTable {
+    /// Registers a live unit. The caller guarantees the range does not
+    /// overlap any registered range.
+    fn insert(&mut self, base: u64, size: u64, unit: UnitId);
+
+    /// Removes the unit based at exactly `base`, returning it if present.
+    fn remove(&mut self, base: u64) -> Option<Placement>;
+
+    /// Finds the unit whose range contains `addr`.
+    fn lookup(&mut self, addr: u64) -> Option<Placement>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Object table backed by the standard library B-tree.
+#[derive(Debug, Default)]
+pub struct BTreeTable {
+    map: BTreeMap<u64, (u64, UnitId)>,
+}
+
+impl BTreeTable {
+    /// Creates an empty table.
+    pub fn new() -> BTreeTable {
+        BTreeTable::default()
+    }
+}
+
+impl ObjectTable for BTreeTable {
+    fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
+        self.map.insert(base, (size, unit));
+    }
+
+    fn remove(&mut self, base: u64) -> Option<Placement> {
+        self.map
+            .remove(&base)
+            .map(|(size, unit)| Placement { base, size, unit })
+    }
+
+    fn lookup(&mut self, addr: u64) -> Option<Placement> {
+        let (&base, &(size, unit)) = self.map.range(..=addr).next_back()?;
+        if addr < base + size {
+            Some(Placement { base, size, unit })
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Index of a splay tree node, with `NONE` as the null sentinel.
+type NodeIdx = u32;
+const NONE: NodeIdx = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct SplayNode {
+    base: u64,
+    size: u64,
+    unit: UnitId,
+    left: NodeIdx,
+    right: NodeIdx,
+}
+
+/// Self-adjusting object table, as in the Jones & Kelly runtime.
+///
+/// Nodes live in a `Vec` and are addressed by index; removed slots are
+/// recycled through a free list. Every lookup splays the closest entry to
+/// the root, so repeated accesses to the same data unit are O(1) after the
+/// first — the common case for server request processing.
+#[derive(Debug, Default)]
+pub struct SplayTable {
+    nodes: Vec<SplayNode>,
+    root: NodeIdx,
+    free: Vec<NodeIdx>,
+    len: usize,
+}
+
+impl SplayTable {
+    /// Creates an empty table.
+    pub fn new() -> SplayTable {
+        SplayTable {
+            nodes: Vec::new(),
+            root: NONE,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn node(&self, i: NodeIdx) -> &SplayNode {
+        &self.nodes[i as usize]
+    }
+
+    fn node_mut(&mut self, i: NodeIdx) -> &mut SplayNode {
+        &mut self.nodes[i as usize]
+    }
+
+    fn alloc_node(&mut self, base: u64, size: u64, unit: UnitId) -> NodeIdx {
+        let node = SplayNode {
+            base,
+            size,
+            unit,
+            left: NONE,
+            right: NONE,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as NodeIdx
+        }
+    }
+
+    /// Top-down splay: reorganises the subtree rooted at `root` so the node
+    /// with key `key` (or the last node on the search path) becomes the
+    /// root. This is the classic Sleator–Tarjan top-down formulation.
+    fn splay(&mut self, mut root: NodeIdx, key: u64) -> NodeIdx {
+        if root == NONE {
+            return NONE;
+        }
+        // `left_tail` / `right_tail` are the attachment points of the
+        // assembled left and right trees; `header` slots stand in for the
+        // missing parent of each.
+        let mut left_head = NONE;
+        let mut left_tail = NONE;
+        let mut right_head = NONE;
+        let mut right_tail = NONE;
+
+        loop {
+            let rb = self.node(root).base;
+            if key < rb {
+                let mut child = self.node(root).left;
+                if child == NONE {
+                    break;
+                }
+                if key < self.node(child).base {
+                    // Zig-zig: rotate right.
+                    self.node_mut(root).left = self.node(child).right;
+                    self.node_mut(child).right = root;
+                    root = child;
+                    child = self.node(root).left;
+                    if child == NONE {
+                        break;
+                    }
+                }
+                // Link right.
+                if right_tail == NONE {
+                    right_head = root;
+                } else {
+                    self.node_mut(right_tail).left = root;
+                }
+                right_tail = root;
+                root = child;
+            } else if key > rb {
+                let mut child = self.node(root).right;
+                if child == NONE {
+                    break;
+                }
+                if key > self.node(child).base {
+                    // Zig-zig: rotate left.
+                    self.node_mut(root).right = self.node(child).left;
+                    self.node_mut(child).left = root;
+                    root = child;
+                    child = self.node(root).right;
+                    if child == NONE {
+                        break;
+                    }
+                }
+                // Link left.
+                if left_tail == NONE {
+                    left_head = root;
+                } else {
+                    self.node_mut(left_tail).right = root;
+                }
+                left_tail = root;
+                root = child;
+            } else {
+                break;
+            }
+        }
+
+        // Assemble.
+        let root_left = self.node(root).left;
+        let root_right = self.node(root).right;
+        if left_tail == NONE {
+            left_head = root_left;
+        } else {
+            self.node_mut(left_tail).right = root_left;
+        }
+        if right_tail == NONE {
+            right_head = root_right;
+        } else {
+            self.node_mut(right_tail).left = root_right;
+        }
+        self.node_mut(root).left = left_head;
+        self.node_mut(root).right = right_head;
+        root
+    }
+
+    #[cfg(test)]
+    fn check_bst(&self) {
+        fn walk(t: &SplayTable, n: NodeIdx, lo: Option<u64>, hi: Option<u64>, count: &mut usize) {
+            if n == NONE {
+                return;
+            }
+            let node = t.node(n);
+            if let Some(lo) = lo {
+                assert!(node.base > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(node.base < hi, "BST order violated");
+            }
+            *count += 1;
+            walk(t, node.left, lo, Some(node.base), count);
+            walk(t, node.right, Some(node.base), hi, count);
+        }
+        let mut count = 0;
+        walk(self, self.root, None, None, &mut count);
+        assert_eq!(count, self.len, "node count mismatch");
+    }
+}
+
+impl ObjectTable for SplayTable {
+    fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
+        let fresh = self.alloc_node(base, size, unit);
+        if self.root == NONE {
+            self.root = fresh;
+            self.len += 1;
+            return;
+        }
+        let root = self.splay(self.root, base);
+        let rb = self.node(root).base;
+        if base == rb {
+            // Replace in place (the caller never does this for live units,
+            // but replacement keeps the structure consistent regardless).
+            let (l, r) = (self.node(root).left, self.node(root).right);
+            self.node_mut(fresh).left = l;
+            self.node_mut(fresh).right = r;
+            self.free.push(root);
+            self.root = fresh;
+            return;
+        }
+        if base < rb {
+            self.node_mut(fresh).left = self.node(root).left;
+            self.node_mut(fresh).right = root;
+            self.node_mut(root).left = NONE;
+        } else {
+            self.node_mut(fresh).right = self.node(root).right;
+            self.node_mut(fresh).left = root;
+            self.node_mut(root).right = NONE;
+        }
+        self.root = fresh;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, base: u64) -> Option<Placement> {
+        if self.root == NONE {
+            return None;
+        }
+        let root = self.splay(self.root, base);
+        self.root = root;
+        if self.node(root).base != base {
+            return None;
+        }
+        let removed = {
+            let n = self.node(root);
+            Placement {
+                base: n.base,
+                size: n.size,
+                unit: n.unit,
+            }
+        };
+        let (left, right) = (self.node(root).left, self.node(root).right);
+        self.root = if left == NONE {
+            right
+        } else {
+            // Splay the maximum of the left subtree to its root; it then
+            // has no right child and adopts `right`.
+            let new_root = self.splay(left, u64::MAX);
+            self.node_mut(new_root).right = right;
+            new_root
+        };
+        self.free.push(root);
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn lookup(&mut self, addr: u64) -> Option<Placement> {
+        if self.root == NONE {
+            return None;
+        }
+        let root = self.splay(self.root, addr);
+        self.root = root;
+        let candidate = {
+            let n = self.node(root);
+            if n.base <= addr {
+                Some(Placement {
+                    base: n.base,
+                    size: n.size,
+                    unit: n.unit,
+                })
+            } else {
+                None
+            }
+        };
+        let candidate = candidate.or_else(|| {
+            // Root is the successor of `addr`; the containing unit, if any,
+            // is the maximum of the left subtree.
+            let mut n = self.node(root).left;
+            if n == NONE {
+                return None;
+            }
+            while self.node(n).right != NONE {
+                n = self.node(n).right;
+            }
+            let node = self.node(n);
+            Some(Placement {
+                base: node.base,
+                size: node.size,
+                unit: node.unit,
+            })
+        })?;
+        if addr < candidate.base + candidate.size {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Runtime-selectable table implementation.
+#[derive(Debug)]
+pub enum TableImpl {
+    /// Self-adjusting splay tree (the default, as in Jones & Kelly).
+    Splay(SplayTable),
+    /// B-tree baseline.
+    BTree(BTreeTable),
+}
+
+impl Default for TableImpl {
+    fn default() -> TableImpl {
+        TableImpl::Splay(SplayTable::new())
+    }
+}
+
+impl ObjectTable for TableImpl {
+    fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
+        match self {
+            TableImpl::Splay(t) => t.insert(base, size, unit),
+            TableImpl::BTree(t) => t.insert(base, size, unit),
+        }
+    }
+
+    fn remove(&mut self, base: u64) -> Option<Placement> {
+        match self {
+            TableImpl::Splay(t) => t.remove(base),
+            TableImpl::BTree(t) => t.remove(base),
+        }
+    }
+
+    fn lookup(&mut self, addr: u64) -> Option<Placement> {
+        match self {
+            TableImpl::Splay(t) => t.lookup(addr),
+            TableImpl::BTree(t) => t.lookup(addr),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TableImpl::Splay(t) => t.len(),
+            TableImpl::BTree(t) => t.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<T: ObjectTable>(t: &mut T) {
+        t.insert(100, 10, UnitId(1));
+        t.insert(200, 20, UnitId(2));
+        t.insert(50, 5, UnitId(3));
+        assert_eq!(t.len(), 3);
+
+        assert_eq!(t.lookup(100).unwrap().unit, UnitId(1));
+        assert_eq!(t.lookup(109).unwrap().unit, UnitId(1));
+        assert_eq!(t.lookup(110), None);
+        assert_eq!(t.lookup(55), None);
+        assert_eq!(t.lookup(54).unwrap().unit, UnitId(3));
+        assert_eq!(t.lookup(219).unwrap().unit, UnitId(2));
+        assert_eq!(t.lookup(220), None);
+        assert_eq!(t.lookup(0), None);
+        assert_eq!(t.lookup(u64::MAX), None);
+
+        assert_eq!(t.remove(200).unwrap().unit, UnitId(2));
+        assert_eq!(t.remove(200), None);
+        assert_eq!(t.lookup(210), None);
+        assert_eq!(t.len(), 2);
+
+        // Re-insert at the removed base.
+        t.insert(200, 8, UnitId(4));
+        assert_eq!(t.lookup(207).unwrap().unit, UnitId(4));
+        assert_eq!(t.lookup(208), None);
+    }
+
+    #[test]
+    fn btree_table_basics() {
+        exercise(&mut BTreeTable::new());
+    }
+
+    #[test]
+    fn splay_table_basics() {
+        let mut t = SplayTable::new();
+        exercise(&mut t);
+        t.check_bst();
+    }
+
+    #[test]
+    fn table_impl_dispatches() {
+        exercise(&mut TableImpl::default());
+        exercise(&mut TableImpl::BTree(BTreeTable::new()));
+    }
+
+    #[test]
+    fn splay_handles_many_interleaved_ops() {
+        let mut t = SplayTable::new();
+        // Insert 1000 spaced units, remove every third, verify lookups.
+        for i in 0..1000u64 {
+            t.insert(i * 16, 8, UnitId(i as u32));
+        }
+        t.check_bst();
+        for i in (0..1000u64).step_by(3) {
+            assert!(t.remove(i * 16).is_some());
+        }
+        t.check_bst();
+        for i in 0..1000u64 {
+            let hit = t.lookup(i * 16 + 4);
+            if i % 3 == 0 {
+                assert!(hit.is_none(), "unit {i} should be gone");
+            } else {
+                assert_eq!(hit.unwrap().unit, UnitId(i as u32));
+            }
+            // The 8-byte gap between units never resolves.
+            assert!(t.lookup(i * 16 + 12).is_none());
+        }
+        t.check_bst();
+    }
+
+    #[test]
+    fn splay_reuses_freed_slots() {
+        let mut t = SplayTable::new();
+        for i in 0..64u64 {
+            t.insert(i * 32, 16, UnitId(i as u32));
+        }
+        let nodes_before = t.nodes.len();
+        for i in 0..64u64 {
+            t.remove(i * 32);
+        }
+        for i in 0..64u64 {
+            t.insert(i * 32 + 4096, 16, UnitId(i as u32 + 100));
+        }
+        assert_eq!(t.nodes.len(), nodes_before, "slots must be recycled");
+    }
+}

@@ -1,0 +1,112 @@
+//! Data units.
+//!
+//! The checking scheme "maintains a table that maps locations to data units
+//! (each struct, array, and variable is a data unit)" (§3). A data unit is
+//! the granularity at which bounds are enforced: an access is legal only
+//! when it falls entirely inside one live data unit.
+
+use std::fmt;
+
+/// Identifier of a data unit, unique for the lifetime of a memory space.
+///
+/// Identifiers are never reused, so a dangling pointer's referent can be
+/// named in diagnostics even after the unit dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u32);
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Storage class of a data unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// A global variable or string literal; lives for the whole program.
+    Global,
+    /// A stack-allocated local; dies when its frame is popped.
+    Stack,
+    /// A heap allocation; dies when freed.
+    Heap,
+}
+
+/// A single allocation known to the object table.
+#[derive(Debug, Clone)]
+pub struct DataUnit {
+    /// Stable identifier.
+    pub id: UnitId,
+    /// First byte of the unit.
+    pub base: u64,
+    /// Size in bytes. Zero-size units are legal (e.g. `malloc(0)`), but no
+    /// access inside them is.
+    pub size: u64,
+    /// Storage class.
+    pub kind: UnitKind,
+    /// Whether the unit is still live. Dead units stay in the unit list for
+    /// diagnostics but are removed from the object table.
+    pub live: bool,
+    /// Debug label (variable name, allocation site), used by the error log.
+    pub label: Option<String>,
+}
+
+impl DataUnit {
+    /// One past the last byte of the unit.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+
+    /// Whether the access `[addr, addr + len)` lies entirely inside.
+    #[inline]
+    pub fn contains_access(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.checked_add(len).is_some_and(|e| e <= self.end())
+    }
+
+    /// Whether `addr` points anywhere inside the unit.
+    #[inline]
+    pub fn contains_addr(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(base: u64, size: u64) -> DataUnit {
+        DataUnit {
+            id: UnitId(1),
+            base,
+            size,
+            kind: UnitKind::Heap,
+            live: true,
+            label: None,
+        }
+    }
+
+    #[test]
+    fn access_containment_is_exclusive_at_end() {
+        let u = unit(100, 10);
+        assert!(u.contains_access(100, 10));
+        assert!(u.contains_access(109, 1));
+        assert!(!u.contains_access(109, 2));
+        assert!(!u.contains_access(110, 1));
+        assert!(!u.contains_access(99, 1));
+    }
+
+    #[test]
+    fn zero_size_unit_admits_no_access() {
+        let u = unit(100, 0);
+        assert!(!u.contains_access(100, 1));
+        assert!(!u.contains_addr(100));
+        // A zero-length access is trivially "inside".
+        assert!(u.contains_access(100, 0));
+    }
+
+    #[test]
+    fn containment_rejects_wrapping() {
+        let u = unit(u64::MAX - 4, 4);
+        assert!(!u.contains_access(u64::MAX - 1, 8));
+    }
+}

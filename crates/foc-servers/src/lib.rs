@@ -1,0 +1,213 @@
+//! The five servers of the paper's evaluation (§4), re-implemented in
+//! MiniC with their documented memory errors, plus request drivers.
+//!
+//! Each module contains:
+//!
+//! * the MiniC source of the server, written so the vulnerable code path
+//!   matches the paper's description (Mutt's `utf8_to_utf7` is
+//!   transliterated from Figure 1);
+//! * a Rust driver that boots the server under a chosen [`Mode`], feeds it
+//!   legitimate and attack requests, and classifies outcomes;
+//! * unit tests asserting the paper's qualitative results per mode.
+//!
+//! The drivers model one OS process per [`foc_vm::Machine`]: a fault kills
+//! the process and all its state; `restart` builds a fresh machine and
+//! replays initialisation (which may itself fault — the Pine/Mutt/MC
+//! situation where the Bounds Check version dies during startup, §4.7).
+
+pub mod apache;
+pub mod mc;
+pub mod mutt;
+pub mod pine;
+pub mod sendmail;
+pub mod supervisor;
+pub mod workload;
+
+use foc_memory::Mode;
+use foc_vm::{Machine, MachineConfig, VmFault};
+
+/// How one request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The server processed the request; `ret` is its status code and
+    /// `output` what it wrote.
+    Done {
+        /// Guest return value.
+        ret: i64,
+        /// Bytes the guest emitted while serving the request.
+        output: Vec<u8>,
+    },
+    /// The server process died (segfault, memory-error exit, abort...).
+    Crashed(VmFault),
+}
+
+impl Outcome {
+    /// Whether the request completed without killing the process.
+    pub fn survived(&self) -> bool {
+        matches!(self, Outcome::Done { .. })
+    }
+
+    /// Return code, when the process survived.
+    pub fn ret(&self) -> Option<i64> {
+        match self {
+            Outcome::Done { ret, .. } => Some(*ret),
+            Outcome::Crashed(_) => None,
+        }
+    }
+
+    /// Output bytes, when the process survived.
+    pub fn output(&self) -> &[u8] {
+        match self {
+            Outcome::Done { output, .. } => output,
+            Outcome::Crashed(_) => &[],
+        }
+    }
+}
+
+/// A measured request: outcome plus virtual time.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// What happened.
+    pub outcome: Outcome,
+    /// Virtual cycles charged to this request.
+    pub cycles: u64,
+}
+
+/// Shared plumbing: one guest process running a compiled server.
+pub struct Process {
+    machine: Machine,
+    mode: Mode,
+    fuel: u64,
+}
+
+impl Process {
+    /// Compiles `source` and boots it under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server source fails to compile — the sources are
+    /// fixed constants, so that is a bug in this crate, not input error.
+    pub fn boot(source: &str, mode: Mode, fuel: u64) -> Process {
+        let config = MachineConfig {
+            mem: foc_memory::MemConfig::with_mode(mode),
+            fuel_per_call: fuel,
+        };
+        let machine = match Machine::from_source(source, config) {
+            Ok(m) => m,
+            Err(e) => panic!("server source failed to build: {e}"),
+        };
+        Process {
+            machine,
+            mode,
+            fuel,
+        }
+    }
+
+    /// Wraps an already-loaded machine (pools share compiled images).
+    pub fn from_machine(machine: Machine, mode: Mode, fuel: u64) -> Process {
+        Process {
+            machine,
+            mode,
+            fuel,
+        }
+    }
+
+    /// The policy this process runs under.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The fuel budget per call.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (drivers push inputs, read state).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Whether the process has died.
+    pub fn is_dead(&self) -> bool {
+        self.machine.is_dead()
+    }
+
+    /// Calls a guest entry point, measuring the cycles it consumed.
+    pub fn request(&mut self, func: &str, args: &[i64]) -> Measured {
+        let before = self.machine.stats().cycles;
+        let result = self.machine.call(func, args);
+        let cycles = self.machine.stats().cycles - before;
+        let outcome = match result {
+            Ok(ret) => Outcome::Done {
+                ret,
+                output: self.machine.take_output(),
+            },
+            Err(fault) => Outcome::Crashed(fault),
+        };
+        Measured { outcome, cycles }
+    }
+
+    /// Copies a byte string into the guest heap, NUL-terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the guest heap is exhausted (drivers allocate tiny
+    /// request strings; exhaustion indicates a harness bug).
+    pub fn guest_str(&mut self, bytes: &[u8]) -> i64 {
+        self.machine
+            .alloc_cstring(bytes)
+            .expect("guest heap exhausted") as i64
+    }
+
+    /// Frees a driver-allocated guest string.
+    pub fn free_guest_str(&mut self, addr: i64) {
+        // Tolerate failure: freeing after a fault is pointless anyway.
+        let _ = self.machine.free_guest(addr as u64);
+    }
+}
+
+/// Mean and sample standard deviation of a series.
+pub fn mean_stddev(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stddev_basics() {
+        let (m, s) = mean_stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+        assert_eq!(mean_stddev(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn process_boot_and_request() {
+        let mut p = Process::boot(
+            "int n = 0; int bump() { n++; return n; }",
+            Mode::FailureOblivious,
+            1_000_000,
+        );
+        let r1 = p.request("bump", &[]);
+        assert_eq!(r1.outcome.ret(), Some(1));
+        assert!(r1.cycles > 0);
+        let r2 = p.request("bump", &[]);
+        assert_eq!(r2.outcome.ret(), Some(2));
+    }
+}

@@ -1,0 +1,173 @@
+//! Restart supervision (§4.7, §5.6): the obvious alternative to
+//! failure-oblivious computing — "a monitor that detects memory errors and
+//! reboots the server" — evaluated against the same scenarios.
+//!
+//! The paper's point is that restarting only helps when the triggering
+//! input is *transient*. Apache's pool works because each attack request
+//! ends with the connection; the respawned child never sees it again.
+//! But when the trigger *persists in the environment* — the poisoned
+//! message in Pine's mailbox, the blank line in MC's configuration, the
+//! malicious folder in Mutt's startup config, Sendmail's wake-up error —
+//! "restarting is of no use because the restarted computations would,
+//! once again, simply exit during initialization."
+
+use foc_memory::Mode;
+
+use crate::{mc, mutt, pine, sendmail};
+
+/// Outcome of supervising one server under a persistent hostile
+/// environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartStudy {
+    /// Server name.
+    pub server: &'static str,
+    /// Compiler version supervised.
+    pub mode: Mode,
+    /// Restart attempts made (the supervisor gives up after its budget).
+    pub attempts: u32,
+    /// Whether the server ever became able to serve legitimate requests.
+    pub recovered: bool,
+}
+
+/// Maximum restart attempts before the supervisor declares the service
+/// down (real init systems back off similarly).
+pub const RESTART_BUDGET: u32 = 5;
+
+/// Supervises Pine over a mailbox containing a poisoned message.
+pub fn supervise_pine(mode: Mode) -> RestartStudy {
+    let mut mailbox = pine::Pine::standard_mailbox(4);
+    mailbox.insert(2, (pine::attack_from(40), b"pwn".to_vec(), b"x".to_vec()));
+    let mut p = pine::Pine::boot(mode, mailbox);
+    let mut attempts = 0;
+    while !p.usable() && attempts < RESTART_BUDGET {
+        attempts += 1;
+        p.restart();
+    }
+    let recovered = p.usable() && p.read(0).outcome.ret() == Some(0);
+    RestartStudy {
+        server: "Pine",
+        mode,
+        attempts,
+        recovered,
+    }
+}
+
+/// Supervises Mutt configured to open the malicious folder at startup.
+pub fn supervise_mutt(mode: Mode) -> RestartStudy {
+    let boot = |mode| {
+        let mut m = mutt::Mutt::boot(mode, 3);
+        // The configured startup folder triggers the conversion.
+        let startup = m.open_folder(&mutt::attack_folder_name(40));
+        (m, startup.outcome.survived())
+    };
+    let (mut m, mut up) = boot(mode);
+    let mut attempts = 0;
+    while !up && attempts < RESTART_BUDGET {
+        attempts += 1;
+        let (m2, up2) = boot(mode);
+        m = m2;
+        up = up2;
+    }
+    let recovered = up
+        && m.open_folder(b"INBOX").outcome.ret() == Some(0)
+        && m.read_message(0).outcome.ret() == Some(0);
+    RestartStudy {
+        server: "Mutt",
+        mode,
+        attempts,
+        recovered,
+    }
+}
+
+/// Supervises MC with the blank configuration line on disk.
+pub fn supervise_mc(mode: Mode) -> RestartStudy {
+    let mut m = mc::Mc::boot(mode, &mc::config_with_blank_line());
+    let mut attempts = 0;
+    while !m.usable() && attempts < RESTART_BUDGET {
+        attempts += 1;
+        m = mc::Mc::boot(mode, &mc::config_with_blank_line());
+    }
+    let recovered = m.usable() && {
+        m.create(b"/t", 512, false);
+        m.copy(b"/t", b"/t2").outcome.ret() == Some(512)
+    };
+    RestartStudy {
+        server: "MC",
+        mode,
+        attempts,
+        recovered,
+    }
+}
+
+/// Supervises the Sendmail daemon (whose wake-up itself errs).
+pub fn supervise_sendmail(mode: Mode) -> RestartStudy {
+    let mut sm = sendmail::Sendmail::boot(mode);
+    let mut attempts = 0;
+    while !sm.usable() && attempts < RESTART_BUDGET {
+        attempts += 1;
+        sm = sendmail::Sendmail::boot(mode);
+    }
+    let recovered = sm.usable()
+        && sm
+            .receive(b"a@example.org", b"b@example.org", b"probe")
+            .outcome
+            .ret()
+            == Some(250);
+    RestartStudy {
+        server: "Sendmail",
+        mode,
+        attempts,
+        recovered,
+    }
+}
+
+/// Runs the whole study for one mode.
+pub fn study(mode: Mode) -> Vec<RestartStudy> {
+    vec![
+        supervise_pine(mode),
+        supervise_mutt(mode),
+        supervise_mc(mode),
+        supervise_sendmail(mode),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restarting_bounds_check_is_futile_for_persistent_triggers() {
+        for s in study(Mode::BoundsCheck) {
+            assert_eq!(
+                s.attempts, RESTART_BUDGET,
+                "{}: supervisor must exhaust its budget",
+                s.server
+            );
+            assert!(!s.recovered, "{}: restart cannot recover", s.server);
+        }
+    }
+
+    #[test]
+    fn failure_oblivious_needs_no_restarts() {
+        for s in study(Mode::FailureOblivious) {
+            assert_eq!(s.attempts, 0, "{}: no restart needed", s.server);
+            assert!(s.recovered, "{}: serving", s.server);
+        }
+    }
+
+    #[test]
+    fn standard_mode_mixed_results() {
+        // Standard Pine dies at init like Bounds Check (heap corruption);
+        // Standard Sendmail and MC start fine (their init errors are
+        // silent in unchecked mode) — the §4.7 asymmetry.
+        let results = study(Mode::Standard);
+        let by = |n: &str| results.iter().find(|s| s.server == n).unwrap().clone();
+        assert!(!by("Pine").recovered);
+        assert!(!by("Mutt").recovered, "startup folder kills every restart");
+        assert!(by("MC").recovered, "blank line is harmless unchecked");
+        assert!(
+            by("Sendmail").recovered,
+            "wake-up error is harmless unchecked"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Workload generation: deterministic, seeded request content.
+//!
+//! All generators are deterministic in their seed so experiment runs are
+//! reproducible; the bench harness varies seeds per repetition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Words used to synthesise message bodies and file contents.
+const WORDS: &[&str] = &[
+    "lorem",
+    "ipsum",
+    "dolor",
+    "sit",
+    "amet",
+    "consectetur",
+    "adipiscing",
+    "elit",
+    "sed",
+    "do",
+    "eiusmod",
+    "tempor",
+    "incididunt",
+    "labore",
+    "dolore",
+    "magna",
+    "aliqua",
+    "enim",
+    "minim",
+    "veniam",
+    "quis",
+    "nostrud",
+    "exercitation",
+    "ullamco",
+    "laboris",
+    "nisi",
+    "aliquip",
+];
+
+/// Generates roughly `len` bytes of word-like text (always at least one
+/// byte, never longer than `len`), with occasional URLs and newlines so
+/// pager-style scanning loops have realistic work.
+pub fn lorem(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<u8> = Vec::with_capacity(len);
+    let mut col = 0usize;
+    while out.len() < len.saturating_sub(12) {
+        if rng.gen_ratio(1, 40) {
+            out.extend_from_slice(b"http://x.org");
+            col += 12;
+        } else {
+            let w = WORDS[rng.gen_range(0..WORDS.len())];
+            out.extend_from_slice(w.as_bytes());
+            col += w.len();
+        }
+        if col > 68 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+            col += 1;
+        }
+    }
+    if out.is_empty() {
+        out.push(b'x');
+    }
+    out.truncate(len.max(1));
+    // Trim trailing whitespace so lengths stay predictable-ish.
+    while out.len() > 1 && (out.last() == Some(&b' ') || out.last() == Some(&b'\n')) {
+        out.pop();
+    }
+    out
+}
+
+/// A plausible e-mail From field (display name + address).
+pub fn from_field(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first = WORDS[rng.gen_range(0..WORDS.len())];
+    let last = WORDS[rng.gen_range(0..WORDS.len())];
+    format!("{first} {last} <{first}.{last}@example.org>").into_bytes()
+}
+
+/// A From field dense with characters Pine must quote — the §4.2 attack
+/// ("From fields contain many quoted characters").
+pub fn pine_attack_from(quoted: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(quoted * 2 + 16);
+    v.extend_from_slice(b"\"");
+    for _ in 0..quoted {
+        v.extend_from_slice(b"\\\"");
+    }
+    v.extend_from_slice(b"\" <attacker@evil.example>");
+    v
+}
+
+/// An RFC-2821-ish address whose `\`/`0xFF` alternation drives Sendmail's
+/// prescan past its buffer (§4.4).
+pub fn sendmail_attack_address(pairs: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(pairs * 2 + 16);
+    for _ in 0..pairs {
+        v.push(b'\\');
+        v.push(0xFF);
+    }
+    v.extend_from_slice(b"@evil.example");
+    v
+}
+
+/// A legitimate SMTP address.
+pub fn sendmail_address(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let user = WORDS[rng.gen_range(0..WORDS.len())];
+    format!("{user}{}@example.org", rng.gen_range(0..100)).into_bytes()
+}
+
+/// A rewrite-rule URL with the given number of capturable segments — more
+/// than ten triggers the Apache offsets-buffer overflow (§4.3).
+pub fn apache_url(segments: usize) -> Vec<u8> {
+    let mut v = b"/rw".to_vec();
+    for i in 0..segments {
+        v.extend_from_slice(format!("/s{i}").as_bytes());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorem_is_deterministic_and_sized() {
+        let a = lorem(1000, 7);
+        let b = lorem(1000, 7);
+        assert_eq!(a, b);
+        assert!(a.len() <= 1000 && a.len() > 800);
+        assert!(!a.contains(&0), "no NUL bytes in text");
+        let c = lorem(1000, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn lorem_handles_tiny_sizes() {
+        assert_eq!(lorem(1, 2).len(), 1);
+        assert!(!lorem(5, 3).is_empty());
+    }
+
+    #[test]
+    fn attack_generators_shape() {
+        let p = pine_attack_from(10);
+        assert_eq!(p.iter().filter(|&&b| b == b'"').count(), 12);
+        let s = sendmail_attack_address(5);
+        assert_eq!(s.iter().filter(|&&b| b == 0xFF).count(), 5);
+        assert_eq!(s.iter().filter(|&&b| b == b'\\').count(), 5);
+        let u = apache_url(12);
+        assert_eq!(u.iter().filter(|&&b| b == b'/').count(), 13);
+    }
+}

@@ -1,0 +1,331 @@
+//! The libc shim layer.
+//!
+//! These are the runtime functions the guest can call without declaring
+//! them. All string/memory builtins perform *byte-wise guest accesses*
+//! through the policy layer, so `strcpy` into a too-small buffer behaves
+//! per mode exactly like a hand-written copy loop would: Standard mode
+//! tramples memory, Bounds Check terminates, failure-oblivious discards
+//! the overflowing stores. This mirrors CRED, which wraps the C library
+//! so library code participates in checking.
+
+use foc_lang::hir::Builtin;
+use foc_memory::AccessSize;
+
+use crate::fault::VmFault;
+use crate::machine::Machine;
+
+/// Upper bound for NUL scans so a pathological Standard-mode scan cannot
+/// walk the whole address space byte by byte.
+const SCAN_CAP: u64 = 1 << 22;
+
+/// Executes a builtin: pops its arguments from the evaluation stack and
+/// returns its result value (0 for `void` builtins).
+pub(crate) fn dispatch(m: &mut Machine, b: Builtin) -> Result<i64, VmFault> {
+    let argc = b.arity();
+    let mut args = [0i64; 3];
+    for i in (0..argc).rev() {
+        args[i] = m.pop_value();
+    }
+    let a0 = args[0];
+    let a1 = args[1];
+    let a2 = args[2];
+    match b {
+        Builtin::Malloc => {
+            let p = m.space_mut().malloc(a0 as u64)?;
+            Ok(p as i64)
+        }
+        Builtin::Free => {
+            let ctx = m.ctx();
+            m.space_mut().free(a0 as u64, ctx)?;
+            Ok(0)
+        }
+        Builtin::Realloc => {
+            let ctx = m.ctx();
+            let p = m.space_mut().realloc(a0 as u64, a1 as u64, ctx)?;
+            Ok(p as i64)
+        }
+        Builtin::Strlen => {
+            let n = scan_nul(m, a0 as u64)?;
+            Ok(n as i64)
+        }
+        Builtin::Strcpy => {
+            copy_cstring(m, a0 as u64, a1 as u64, u64::MAX)?;
+            Ok(a0)
+        }
+        Builtin::Strncpy => {
+            // C semantics: copy at most n bytes; if src is shorter, pad
+            // with NULs to exactly n bytes.
+            let n = a2 as u64;
+            let copied = copy_cstring(m, a0 as u64, a1 as u64, n)?;
+            for i in copied..n {
+                m.charge(1)?;
+                let d = m.g_ptr_add(a0 as u64, i as i64);
+                m.g_store(d, AccessSize::B1, 0)?;
+            }
+            Ok(a0)
+        }
+        Builtin::Strcat => {
+            let end = scan_nul(m, a0 as u64)?;
+            let dst = m.g_ptr_add(a0 as u64, end as i64);
+            copy_cstring(m, dst, a1 as u64, u64::MAX)?;
+            Ok(a0)
+        }
+        Builtin::Strncat => {
+            let end = scan_nul(m, a0 as u64)?;
+            let dst = m.g_ptr_add(a0 as u64, end as i64);
+            let n = a2 as u64;
+            let copied = copy_bytes_until_nul(m, dst, a1 as u64, n)?;
+            let term = m.g_ptr_add(dst, copied as i64);
+            m.g_store(term, AccessSize::B1, 0)?;
+            Ok(a0)
+        }
+        Builtin::Strcmp => cmp_cstrings(m, a0 as u64, a1 as u64, u64::MAX),
+        Builtin::Strncmp => cmp_cstrings(m, a0 as u64, a1 as u64, a2 as u64),
+        Builtin::Strchr => {
+            let want = a1 as u8;
+            let mut i = 0u64;
+            loop {
+                m.charge(1)?;
+                let p = m.g_ptr_add(a0 as u64, i as i64);
+                let b = m.g_load(p, AccessSize::B1)? as u8;
+                if b == want {
+                    return Ok(p as i64);
+                }
+                if b == 0 || i >= SCAN_CAP {
+                    return Ok(0);
+                }
+                i += 1;
+            }
+        }
+        Builtin::Strrchr => {
+            let want = a1 as u8;
+            let mut i = 0u64;
+            let mut found = 0i64;
+            loop {
+                m.charge(1)?;
+                let p = m.g_ptr_add(a0 as u64, i as i64);
+                let b = m.g_load(p, AccessSize::B1)? as u8;
+                if b == want {
+                    found = p as i64;
+                }
+                if b == 0 || i >= SCAN_CAP {
+                    return Ok(found);
+                }
+                i += 1;
+            }
+        }
+        Builtin::Memcpy => {
+            let n = a2 as u64;
+            for i in 0..n {
+                m.charge(1)?;
+                let s = m.g_ptr_add(a1 as u64, i as i64);
+                let d = m.g_ptr_add(a0 as u64, i as i64);
+                let b = m.g_load(s, AccessSize::B1)?;
+                m.g_store(d, AccessSize::B1, b)?;
+            }
+            Ok(a0)
+        }
+        Builtin::Memmove => {
+            let n = a2 as u64;
+            // Stage through a host buffer: correct for overlap, and both
+            // directions remain fully guest-checked.
+            let mut tmp = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                m.charge(1)?;
+                let s = m.g_ptr_add(a1 as u64, i as i64);
+                tmp.push(m.g_load(s, AccessSize::B1)? as u8);
+            }
+            for (i, b) in tmp.into_iter().enumerate() {
+                m.charge(1)?;
+                let d = m.g_ptr_add(a0 as u64, i as i64);
+                m.g_store(d, AccessSize::B1, b as u64)?;
+            }
+            Ok(a0)
+        }
+        Builtin::Memset => {
+            let n = a2 as u64;
+            let byte = a1 as u64 & 0xFF;
+            for i in 0..n {
+                m.charge(1)?;
+                let d = m.g_ptr_add(a0 as u64, i as i64);
+                m.g_store(d, AccessSize::B1, byte)?;
+            }
+            Ok(a0)
+        }
+        Builtin::Memcmp => {
+            let n = a2 as u64;
+            for i in 0..n {
+                m.charge(1)?;
+                let pa = m.g_ptr_add(a0 as u64, i as i64);
+                let pb = m.g_ptr_add(a1 as u64, i as i64);
+                let ba = m.g_load(pa, AccessSize::B1)? as u8;
+                let bb = m.g_load(pb, AccessSize::B1)? as u8;
+                if ba != bb {
+                    return Ok(if ba < bb { -1 } else { 1 });
+                }
+            }
+            Ok(0)
+        }
+        Builtin::PrintStr => {
+            let mut i = 0u64;
+            loop {
+                m.charge(1)?;
+                let p = m.g_ptr_add(a0 as u64, i as i64);
+                let b = m.g_load(p, AccessSize::B1)? as u8;
+                if b == 0 || i >= SCAN_CAP {
+                    return Ok(0);
+                }
+                m.push_output_byte(b);
+                i += 1;
+            }
+        }
+        Builtin::PrintInt => {
+            let s = a0.to_string();
+            m.push_output(s.as_bytes());
+            Ok(0)
+        }
+        Builtin::Putchar => {
+            m.push_output_byte(a0 as u8);
+            Ok(a0 & 0xFF)
+        }
+        Builtin::Abort => Err(VmFault::Abort),
+        Builtin::Exit => Err(VmFault::Exit(a0 as i32)),
+        Builtin::Isspace => {
+            Ok(matches!(a0 as u8, b' ' | b'\t' | b'\n' | b'\r' | 0x0B | 0x0C) as i64)
+        }
+        Builtin::Isdigit => Ok((a0 as u8).is_ascii_digit() as i64),
+        Builtin::Isalpha => Ok((a0 as u8).is_ascii_alphabetic() as i64),
+        Builtin::Isprint => Ok(matches!(a0 as u8, 0x20..=0x7E) as i64),
+        Builtin::Toupper => Ok((a0 as u8).to_ascii_uppercase() as i64),
+        Builtin::Tolower => Ok((a0 as u8).to_ascii_lowercase() as i64),
+        Builtin::Atoi => {
+            let mut i = 0u64;
+            let mut value: i64 = 0;
+            let mut sign = 1i64;
+            let mut seen_digit = false;
+            loop {
+                m.charge(1)?;
+                let p = m.g_ptr_add(a0 as u64, i as i64);
+                let b = m.g_load(p, AccessSize::B1)? as u8;
+                match b {
+                    b' ' | b'\t' if !seen_digit && sign == 1 && value == 0 && i < 64 => {}
+                    b'-' if !seen_digit && value == 0 && sign == 1 => sign = -1,
+                    b'+' if !seen_digit && value == 0 => {}
+                    b'0'..=b'9' => {
+                        seen_digit = true;
+                        value = value.wrapping_mul(10).wrapping_add((b - b'0') as i64);
+                    }
+                    _ => return Ok((sign * value) as i32 as i64),
+                }
+                if i >= SCAN_CAP {
+                    return Ok((sign * value) as i32 as i64);
+                }
+                i += 1;
+            }
+        }
+        Builtin::ReadInput => {
+            let cap = a1.max(0) as u64;
+            let Some(chunk) = m.pop_input() else {
+                return Ok(-1);
+            };
+            let n = (chunk.len() as u64).min(cap);
+            for (i, b) in chunk.iter().take(n as usize).enumerate() {
+                m.charge(1)?;
+                let d = m.g_ptr_add(a0 as u64, i as i64);
+                m.g_store(d, AccessSize::B1, *b as u64)?;
+            }
+            m.charge_io(n);
+            Ok(n as i64)
+        }
+        Builtin::EmitOutput => {
+            let n = a1.max(0) as u64;
+            let mut bytes = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                m.charge(1)?;
+                let s = m.g_ptr_add(a0 as u64, i as i64);
+                bytes.push(m.g_load(s, AccessSize::B1)? as u8);
+            }
+            m.push_output(&bytes);
+            m.charge_io(n);
+            Ok(0)
+        }
+        Builtin::IoWait => {
+            m.charge_io(a0.max(0) as u64);
+            Ok(0)
+        }
+    }
+}
+
+/// Length of the NUL-terminated string at `s` (guest-checked scan).
+fn scan_nul(m: &mut Machine, s: u64) -> Result<u64, VmFault> {
+    let mut i = 0u64;
+    loop {
+        m.charge(1)?;
+        let p = m.g_ptr_add(s, i as i64);
+        let b = m.g_load(p, AccessSize::B1)? as u8;
+        if b == 0 || i >= SCAN_CAP {
+            return Ok(i);
+        }
+        i += 1;
+    }
+}
+
+/// Copies bytes from `src` to `dst` up to and including the NUL (bounded
+/// by `limit` bytes); returns the number of bytes copied (excluding any
+/// byte past `limit`).
+fn copy_cstring(m: &mut Machine, dst: u64, src: u64, limit: u64) -> Result<u64, VmFault> {
+    let mut i = 0u64;
+    while i < limit {
+        m.charge(1)?;
+        let s = m.g_ptr_add(src, i as i64);
+        let d = m.g_ptr_add(dst, i as i64);
+        let b = m.g_load(s, AccessSize::B1)?;
+        m.g_store(d, AccessSize::B1, b)?;
+        i += 1;
+        if b & 0xFF == 0 {
+            return Ok(i);
+        }
+        if i >= SCAN_CAP {
+            return Ok(i);
+        }
+    }
+    Ok(i)
+}
+
+/// Copies at most `limit` bytes stopping *before* the NUL; returns bytes
+/// copied.
+fn copy_bytes_until_nul(m: &mut Machine, dst: u64, src: u64, limit: u64) -> Result<u64, VmFault> {
+    let mut i = 0u64;
+    while i < limit && i < SCAN_CAP {
+        m.charge(1)?;
+        let s = m.g_ptr_add(src, i as i64);
+        let b = m.g_load(s, AccessSize::B1)? as u8;
+        if b == 0 {
+            break;
+        }
+        let d = m.g_ptr_add(dst, i as i64);
+        m.g_store(d, AccessSize::B1, b as u64)?;
+        i += 1;
+    }
+    Ok(i)
+}
+
+/// Lexicographic comparison of guest strings (at most `limit` bytes).
+fn cmp_cstrings(m: &mut Machine, a: u64, b: u64, limit: u64) -> Result<i64, VmFault> {
+    let mut i = 0u64;
+    while i < limit && i < SCAN_CAP {
+        m.charge(1)?;
+        let pa = m.g_ptr_add(a, i as i64);
+        let pb = m.g_ptr_add(b, i as i64);
+        let ba = m.g_load(pa, AccessSize::B1)? as u8;
+        let bb = m.g_load(pb, AccessSize::B1)? as u8;
+        if ba != bb {
+            return Ok(if ba < bb { -1 } else { 1 });
+        }
+        if ba == 0 {
+            return Ok(0);
+        }
+        i += 1;
+    }
+    Ok(0)
+}

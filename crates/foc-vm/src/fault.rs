@@ -1,0 +1,104 @@
+//! The fault taxonomy: how executions end abnormally.
+
+use std::fmt;
+
+use foc_memory::MemFault;
+
+/// Abnormal termination of a guest execution.
+///
+/// The experiment drivers classify these into the paper's observed
+/// behaviours: Standard versions "terminate with a segmentation
+/// violation", Bounds Check versions "exit with a memory error", and so
+/// on. A machine that faults is dead — the process crashed — and must be
+/// recreated (the restart the paper's §4.7 discusses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmFault {
+    /// A memory-substrate fault (segmentation violation, memory error,
+    /// stack smash, allocator corruption...).
+    Mem(MemFault),
+    /// The guest executed `abort()`.
+    Abort,
+    /// The guest executed `exit(code)`. Not a crash, but it does end the
+    /// process; drivers decide how to interpret the code.
+    Exit(i32),
+    /// Integer division or remainder by zero (SIGFPE).
+    DivideByZero,
+    /// The per-call instruction budget ran out: the computation is
+    /// considered non-terminating (the infinite-loop damage class of
+    /// §1.2).
+    FuelExhausted,
+    /// `call` was issued for an unknown function name.
+    NoSuchFunction(String),
+    /// `call` was issued on a machine that already faulted.
+    MachineDead,
+}
+
+impl fmt::Display for VmFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmFault::Mem(m) => write!(f, "{m}"),
+            VmFault::Abort => write!(f, "abort() called"),
+            VmFault::Exit(c) => write!(f, "exit({c}) called"),
+            VmFault::DivideByZero => write!(f, "division by zero"),
+            VmFault::FuelExhausted => {
+                write!(f, "instruction budget exhausted (likely infinite loop)")
+            }
+            VmFault::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            VmFault::MachineDead => write!(f, "machine already faulted"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+impl From<MemFault> for VmFault {
+    fn from(m: MemFault) -> VmFault {
+        VmFault::Mem(m)
+    }
+}
+
+impl VmFault {
+    /// Whether this fault models a process crash (as opposed to a clean
+    /// `exit`).
+    pub fn is_crash(&self) -> bool {
+        !matches!(self, VmFault::Exit(_))
+    }
+
+    /// Whether this is the Bounds-Check compiler's terminate-on-memory-
+    /// error behaviour.
+    pub fn is_memory_error(&self) -> bool {
+        matches!(self, VmFault::Mem(MemFault::MemoryError { .. }))
+    }
+
+    /// Whether this models a hardware-level memory crash (segfault, stack
+    /// smash, heap corruption abort) — the Standard compiler's failure
+    /// modes.
+    pub fn is_segfault_like(&self) -> bool {
+        matches!(
+            self,
+            VmFault::Mem(MemFault::Segv { .. } | MemFault::StackSmashed { .. } | MemFault::Heap(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_memory::HeapError;
+
+    #[test]
+    fn classification() {
+        assert!(VmFault::Abort.is_crash());
+        assert!(!VmFault::Exit(0).is_crash());
+        assert!(VmFault::Mem(MemFault::Segv { addr: 4 }).is_segfault_like());
+        assert!(VmFault::Mem(MemFault::Heap(HeapError::OutOfMemory)).is_segfault_like());
+        assert!(VmFault::Mem(MemFault::MemoryError {
+            kind: foc_memory::ErrorKind::InvalidWrite,
+            addr: 0,
+            referent: None,
+            func: 0,
+            pc: 0,
+        })
+        .is_memory_error());
+    }
+}

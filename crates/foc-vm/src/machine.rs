@@ -1,0 +1,969 @@
+//! The interpreter.
+
+use std::collections::VecDeque;
+
+use foc_compiler::{CompiledProgram, Instr};
+use foc_memory::{AccessCtx, AccessSize, MemConfig, MemorySpace};
+
+use crate::builtins;
+use crate::cost;
+use crate::fault::VmFault;
+
+/// Machine construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Memory substrate configuration (mode, region sizes, sequence...).
+    pub mem: MemConfig,
+    /// Instruction budget per [`Machine::call`]; exceeding it raises
+    /// [`VmFault::FuelExhausted`].
+    pub fuel_per_call: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem: MemConfig::default(),
+            fuel_per_call: 200_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Config with the given memory mode and defaults elsewhere.
+    pub fn with_mode(mode: foc_memory::Mode) -> MachineConfig {
+        MachineConfig {
+            mem: MemConfig::with_mode(mode),
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Execution counters (monotone across calls).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Instructions interpreted.
+    pub instrs: u64,
+    /// Virtual cycles charged (includes I/O).
+    pub cycles: u64,
+    /// Cycles attributable to modelled I/O alone.
+    pub io_cycles: u64,
+    /// Guest function calls executed.
+    pub calls: u64,
+}
+
+/// An active call frame.
+#[derive(Debug)]
+struct Frame {
+    func: u32,
+    pc: u32,
+    frame_base: u64,
+    stack_floor: usize,
+}
+
+/// A loaded guest program with its memory space and execution state.
+///
+/// A machine models one OS process: after any fault it is dead and every
+/// further call fails with [`VmFault::MachineDead`] — restarting means
+/// building a fresh machine, losing all in-memory state, exactly like the
+/// process restarts discussed in §4.7 of the paper.
+pub struct Machine {
+    program: CompiledProgram,
+    space: MemorySpace,
+    global_addrs: Vec<u64>,
+    string_addrs: Vec<u64>,
+    stack: Vec<i64>,
+    frames: Vec<Frame>,
+    input: VecDeque<Vec<u8>>,
+    output: Vec<u8>,
+    fuel_per_call: u64,
+    fuel: u64,
+    stats: RunStats,
+    dead: Option<VmFault>,
+    checked: bool,
+}
+
+impl Machine {
+    /// Loads a compiled program: allocates globals and string literals and
+    /// applies relocations.
+    pub fn load(program: CompiledProgram, config: MachineConfig) -> Result<Machine, VmFault> {
+        let mut space = MemorySpace::new(config.mem);
+        let checked = space.mode().is_checked();
+        let mut string_addrs = Vec::with_capacity(program.strings.len());
+        for (i, s) in program.strings.iter().enumerate() {
+            let addr = space.alloc_global_bytes(s, &format!("$str{i}"))?;
+            string_addrs.push(addr);
+        }
+        let mut global_addrs = Vec::with_capacity(program.globals.len());
+        for g in &program.globals {
+            let addr = space.alloc_global(g.size, &g.name)?;
+            let ok = space.write_bytes_raw(addr, &g.init);
+            debug_assert!(ok, "global image must fit its allocation");
+            for &(off, sid) in &g.relocs {
+                let ok = space.write_raw(addr + off, AccessSize::B8, string_addrs[sid as usize]);
+                debug_assert!(ok);
+            }
+            global_addrs.push(addr);
+        }
+        Ok(Machine {
+            program,
+            space,
+            global_addrs,
+            string_addrs,
+            stack: Vec::with_capacity(256),
+            frames: Vec::with_capacity(64),
+            input: VecDeque::new(),
+            output: Vec::new(),
+            fuel_per_call: config.fuel_per_call,
+            fuel: 0,
+            stats: RunStats::default(),
+            dead: None,
+            checked,
+        })
+    }
+
+    /// Compiles and loads MiniC source in one step.
+    pub fn from_source(source: &str, config: MachineConfig) -> Result<Machine, String> {
+        let program = foc_compiler::compile_source(source)?;
+        Machine::load(program, config).map_err(|e| e.to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Host interface.
+    // ------------------------------------------------------------------
+
+    /// The memory space (error log, stats, mode).
+    pub fn space(&self) -> &MemorySpace {
+        &self.space
+    }
+
+    /// Mutable access to the memory space.
+    pub fn space_mut(&mut self) -> &mut MemorySpace {
+        &mut self.space
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Why the machine died, if it did.
+    pub fn dead_reason(&self) -> Option<&VmFault> {
+        self.dead.as_ref()
+    }
+
+    /// Whether the machine has faulted.
+    pub fn is_dead(&self) -> bool {
+        self.dead.is_some()
+    }
+
+    /// Queues one input message for `read_input`.
+    pub fn push_input(&mut self, bytes: impl Into<Vec<u8>>) {
+        self.input.push_back(bytes.into());
+    }
+
+    /// Drains and returns everything the guest has written.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Borrows the pending output.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Allocates a guest buffer holding `bytes` plus a NUL terminator,
+    /// returning its address (driver-side `strdup` into the guest).
+    pub fn alloc_cstring(&mut self, bytes: &[u8]) -> Result<u64, VmFault> {
+        let p = self.space.malloc(bytes.len() as u64 + 1)?;
+        let ok = self.space.write_bytes_raw(p, bytes);
+        debug_assert!(ok);
+        let ok = self
+            .space
+            .write_raw(p + bytes.len() as u64, AccessSize::B1, 0);
+        debug_assert!(ok);
+        Ok(p)
+    }
+
+    /// Frees a driver-allocated guest buffer.
+    pub fn free_guest(&mut self, addr: u64) -> Result<(), VmFault> {
+        self.space.free(addr, AccessCtx::default())?;
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated guest string (raw host access).
+    pub fn read_cstring(&self, addr: u64) -> Vec<u8> {
+        self.space
+            .read_cstring_raw(addr, 1 << 20)
+            .unwrap_or_default()
+    }
+
+    /// Calls a guest function by name with integer/pointer arguments,
+    /// running it to completion.
+    pub fn call(&mut self, name: &str, args: &[i64]) -> Result<i64, VmFault> {
+        if let Some(f) = &self.dead {
+            return Err(match f {
+                VmFault::Exit(c) => VmFault::Exit(*c),
+                _ => VmFault::MachineDead,
+            });
+        }
+        let Some(fid) = self.program.func_index(name) else {
+            return Err(VmFault::NoSuchFunction(name.to_owned()));
+        };
+        self.fuel = self.fuel_per_call;
+        debug_assert!(self.frames.is_empty());
+        self.stack.clear();
+        match self.run_call(fid, args) {
+            Ok(v) => Ok(v),
+            Err(fault) => {
+                self.dead = Some(fault.clone());
+                Err(fault)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core interpreter.
+    // ------------------------------------------------------------------
+
+    fn run_call(&mut self, fid: u32, args: &[i64]) -> Result<i64, VmFault> {
+        self.enter(fid, args)?;
+        loop {
+            let depth = self.frames.len();
+            let frame = self.frames.last().expect("active frame");
+            let func = frame.func;
+            let pc = frame.pc;
+            let instr = self.program.funcs[func as usize].code[pc as usize];
+            self.frames.last_mut().expect("active frame").pc = pc + 1;
+
+            if self.fuel == 0 {
+                return Err(VmFault::FuelExhausted);
+            }
+            self.fuel -= 1;
+            self.stats.instrs += 1;
+            self.stats.cycles += cost::BASE;
+
+            match instr {
+                Instr::Const(v) => self.stack.push(v),
+                Instr::Dup => {
+                    let v = *self.stack.last().expect("dup on empty stack");
+                    self.stack.push(v);
+                }
+                Instr::Drop => {
+                    self.stack.pop().expect("drop on empty stack");
+                }
+                Instr::Swap => {
+                    let n = self.stack.len();
+                    self.stack.swap(n - 1, n - 2);
+                }
+                Instr::Rot3 => {
+                    // [a, b, c] (c on top) → [b, c, a].
+                    let n = self.stack.len();
+                    let a = self.stack[n - 3];
+                    self.stack[n - 3] = self.stack[n - 2];
+                    self.stack[n - 2] = self.stack[n - 1];
+                    self.stack[n - 1] = a;
+                }
+                Instr::LocalAddr(off) => {
+                    let base = self.frames.last().expect("frame").frame_base;
+                    self.stack.push((base + off as u64) as i64);
+                }
+                Instr::GlobalAddr(i) => {
+                    self.stack.push(self.global_addrs[i as usize] as i64);
+                }
+                Instr::StrAddr(i) => {
+                    self.stack.push(self.string_addrs[i as usize] as i64);
+                }
+                Instr::Load(size, signed) => {
+                    let addr = self.pop() as u64;
+                    let raw = self.g_load(addr, size)?;
+                    self.stack.push(extend(raw, size, signed));
+                }
+                Instr::Store(size) => {
+                    let addr = self.pop() as u64;
+                    let value = self.pop();
+                    self.g_store(addr, size, value as u64)?;
+                }
+                Instr::LoadLocal(off, size, signed) => {
+                    let base = self.frames.last().expect("frame").frame_base;
+                    let raw = self
+                        .space
+                        .read_raw(base + off as u64, size)
+                        .expect("local slot is mapped");
+                    self.stack.push(extend(raw, size, signed));
+                }
+                Instr::StoreLocal(off, size) => {
+                    let value = self.pop();
+                    let base = self.frames.last().expect("frame").frame_base;
+                    let ok = self.space.write_raw(base + off as u64, size, value as u64);
+                    debug_assert!(ok, "local slot is mapped");
+                }
+                Instr::Add => self.bin(|a, b| a.wrapping_add(b)),
+                Instr::Sub => self.bin(|a, b| a.wrapping_sub(b)),
+                Instr::Mul => self.bin(|a, b| a.wrapping_mul(b)),
+                Instr::DivS => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    if b == 0 {
+                        return Err(VmFault::DivideByZero);
+                    }
+                    self.stack.push(a.overflowing_div(b).0);
+                }
+                Instr::DivU => {
+                    let b = self.pop() as u64;
+                    let a = self.pop() as u64;
+                    if b == 0 {
+                        return Err(VmFault::DivideByZero);
+                    }
+                    self.stack.push((a / b) as i64);
+                }
+                Instr::RemS => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    if b == 0 {
+                        return Err(VmFault::DivideByZero);
+                    }
+                    self.stack.push(a.overflowing_rem(b).0);
+                }
+                Instr::RemU => {
+                    let b = self.pop() as u64;
+                    let a = self.pop() as u64;
+                    if b == 0 {
+                        return Err(VmFault::DivideByZero);
+                    }
+                    self.stack.push((a % b) as i64);
+                }
+                Instr::And => self.bin(|a, b| a & b),
+                Instr::Or => self.bin(|a, b| a | b),
+                Instr::Xor => self.bin(|a, b| a ^ b),
+                Instr::Shl => self.bin(|a, b| a.wrapping_shl(b as u32 & 63)),
+                Instr::ShrS => self.bin(|a, b| a.wrapping_shr(b as u32 & 63)),
+                Instr::ShrU => self.bin(|a, b| ((a as u64).wrapping_shr(b as u32 & 63)) as i64),
+                Instr::Eq => self.bin(|a, b| (a == b) as i64),
+                Instr::Ne => self.bin(|a, b| (a != b) as i64),
+                Instr::LtS => self.bin(|a, b| (a < b) as i64),
+                Instr::LeS => self.bin(|a, b| (a <= b) as i64),
+                Instr::GtS => self.bin(|a, b| (a > b) as i64),
+                Instr::GeS => self.bin(|a, b| (a >= b) as i64),
+                Instr::LtU => self.bin(|a, b| ((a as u64) < b as u64) as i64),
+                Instr::LeU => self.bin(|a, b| (a as u64 <= b as u64) as i64),
+                Instr::GtU => self.bin(|a, b| (a as u64 > b as u64) as i64),
+                Instr::GeU => self.bin(|a, b| (a as u64 >= b as u64) as i64),
+                Instr::Neg => {
+                    let v = self.pop();
+                    self.stack.push(v.wrapping_neg());
+                }
+                Instr::BitNot => {
+                    let v = self.pop();
+                    self.stack.push(!v);
+                }
+                Instr::Not => {
+                    let v = self.pop();
+                    self.stack.push((v == 0) as i64);
+                }
+                Instr::Normalize(size, signed) => {
+                    let v = self.pop();
+                    self.stack.push(extend(v as u64, size, signed));
+                }
+                Instr::EffAddr => {
+                    let v = self.pop() as u64;
+                    self.stack.push(self.space.effective_addr(v) as i64);
+                }
+                Instr::PtrAdd(esz) => {
+                    let count = self.pop();
+                    let ptr = self.pop() as u64;
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let delta = count.wrapping_mul(esz as i64);
+                    let out = self.space.ptr_add(ptr, delta);
+                    self.stack.push(out as i64);
+                }
+                Instr::PtrDiff(esz) => {
+                    let rhs = self.pop() as u64;
+                    let lhs = self.pop() as u64;
+                    let l = self.space.effective_addr(lhs) as i64;
+                    let r = self.space.effective_addr(rhs) as i64;
+                    self.stack.push(l.wrapping_sub(r) / esz.max(1) as i64);
+                }
+                Instr::Jump(t) => {
+                    self.frames.last_mut().expect("frame").pc = t;
+                }
+                Instr::JumpIfZero(t) => {
+                    if self.pop() == 0 {
+                        self.frames.last_mut().expect("frame").pc = t;
+                    }
+                }
+                Instr::JumpIfNotZero(t) => {
+                    if self.pop() != 0 {
+                        self.frames.last_mut().expect("frame").pc = t;
+                    }
+                }
+                Instr::Call(callee) => {
+                    let arity = self.program.funcs[callee as usize].param_count;
+                    let split = self.stack.len() - arity;
+                    let args: Vec<i64> = self.stack.split_off(split);
+                    self.enter(callee, &args)?;
+                }
+                Instr::CallBuiltin(b) => {
+                    let result = builtins::dispatch(self, b)?;
+                    self.stack.push(result);
+                }
+                Instr::Ret => {
+                    let ret = self.pop();
+                    self.space.pop_frame()?;
+                    let fr = self.frames.pop().expect("frame");
+                    self.stack.truncate(fr.stack_floor);
+                    if depth == 1 {
+                        return Ok(ret);
+                    }
+                    self.stack.push(ret);
+                }
+            }
+        }
+    }
+
+    fn enter(&mut self, fid: u32, args: &[i64]) -> Result<(), VmFault> {
+        let func = &self.program.funcs[fid as usize];
+        debug_assert_eq!(
+            args.len(),
+            func.param_count,
+            "arity mismatch in `{}`",
+            func.name
+        );
+        self.stats.calls += 1;
+        self.stats.cycles += cost::CALL_EXTRA;
+        if self.checked {
+            self.stats.cycles += func.frame.slots.len() as u64 * cost::LOCAL_REG_EXTRA;
+        }
+        let total = func.frame.total;
+        let base = self.space.push_frame(total)?;
+        // Registration and parameter copy-in read the layout; clone the
+        // small slot table to sidestep borrowing `self.program` across
+        // `self.space` calls.
+        let slots: Vec<(u64, u64)> = func.frame.slots.clone();
+        let param_count = func.param_count;
+        for &(off, size) in &slots {
+            self.space.register_local(base, off, size);
+        }
+        for (i, &arg) in args.iter().enumerate().take(param_count) {
+            let (off, size) = slots[i];
+            let acc = AccessSize::from_bytes(size.min(8).max(1).next_power_of_two().min(8));
+            let ok = self.space.write_raw(base + off, acc, arg as u64);
+            debug_assert!(ok, "parameter slot must be mapped");
+        }
+        self.frames.push(Frame {
+            func: fid,
+            pc: 0,
+            frame_base: base,
+            stack_floor: self.stack.len(),
+        });
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&mut self) -> i64 {
+        self.stack.pop().expect("evaluation stack underflow")
+    }
+
+    /// Pops one value (builtin argument marshalling).
+    pub(crate) fn pop_value(&mut self) -> i64 {
+        self.pop()
+    }
+
+    #[inline]
+    fn bin(&mut self, f: impl Fn(i64, i64) -> i64) {
+        let b = self.pop();
+        let a = self.pop();
+        self.stack.push(f(a, b));
+    }
+
+    pub(crate) fn ctx(&self) -> AccessCtx {
+        match self.frames.last() {
+            Some(f) => AccessCtx {
+                func: f.func,
+                pc: f.pc,
+            },
+            None => AccessCtx::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest-semantic accesses (shared with builtins).
+    // ------------------------------------------------------------------
+
+    /// Checked guest load (policy applies), charging cycles.
+    pub(crate) fn g_load(&mut self, addr: u64, size: AccessSize) -> Result<u64, VmFault> {
+        if self.checked {
+            self.stats.cycles += cost::MEM_CHECK_EXTRA;
+        }
+        let ctx = self.ctx();
+        let out = self.space.load(addr, size, ctx)?;
+        if out.violation {
+            self.stats.cycles += cost::VIOLATION_EXTRA;
+        }
+        Ok(out.value)
+    }
+
+    /// Checked guest store (policy applies), charging cycles.
+    pub(crate) fn g_store(
+        &mut self,
+        addr: u64,
+        size: AccessSize,
+        value: u64,
+    ) -> Result<(), VmFault> {
+        if self.checked {
+            self.stats.cycles += cost::MEM_CHECK_EXTRA;
+        }
+        let ctx = self.ctx();
+        let out = self.space.store(addr, size, value, ctx)?;
+        if out.violation {
+            self.stats.cycles += cost::VIOLATION_EXTRA;
+        }
+        Ok(())
+    }
+
+    /// Checked pointer arithmetic (for pointers produced by builtins).
+    pub(crate) fn g_ptr_add(&mut self, ptr: u64, delta: i64) -> u64 {
+        if self.checked {
+            self.stats.cycles += cost::PTR_CHECK_EXTRA;
+        }
+        self.space.ptr_add(ptr, delta)
+    }
+
+    /// Charges `n` budgeted instructions from within a builtin loop.
+    pub(crate) fn charge(&mut self, n: u64) -> Result<(), VmFault> {
+        self.stats.instrs += n;
+        self.stats.cycles += n * cost::BASE;
+        if self.fuel < n {
+            self.fuel = 0;
+            return Err(VmFault::FuelExhausted);
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    /// Charges modelled I/O time.
+    pub(crate) fn charge_io(&mut self, bytes: u64) {
+        let c = cost::IO_LATENCY + bytes * cost::IO_PER_BYTE;
+        self.stats.cycles += c;
+        self.stats.io_cycles += c;
+    }
+
+    pub(crate) fn pop_input(&mut self) -> Option<Vec<u8>> {
+        self.input.pop_front()
+    }
+
+    pub(crate) fn push_output(&mut self, bytes: &[u8]) {
+        self.output.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn push_output_byte(&mut self, b: u8) {
+        self.output.push(b);
+    }
+}
+
+/// Sign- or zero-extends the low `size` bytes of `raw`.
+#[inline]
+fn extend(raw: u64, size: AccessSize, signed: bool) -> i64 {
+    match (size, signed) {
+        (AccessSize::B1, true) => raw as u8 as i8 as i64,
+        (AccessSize::B1, false) => raw as u8 as i64,
+        (AccessSize::B2, true) => raw as u16 as i16 as i64,
+        (AccessSize::B2, false) => raw as u16 as i64,
+        (AccessSize::B4, true) => raw as u32 as i32 as i64,
+        (AccessSize::B4, false) => raw as u32 as i64,
+        (AccessSize::B8, _) => raw as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foc_memory::Mode;
+
+    fn run(src: &str, func: &str, args: &[i64]) -> i64 {
+        run_mode(src, func, args, Mode::BoundsCheck)
+    }
+
+    fn run_mode(src: &str, func: &str, args: &[i64], mode: Mode) -> i64 {
+        let mut m = Machine::from_source(src, MachineConfig::with_mode(mode)).expect("compile");
+        match m.call(func, args) {
+            Ok(v) => v,
+            Err(e) => panic!("run failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(run("int f() { return 2 + 3 * 4; }", "f", &[]), 14);
+        assert_eq!(
+            run("int f(int a, int b) { return a - b; }", "f", &[10, 4]),
+            6
+        );
+        assert_eq!(run("int f() { return 7 / 2; }", "f", &[]), 3);
+        assert_eq!(run("int f() { return -7 / 2; }", "f", &[]), -3);
+        assert_eq!(run("int f() { return 7 % 3; }", "f", &[]), 1);
+    }
+
+    #[test]
+    fn unsigned_vs_signed_division() {
+        assert_eq!(
+            run(
+                "int f(unsigned int a, unsigned int b) { return a / b; }",
+                "f",
+                &[0xFFFF_FFF0u32 as i64, 2]
+            ),
+            0x7FFF_FFF8
+        );
+        assert_eq!(
+            run("int f(int a, int b) { return a / b; }", "f", &[-16, 2]),
+            -8
+        );
+    }
+
+    #[test]
+    fn char_sign_extension_matters() {
+        // The Sendmail-critical behaviour: a char holding 0xFF compares
+        // equal to -1 after promotion to int.
+        let src = "int f() { char c = 0xFF; if (c == -1) return 1; return 0; }";
+        assert_eq!(run(src, "f", &[]), 1);
+        let src = "int f() { unsigned char c = 0xFF; if (c == -1) return 1; return 0; }";
+        assert_eq!(run(src, "f", &[]), 0);
+    }
+
+    #[test]
+    fn locals_arrays_and_loops() {
+        let src = "int f(int n) {\n\
+                     int i; int acc = 0; int xs[16];\n\
+                     for (i = 0; i < n; i++) xs[i] = i * i;\n\
+                     for (i = 0; i < n; i++) acc += xs[i];\n\
+                     return acc;\n\
+                   }";
+        assert_eq!(run(src, "f", &[5]), 1 + 4 + 9 + 16);
+    }
+
+    #[test]
+    fn pointers_and_deref() {
+        let src = "int f() {\n\
+                     int x = 5;\n\
+                     int *p = &x;\n\
+                     *p = 9;\n\
+                     return x + *p;\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 18);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let src = "long fact(long n) { if (n <= 1) return 1; return n * fact(n - 1); }";
+        assert_eq!(run(src, "fact", &[10]), 3_628_800);
+    }
+
+    #[test]
+    fn struct_fields_round_trip() {
+        let src = "struct pt { int x; int y; char name[8]; };\n\
+                   int f() {\n\
+                     struct pt p;\n\
+                     p.x = 3; p.y = 4;\n\
+                     p.name[0] = 'a';\n\
+                     struct pt *q = &p;\n\
+                     q->y = 40;\n\
+                     return p.x + p.y + p.name[0];\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 3 + 40 + 97);
+    }
+
+    #[test]
+    fn globals_and_string_literals() {
+        let src = "int counter = 100;\n\
+                   char tab[4] = \"ab\";\n\
+                   char *msg = \"xyz\";\n\
+                   int f() {\n\
+                     counter += 1;\n\
+                     return counter + tab[1] + msg[2];\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 101 + 98 + 122);
+    }
+
+    #[test]
+    fn global_state_persists_across_calls() {
+        let src = "int n = 0; int bump() { n += 1; return n; }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        assert_eq!(m.call("bump", &[]).unwrap(), 1);
+        assert_eq!(m.call("bump", &[]).unwrap(), 2);
+        assert_eq!(m.call("bump", &[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn malloc_free_round_trip() {
+        let src = "int f() {\n\
+                     int *p = (int *) malloc(10 * sizeof(int));\n\
+                     int i;\n\
+                     for (i = 0; i < 10; i++) p[i] = i;\n\
+                     int acc = 0;\n\
+                     for (i = 0; i < 10; i++) acc += p[i];\n\
+                     free(p);\n\
+                     return acc;\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 45);
+    }
+
+    #[test]
+    fn string_builtins() {
+        let src = "int f() {\n\
+                     char buf[32];\n\
+                     strcpy(buf, \"hello\");\n\
+                     strcat(buf, \" world\");\n\
+                     return strlen(buf) + (strcmp(buf, \"hello world\") == 0 ? 100 : 0);\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 11 + 100);
+    }
+
+    #[test]
+    fn strchr_returns_usable_pointer() {
+        let src = "int f() {\n\
+                     char *s = \"path/to/file\";\n\
+                     char *p = strchr(s, '/');\n\
+                     if (!p) return -1;\n\
+                     return p - s;\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 4);
+    }
+
+    #[test]
+    fn memcpy_memset_memcmp() {
+        let src = "int f() {\n\
+                     char a[16]; char b[16];\n\
+                     memset(a, 'x', 16);\n\
+                     memcpy(b, a, 16);\n\
+                     return memcmp(a, b, 16) == 0 && b[15] == 'x';\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 1);
+    }
+
+    #[test]
+    fn output_and_input_builtins() {
+        let src = "int echo() {\n\
+                     char buf[64];\n\
+                     long n = read_input(buf, 63);\n\
+                     if (n <= 0) return -1;\n\
+                     buf[n] = '\\0';\n\
+                     print_str(buf);\n\
+                     print_int(n);\n\
+                     return (int) n;\n\
+                   }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        m.push_input(b"ping".to_vec());
+        assert_eq!(m.call("echo", &[]).unwrap(), 4);
+        assert_eq!(m.take_output(), b"ping4".to_vec());
+        // EOF returns -1.
+        assert_eq!(m.call("echo", &[]).unwrap(), -1);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let src = "int f(int c) {\n\
+                     int r = 0;\n\
+                     switch (c) {\n\
+                       case 1: r = 10; break;\n\
+                       case 2: r = 20; /* fall through */\n\
+                       case 3: r += 1; break;\n\
+                       default: r = -1;\n\
+                     }\n\
+                     return r;\n\
+                   }";
+        assert_eq!(run(src, "f", &[1]), 10);
+        assert_eq!(run(src, "f", &[2]), 21);
+        assert_eq!(run(src, "f", &[3]), 1);
+        assert_eq!(run(src, "f", &[9]), -1);
+    }
+
+    #[test]
+    fn goto_figure1_bail_pattern() {
+        let src = "int f(int x) {\n\
+                     int *buf = (int *) malloc(4);\n\
+                     if (x < 0) goto bail;\n\
+                     *buf = x;\n\
+                     int v = *buf;\n\
+                     free(buf);\n\
+                     return v;\n\
+                   bail:\n\
+                     free(buf);\n\
+                     return -1;\n\
+                   }";
+        assert_eq!(run(src, "f", &[7]), 7);
+        assert_eq!(run(src, "f", &[-3]), -1);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let src = "int f(int d) { return 10 / d; }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        assert_eq!(m.call("f", &[0]), Err(VmFault::DivideByZero));
+        assert!(m.is_dead());
+        assert_eq!(m.call("f", &[2]), Err(VmFault::MachineDead));
+    }
+
+    #[test]
+    fn fuel_exhaustion_detects_infinite_loops() {
+        let src = "int f() { while (1) {} return 0; }";
+        let mut m = Machine::from_source(
+            src,
+            MachineConfig {
+                fuel_per_call: 10_000,
+                ..MachineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.call("f", &[]), Err(VmFault::FuelExhausted));
+    }
+
+    #[test]
+    fn exit_and_abort() {
+        let src = "int f(int x) { if (x) exit(3); abort(); return 0; }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        assert_eq!(m.call("f", &[1]), Err(VmFault::Exit(3)));
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        assert_eq!(m.call("f", &[0]), Err(VmFault::Abort));
+    }
+
+    #[test]
+    fn stack_overflow_from_unbounded_recursion() {
+        let src = "int f(int n) { char pad[512]; pad[0] = (char) n; return f(n + 1) + pad[0]; }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        let err = m.call("f", &[0]).unwrap_err();
+        assert_eq!(err, VmFault::Mem(foc_memory::MemFault::StackOverflow));
+    }
+
+    #[test]
+    fn overflow_behaviour_differs_by_mode() {
+        // Classic stack smash: write 64 bytes into an 8-byte buffer. `i`
+        // is declared first so it sits below the buffer and the overflow
+        // runs upward into the frame guard, not into the loop counter.
+        let src = "int f() {\n\
+                     int i;\n\
+                     char buf[8];\n\
+                     for (i = 0; i < 64; i++) buf[i] = 'A';\n\
+                     return 7;\n\
+                   }";
+        // Standard: the frame canary is trampled → stack smash at return.
+        let mut m = Machine::from_source(src, MachineConfig::with_mode(Mode::Standard)).unwrap();
+        let err = m.call("f", &[]).unwrap_err();
+        assert!(err.is_segfault_like(), "got {err}");
+        // Bounds Check: memory error at the first out-of-bounds store.
+        let mut m = Machine::from_source(src, MachineConfig::with_mode(Mode::BoundsCheck)).unwrap();
+        let err = m.call("f", &[]).unwrap_err();
+        assert!(err.is_memory_error(), "got {err}");
+        // Failure-oblivious: writes discarded, function completes.
+        let mut m =
+            Machine::from_source(src, MachineConfig::with_mode(Mode::FailureOblivious)).unwrap();
+        assert_eq!(m.call("f", &[]).unwrap(), 7);
+        assert_eq!(m.space().error_log().total_writes(), 64 - 8);
+    }
+
+    #[test]
+    fn failure_oblivious_reads_get_manufactured_sequence() {
+        let src = "int f() {\n\
+                     int xs[2];\n\
+                     xs[0] = 11; xs[1] = 22;\n\
+                     return xs[5];\n\
+                   }";
+        let mut m =
+            Machine::from_source(src, MachineConfig::with_mode(Mode::FailureOblivious)).unwrap();
+        assert_eq!(m.call("f", &[]).unwrap(), 0); // first manufactured value
+        assert_eq!(m.call("f", &[]).unwrap(), 1); // second
+        assert_eq!(m.call("f", &[]).unwrap(), 2); // third
+    }
+
+    #[test]
+    fn comparisons_on_oob_pointers_work() {
+        // CRED semantics: one-past-end pointers participate in arithmetic
+        // and comparisons without faulting.
+        let src = "int f() {\n\
+                     char buf[4];\n\
+                     char *p = buf;\n\
+                     char *end = buf + 4;\n\
+                     int n = 0;\n\
+                     while (p < end) { *p = 'x'; p++; n++; }\n\
+                     return n + (end - buf);\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 8);
+        assert_eq!(run_mode(src, "f", &[], Mode::FailureOblivious), 8);
+        assert_eq!(run_mode(src, "f", &[], Mode::Standard), 8);
+    }
+
+    #[test]
+    fn virtual_clock_charges_more_for_checked_modes() {
+        let src = "int f() {\n\
+                     int xs[64]; int i; int acc = 0;\n\
+                     for (i = 0; i < 64; i++) xs[i] = i;\n\
+                     for (i = 0; i < 64; i++) acc += xs[i];\n\
+                     return acc;\n\
+                   }";
+        let mut std = Machine::from_source(src, MachineConfig::with_mode(Mode::Standard)).unwrap();
+        std.call("f", &[]).unwrap();
+        let mut fo =
+            Machine::from_source(src, MachineConfig::with_mode(Mode::FailureOblivious)).unwrap();
+        fo.call("f", &[]).unwrap();
+        assert!(
+            fo.stats().cycles > std.stats().cycles,
+            "checked execution must cost more cycles"
+        );
+        assert_eq!(
+            fo.stats().instrs,
+            std.stats().instrs,
+            "same instruction path"
+        );
+    }
+
+    #[test]
+    fn io_wait_charges_io_cycles() {
+        let src = "int f() { io_wait(1000); return 0; }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        m.call("f", &[]).unwrap();
+        assert!(m.stats().io_cycles >= 1000 * crate::cost::IO_PER_BYTE);
+    }
+
+    #[test]
+    fn driver_cstring_helpers() {
+        let src = "long f(char *s) { return strlen(s); }";
+        let mut m = Machine::from_source(src, MachineConfig::default()).unwrap();
+        let p = m.alloc_cstring(b"four").unwrap();
+        assert_eq!(m.call("f", &[p as i64]).unwrap(), 4);
+        assert_eq!(m.read_cstring(p), b"four".to_vec());
+        m.free_guest(p).unwrap();
+    }
+
+    #[test]
+    fn nested_calls_and_eval_stack_discipline() {
+        let src = "int g(int x) { return x * 2; }\n\
+                   int f(int a) { return g(a) + g(a + 1) * g(a + 2); }";
+        assert_eq!(run(src, "f", &[3]), 6 + 8 * 10);
+    }
+
+    #[test]
+    fn postfix_and_prefix_semantics() {
+        let src = "int f() {\n\
+                     int x = 5;\n\
+                     int a = x++;\n\
+                     int b = ++x;\n\
+                     int c = x--;\n\
+                     int d = --x;\n\
+                     return a * 1000 + b * 100 + c * 10 + d;\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+    }
+
+    #[test]
+    fn pointer_increment_in_expression() {
+        let src = "int f() {\n\
+                     char buf[8];\n\
+                     char *p = buf;\n\
+                     *p++ = 'a';\n\
+                     *p++ = 'b';\n\
+                     *p = '\\0';\n\
+                     return buf[0] * 256 + buf[1];\n\
+                   }";
+        assert_eq!(run(src, "f", &[]), 97 * 256 + 98);
+    }
+}

@@ -1,0 +1,90 @@
+//! Correctness of direct-local "register promotion": scalar locals compile
+//! to unchecked slot accesses, but the *same* local reached through a
+//! pointer must still go through the checked path — and both views must
+//! see the same memory.
+
+use foc_memory::Mode;
+use foc_vm::{Machine, MachineConfig};
+
+fn run(src: &str, f: &str, args: &[i64], mode: Mode) -> i64 {
+    let mut m = Machine::from_source(src, MachineConfig::with_mode(mode)).unwrap();
+    m.call(f, args).unwrap()
+}
+
+#[test]
+fn direct_and_pointer_views_agree() {
+    let src = r#"
+        int f() {
+            int x = 5;
+            int *p = &x;
+            *p = 9;         /* pointer write (checked path) */
+            x = x + 1;      /* direct write (promoted path) */
+            return *p;      /* pointer read must see 10 */
+        }
+    "#;
+    for mode in Mode::ALL {
+        assert_eq!(run(src, "f", &[], mode), 10, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn promoted_access_is_cheaper_but_pointer_access_is_not() {
+    let direct = r#"
+        long f() { long a = 0; int i; for (i = 0; i < 1000; i++) a += i; return a; }
+    "#;
+    let via_ptr = r#"
+        long f() { long a = 0; long *p = &a; int i; for (i = 0; i < 1000; i++) *p += i; return a; }
+    "#;
+    let cycles = |src: &str, mode: Mode| {
+        let mut m = Machine::from_source(src, MachineConfig::with_mode(mode)).unwrap();
+        m.call("f", &[]).unwrap();
+        m.stats().cycles
+    };
+    // Same answer everywhere.
+    for mode in Mode::ALL {
+        assert_eq!(run(direct, "f", &[], mode), run(via_ptr, "f", &[], mode));
+    }
+    // Checking does not tax the scalar-local loop...
+    let d_std = cycles(direct, Mode::Standard);
+    let d_fo = cycles(direct, Mode::FailureOblivious);
+    assert!(
+        (d_fo as f64) < d_std as f64 * 1.2,
+        "direct loop must be nearly check-free: {d_std} vs {d_fo}"
+    );
+    // ...but it does tax the pointer loop.
+    let p_std = cycles(via_ptr, Mode::Standard);
+    let p_fo = cycles(via_ptr, Mode::FailureOblivious);
+    assert!(
+        (p_fo as f64) > p_std as f64 * 1.5,
+        "pointer loop must pay for checks: {p_std} vs {p_fo}"
+    );
+}
+
+#[test]
+fn overflow_spray_cannot_reach_other_units_in_checked_modes() {
+    let src = r#"
+        int f() {
+            int guard = 7;
+            char buf[8];
+            int i;
+            for (i = 0; i < 64; i++) buf[i] = 0x41;
+            return guard;
+        }
+    "#;
+    // FO: guard (a separate data unit) survives the spray.
+    assert_eq!(run(src, "f", &[], Mode::FailureOblivious), 7);
+    // Bounds Check: the first out-of-bounds store faults.
+    let mut m = Machine::from_source(src, MachineConfig::with_mode(Mode::BoundsCheck)).unwrap();
+    assert!(m.call("f", &[]).is_err());
+}
+
+#[test]
+fn address_of_param_works() {
+    let src = r#"
+        void bump(int *p) { *p += 1; }
+        int f(int x) { bump(&x); bump(&x); return x; }
+    "#;
+    for mode in Mode::ALL {
+        assert_eq!(run(src, "f", &[40], mode), 42, "mode {mode:?}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Why the manufactured-value sequence matters (§3): Midnight Commander's
+//! `'/'` scan loop under three different read-continuation strategies.
+//!
+//! "Midnight Commander contains a loop that, for some inputs, searches
+//! past the end of a buffer looking for the '/' character. If the
+//! sequence of generated values does not include this character, the loop
+//! never terminates and Midnight Commander hangs."
+//!
+//! ```text
+//! cargo run --example manufactured_values
+//! ```
+
+use failure_oblivious::memory::{Mode, ValueSequence};
+use failure_oblivious::servers::mc::MC_SOURCE;
+use failure_oblivious::{Machine, MachineConfig, VmFault};
+
+fn main() {
+    let strategies = [
+        (
+            "cycling 0,1,2, 0,1,3, ... (the paper's)",
+            ValueSequence::default(),
+        ),
+        ("always zero", ValueSequence::Zero),
+        ("constant 42", ValueSequence::Constant(42)),
+        ("constant '/' (47)", ValueSequence::Constant(47)),
+    ];
+
+    println!("scanning the path component of \"plainname\" (no '/' present):\n");
+    for (label, seq) in strategies {
+        let mut cfg = MachineConfig::with_mode(Mode::FailureOblivious);
+        cfg.mem.sequence = seq;
+        cfg.fuel_per_call = 3_000_000;
+        let mut m = Machine::from_source(MC_SOURCE, cfg).expect("compile");
+        let p = m.alloc_cstring(b"plainname").expect("alloc");
+        let started = std::time::Instant::now();
+        match m.call("mc_component_end", &[p as i64]) {
+            Ok(idx) => {
+                let oob_reads = m.space().error_log().total_reads();
+                println!(
+                    "  {label:40} -> terminated at index {idx} after {oob_reads} manufactured reads ({:?})",
+                    started.elapsed()
+                );
+            }
+            Err(VmFault::FuelExhausted) => {
+                println!("  {label:40} -> HANGS (instruction budget exhausted)");
+            }
+            Err(e) => println!("  {label:40} -> {e}"),
+        }
+    }
+
+    println!();
+    println!("The cycling sequence iterates through all small integers —");
+    println!("favouring 0 and 1, the most commonly loaded values — so any");
+    println!("read-driven loop condition is eventually satisfied.");
+}

@@ -1,0 +1,183 @@
+//! Property-based tests over the core invariants.
+//!
+//! The central claims under test:
+//!
+//! 1. a failure-oblivious execution **never faults** on memory errors —
+//!    arbitrary pointer abuse is survived;
+//! 2. bounds-checked executions **never corrupt** data outside the
+//!    accessed data unit, whatever the access pattern;
+//! 3. the object table is a faithful interval map under arbitrary
+//!    insert/remove/lookup interleavings;
+//! 4. the allocator never hands out overlapping blocks;
+//! 5. the manufactured-value sequence covers all small integers.
+
+use proptest::prelude::*;
+
+use failure_oblivious::memory::{
+    AccessCtx, AccessSize, BTreeTable, Manufacturer, MemConfig, MemorySpace, Mode, ObjectTable,
+    SplayTable, ValueSequence,
+};
+use failure_oblivious::{Machine, MachineConfig};
+
+const CTX: AccessCtx = AccessCtx { func: 0, pc: 0 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splay and B-tree object tables agree on arbitrary op sequences.
+    #[test]
+    fn object_tables_agree(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..200)) {
+        let mut splay = SplayTable::new();
+        let mut btree = BTreeTable::new();
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (i, (op, slot)) in ops.into_iter().enumerate() {
+            // Non-overlapping 16-byte ranges at 32-byte strides.
+            let base = slot * 32;
+            match op {
+                0 => {
+                    if !live.contains(&base) {
+                        splay.insert(base, 16, failure_oblivious::memory::UnitId(i as u32));
+                        btree.insert(base, 16, failure_oblivious::memory::UnitId(i as u32));
+                        live.insert(base);
+                    }
+                }
+                1 => {
+                    let s = splay.remove(base);
+                    let b = btree.remove(base);
+                    prop_assert_eq!(s.is_some(), b.is_some());
+                    live.remove(&base);
+                }
+                _ => {
+                    // Probe a few addresses around the slot.
+                    for probe in [base, base + 8, base + 15, base + 16, base + 24] {
+                        let s = splay.lookup(probe);
+                        let b = btree.lookup(probe);
+                        prop_assert_eq!(s, b, "probe {}", probe);
+                        if let Some(pl) = s {
+                            prop_assert!(probe >= pl.base && probe < pl.base + pl.size);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(splay.len(), btree.len());
+    }
+
+    /// The allocator never hands out overlapping blocks, across arbitrary
+    /// malloc/free interleavings and sizes.
+    #[test]
+    fn allocator_blocks_never_overlap(ops in proptest::collection::vec((any::<bool>(), 1u64..300), 1..150)) {
+        let mut space = MemorySpace::new(MemConfig::with_mode(Mode::Standard));
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(p) = space.malloc(size) {
+                    for &(q, qsize) in &live {
+                        let disjoint = p + size <= q || q + qsize <= p;
+                        prop_assert!(disjoint, "overlap: [{p}, +{size}) vs [{q}, +{qsize})");
+                    }
+                    live.push((p, size));
+                }
+            } else {
+                let (p, _) = live.swap_remove(0);
+                space.free(p, CTX).unwrap();
+            }
+        }
+    }
+
+    /// Bounds-checked stores through arbitrary offsets never reach any
+    /// other data unit: the victim's contents are invariant.
+    #[test]
+    fn checked_stores_cannot_corrupt_neighbours(
+        offsets in proptest::collection::vec(-512i64..512, 1..64),
+    ) {
+        let mut space = MemorySpace::new(MemConfig::with_mode(Mode::FailureOblivious));
+        let victim = space.malloc(32).unwrap();
+        for i in 0..4 {
+            space.store(victim + i * 8, AccessSize::B8, 0xA5A5_0000 + i, CTX).unwrap();
+        }
+        let attacker = space.malloc(16).unwrap();
+        for off in offsets {
+            let p = space.ptr_add(attacker, off);
+            // Never a fault in FO mode; OOB writes are discarded.
+            space.store(p, AccessSize::B8, 0xDEAD_BEEF, CTX).unwrap();
+        }
+        for i in 0..4 {
+            let v = space.load(victim + i * 8, AccessSize::B8, CTX).unwrap();
+            prop_assert_eq!(v.value, 0xA5A5_0000 + i, "victim word {} corrupted", i);
+        }
+    }
+
+    /// Pointer arithmetic round trip: wandering out of bounds and back
+    /// always restores an ordinary, dereferenceable pointer.
+    #[test]
+    fn oob_pointer_round_trip(walk in proptest::collection::vec(-64i64..64, 1..40)) {
+        let mut space = MemorySpace::new(MemConfig::with_mode(Mode::BoundsCheck));
+        let p = space.malloc(16).unwrap();
+        space.store(p, AccessSize::B1, 0x7E, CTX).unwrap();
+        let mut q = p;
+        let mut logical: i64 = 0;
+        for step in walk {
+            q = space.ptr_add(q, step);
+            logical += step;
+            prop_assert_eq!(space.effective_addr(q), p.wrapping_add(logical as u64));
+        }
+        // Walk back to the base and dereference.
+        let back = space.ptr_add(q, -logical);
+        prop_assert_eq!(back, p);
+        prop_assert_eq!(space.load(back, AccessSize::B1, CTX).unwrap().value, 0x7E);
+    }
+
+    /// The cycling sequence visits every value below its wrap limit.
+    #[test]
+    fn manufactured_sequence_covers_small_integers(wrap in 3u64..64) {
+        let mut m = Manufacturer::new(ValueSequence::Cycling { wrap });
+        let mut seen = vec![false; wrap as usize];
+        for _ in 0..(wrap * 3 + 3) {
+            let v = m.next_value();
+            prop_assert!(v < wrap, "value {} exceeds wrap {}", v, wrap);
+            seen[v as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Guest programs performing random in-bounds array traffic compute
+    /// identical results in every mode (checking is semantics-preserving).
+    #[test]
+    fn modes_agree_on_random_array_programs(
+        writes in proptest::collection::vec((0u8..32, 0i64..1000), 1..24),
+    ) {
+        let mut body = String::from("int main() { long xs[32]; int i; for (i = 0; i < 32; i++) xs[i] = 0;\n");
+        for (idx, val) in &writes {
+            body.push_str(&format!("xs[{idx}] = xs[{idx}] * 7 + {val};\n"));
+        }
+        body.push_str("long acc = 0; for (i = 0; i < 32; i++) acc = acc * 31 + xs[i]; return (int)(acc % 1000000); }");
+        let mut results = Vec::new();
+        for mode in Mode::ALL {
+            let mut m = Machine::from_source(&body, MachineConfig::with_mode(mode)).unwrap();
+            results.push(m.call("main", &[]).unwrap());
+        }
+        for w in results.windows(2) {
+            prop_assert_eq!(w[0], w[1]);
+        }
+    }
+
+    /// A failure-oblivious guest hammering a random out-of-bounds index
+    /// pattern never faults and always runs to completion.
+    #[test]
+    fn fo_guest_never_faults_on_wild_indices(
+        indices in proptest::collection::vec(-100i64..200, 1..24),
+    ) {
+        let mut body = String::from(
+            "int main() { int xs[8]; int acc = 0; int i; for (i = 0; i < 8; i++) xs[i] = i;\n",
+        );
+        for idx in &indices {
+            body.push_str(&format!("xs[{idx}] = acc; acc += xs[{idx}];\n"));
+        }
+        body.push_str("return acc & 0xFFFF; }");
+        let mut m =
+            Machine::from_source(&body, MachineConfig::with_mode(Mode::FailureOblivious)).unwrap();
+        let r = m.call("main", &[]);
+        prop_assert!(r.is_ok(), "FO must not fault: {:?}", r);
+    }
+}
