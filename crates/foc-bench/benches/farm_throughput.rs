@@ -1,0 +1,54 @@
+//! Criterion benchmark for the server-farm harness: end-to-end farm
+//! runs (boot + request streams + aggregation) per mode and per thread
+//! count. This is a host-time measurement — the repository's first perf
+//! trajectory point for the scaling work the ROADMAP targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use foc_memory::Mode;
+use foc_servers::farm::{run_farm, FarmConfig, ServerKind};
+
+/// A farm small enough to iterate under the bench harness but large
+/// enough to exercise boot, restart, and aggregation paths.
+fn bench_config(kind: ServerKind, mode: Mode) -> FarmConfig {
+    let mut config = FarmConfig::new(kind, mode);
+    config.servers = 2;
+    config.threads = 2;
+    config.requests_per_server = 10;
+    config
+}
+
+fn bench_farm_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("farm_throughput");
+    for mode in [Mode::Standard, Mode::BoundsCheck, Mode::FailureOblivious] {
+        group.bench_with_input(
+            BenchmarkId::new("apache", mode.name()),
+            &mode,
+            |b, &mode| {
+                let config = bench_config(ServerKind::Apache, mode);
+                b.iter(|| run_farm(&config).stats.completed);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_farm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("farm_scaling");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("apache_fo", threads),
+            &threads,
+            |b, &threads| {
+                let mut config = bench_config(ServerKind::Apache, Mode::FailureOblivious);
+                config.servers = 4;
+                config.threads = threads;
+                b.iter(|| run_farm(&config).stats.completed);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_farm_modes, bench_farm_threads);
+criterion_main!(benches);

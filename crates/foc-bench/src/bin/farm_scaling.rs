@@ -1,0 +1,49 @@
+//! Runs the server-farm benchmark suite — every server kind under every
+//! mode, plus a Pine failure-oblivious thread-scaling sweep — and writes
+//! the result to `BENCH_farm.json` (the repository's farm perf
+//! trajectory record).
+//!
+//! Usage: `cargo run --release -p foc-bench --bin farm_scaling [requests]`
+//! where `requests` is the per-server request count (default 100).
+
+use foc_bench::farm_report::{farm_suite, render_farm_json, thread_scaling};
+
+fn main() {
+    let requests: usize = match std::env::args().nth(1) {
+        None => 100,
+        Some(arg) => match arg.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("farm_scaling: invalid request count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    eprintln!("running farm suite: 5 servers x 5 modes, {requests} requests/server ...");
+    let reports = farm_suite(requests);
+    for r in &reports {
+        eprintln!(
+            "  {:<9} {:<18} completed {:>5}/{:<5}  deaths {:>4}  restarts {:>4}  {:>8.1} req/Mcycle  {:>8.1} ms",
+            r.config.kind.name(),
+            r.config.mode.name(),
+            r.stats.completed,
+            r.stats.requests,
+            r.stats.deaths,
+            r.stats.restarts,
+            r.stats.throughput_per_mcycle(),
+            r.host_wall_ms,
+        );
+    }
+
+    eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
+    let scaling = thread_scaling(requests, &[1, 2, 4, 8]);
+    for (threads, wall_ms, rps) in &scaling {
+        eprintln!("  threads {threads}: {wall_ms:.1} ms  ({rps:.0} req/s host)");
+    }
+
+    let json = render_farm_json(&reports, &scaling);
+    let path = "BENCH_farm.json";
+    std::fs::write(path, &json).expect("write BENCH_farm.json");
+    println!("wrote {path} ({} reports)", reports.len());
+}

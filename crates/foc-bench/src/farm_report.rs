@@ -1,0 +1,136 @@
+//! Farm benchmark reporting: runs the cross-mode, cross-server farm
+//! suite plus a thread-scaling sweep and renders `BENCH_farm.json` — the
+//! repository's perf trajectory record for the farm harness.
+//!
+//! JSON is rendered by hand: the build environment is offline and the
+//! schema is flat, so a serde dependency would buy nothing.
+
+use foc_memory::Mode;
+use foc_servers::farm::{run_farm, FarmConfig, FarmReport, ServerKind};
+
+/// Shape of the recorded suite: every server kind under every mode.
+pub fn suite_config(kind: ServerKind, mode: Mode, requests: usize) -> FarmConfig {
+    let mut config = FarmConfig::new(kind, mode);
+    config.requests_per_server = requests;
+    config
+}
+
+/// Runs the full kind × mode matrix.
+pub fn farm_suite(requests: usize) -> Vec<FarmReport> {
+    let mut reports = Vec::new();
+    for kind in ServerKind::ALL {
+        for mode in Mode::ALL {
+            reports.push(run_farm(&suite_config(kind, mode, requests)));
+        }
+    }
+    reports
+}
+
+/// Runs the same Pine failure-oblivious farm at increasing thread
+/// counts, returning `(threads, host_wall_ms, host_rps)` rows. Pine is
+/// the most compute-heavy per request of the fast servers, so the sweep
+/// actually exposes parallel speedup. The deterministic stats are
+/// identical across rows (asserted), so the wall times isolate it.
+pub fn thread_scaling(requests: usize, thread_counts: &[usize]) -> Vec<(usize, f64, f64)> {
+    let base = {
+        let mut c = suite_config(ServerKind::Pine, Mode::FailureOblivious, requests);
+        c.servers = thread_counts.iter().copied().max().unwrap_or(4).max(4);
+        c
+    };
+    let mut reference: Option<FarmReport> = None;
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let report = run_farm(&base.clone().with_threads(threads));
+        if let Some(r) = &reference {
+            assert_eq!(*r, report, "thread scaling must not change results");
+        } else {
+            reference = Some(report.clone());
+        }
+        rows.push((threads, report.host_wall_ms, report.host_throughput_rps()));
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn report_json(r: &FarmReport) -> String {
+    let s = &r.stats;
+    format!(
+        concat!(
+            "    {{\"server\": \"{}\", \"mode\": \"{}\", \"servers\": {}, ",
+            "\"requests\": {}, \"completed\": {}, \"dropped\": {}, \"attacks\": {}, ",
+            "\"deaths\": {}, \"restarts\": {}, \"servers_down\": {}, ",
+            "\"total_cycles\": {}, \"survival_rate\": {:.4}, ",
+            "\"throughput_per_mcycle\": {:.4}, \"latency_p50\": {}, ",
+            "\"latency_p90\": {}, \"latency_p99\": {}, \"latency_max\": {}, ",
+            "\"host_wall_ms\": {:.2}}}"
+        ),
+        json_escape(r.config.kind.name()),
+        json_escape(r.config.mode.name()),
+        r.config.servers,
+        s.requests,
+        s.completed,
+        s.dropped,
+        s.attacks,
+        s.deaths,
+        s.restarts,
+        s.servers_down,
+        s.total_cycles,
+        s.survival_rate(),
+        s.throughput_per_mcycle(),
+        s.latency_p50,
+        s.latency_p90,
+        s.latency_p99,
+        s.latency_max,
+        r.host_wall_ms,
+    )
+}
+
+/// Renders the whole benchmark record.
+pub fn render_farm_json(reports: &[FarmReport], scaling: &[(usize, f64, f64)]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&report_json(r));
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"thread_scaling\": [\n");
+    for (i, (threads, wall_ms, rps)) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {threads}, \"host_wall_ms\": {wall_ms:.2}, \"host_rps\": {rps:.1}}}"
+        ));
+        if i + 1 < scaling.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_and_balances() {
+        let mut config = suite_config(ServerKind::Apache, Mode::FailureOblivious, 5);
+        config.servers = 2;
+        config.threads = 2;
+        let reports = vec![run_farm(&config)];
+        let scaling = vec![(1usize, 10.0, 100.0), (2, 5.0, 200.0)];
+        let json = render_farm_json(&reports, &scaling);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(json.contains("\"server\": \"Apache\""));
+        assert!(json.contains("\"mode\": \"Failure Oblivious\""));
+        assert!(json.contains("\"thread_scaling\""));
+    }
+}

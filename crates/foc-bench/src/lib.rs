@@ -14,6 +14,8 @@
 //! slowdown columns are invariant under this scaling because both
 //! versions scale identically (verified by `scaling_invariance` below).
 
+pub mod farm_report;
+
 use foc_memory::Mode;
 use foc_servers::{apache, mc, mutt, pine, sendmail, workload, Measured};
 use foc_vm::cost::cycles_to_ms;

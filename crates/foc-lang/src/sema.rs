@@ -265,7 +265,7 @@ impl Context {
         match (ty, e) {
             // `char buf[N] = "str"`.
             (CType::Array(elem, n), ast::Expr::StrLit(s, spos)) if **elem == CType::CHAR => {
-                if s.len() as u64 >= *n + 1 {
+                if s.len() as u64 > *n {
                     return err(*spos, "string initialiser too long");
                 }
                 let start = offset as usize;
@@ -665,7 +665,7 @@ impl<'a> FuncCx<'a> {
             None => {}
             Some(ast::Initializer::Expr(e)) => match (&ty, e) {
                 (CType::Array(elem, n), ast::Expr::StrLit(s, spos)) if **elem == CType::CHAR => {
-                    if s.len() as u64 >= n + 1 {
+                    if s.len() as u64 > *n {
                         return err(*spos, "string initialiser too long");
                     }
                     let sid = self.cx.intern_string(s);

@@ -60,6 +60,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier spelling to a keyword.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "void" => Keyword::Void,

@@ -98,6 +98,7 @@ impl MemoryErrorLog {
     }
 
     /// Appends a record, evicting the oldest if at capacity.
+    #[allow(clippy::too_many_arguments)] // mirrors the access-site tuple
     pub fn record(
         &mut self,
         kind: ErrorKind,

@@ -25,7 +25,7 @@ use crate::unit::{DataUnit, UnitId, UnitKind};
 /// First canary token word written at the top of each stack frame.
 const CANARY_A: u64 = 0xCAFE_F00D_5AFE_57AC;
 /// Second canary token word (stand-in for the saved return address).
-const CANARY_B: u64 = 0x4E7_0DD4_E55C0_0D ^ 0x1111_1111_1111_1111;
+const CANARY_B: u64 = 0x004E_70DD_4E55_C00D ^ 0x1111_1111_1111_1111;
 
 /// Bytes reserved above each frame's locals for the canary pair.
 pub const FRAME_GUARD_SIZE: u64 = 16;

@@ -1,0 +1,622 @@
+//! The server farm: a multi-threaded load harness that generalizes the
+//! Apache regenerating-pool architecture to all five servers of the
+//! paper's evaluation.
+//!
+//! A farm boots `servers` independent guest processes of one
+//! [`ServerKind`] under one [`Mode`], spreads them over `threads` OS
+//! threads, and drives each with its own deterministic seeded request
+//! stream mixing legitimate traffic with attacks at a configured ratio.
+//! A supervisor policy restarts dead processes (recompiling and
+//! replaying initialization, which for persistent triggers — Pine's
+//! poisoned mailbox, Sendmail's wake-up error under Bounds Check — dies
+//! again, exactly the §4.7 situation) until a per-server restart budget
+//! is exhausted; after that the server is down and its remaining
+//! requests are dropped connections.
+//!
+//! **Determinism contract.** Every request stream is a pure function of
+//! `(seed, server index)`, each server's guest machines are fully
+//! deterministic (virtual clock, no host time), and aggregation runs in
+//! server-index order after all threads join. Therefore two farm runs
+//! with the same config but different `threads` values produce
+//! [`FarmReport`]s that compare equal (`PartialEq` ignores the one
+//! host-side measurement, wall time). The property tests assert this;
+//! the scaling bins rely on it to attribute wall-time differences to
+//! parallelism alone.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use foc_memory::Mode;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{apache, mc, mutt, pine, sendmail, workload, Measured, Outcome};
+
+/// Which of the paper's five servers the farm is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Apache httpd worker (mod_rewrite offsets overflow, §4.3).
+    Apache,
+    /// Sendmail daemon (prescan overflow, §4.4).
+    Sendmail,
+    /// Pine mail reader (From-quoting overflow, §4.2).
+    Pine,
+    /// Mutt mail reader (UTF-8→UTF-7 overflow, §4.6 / Figure 1).
+    Mutt,
+    /// Midnight Commander (symlink-path overflow, §4.5).
+    Mc,
+}
+
+impl ServerKind {
+    /// All five servers, in the paper's presentation order.
+    pub const ALL: [ServerKind; 5] = [
+        ServerKind::Pine,
+        ServerKind::Apache,
+        ServerKind::Sendmail,
+        ServerKind::Mc,
+        ServerKind::Mutt,
+    ];
+
+    /// Human-readable server name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Apache => "Apache",
+            ServerKind::Sendmail => "Sendmail",
+            ServerKind::Pine => "Pine",
+            ServerKind::Mutt => "Mutt",
+            ServerKind::Mc => "MC",
+        }
+    }
+}
+
+/// Virtual cycles charged for forking and re-initialising a replacement
+/// process (shared with the Apache pool's accounting).
+pub const RESTART_COST_CYCLES: u64 = apache::RESTART_COST_CYCLES;
+
+/// Farm shape and workload parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Which server to run.
+    pub kind: ServerKind,
+    /// Compiler/runtime policy for every process in the farm.
+    pub mode: Mode,
+    /// Number of independent server processes.
+    pub servers: usize,
+    /// Number of OS threads driving them (clamped to `servers`).
+    pub threads: usize,
+    /// Requests delivered to each server process.
+    pub requests_per_server: usize,
+    /// Root seed; server `i` derives its stream from `(seed, i)`.
+    pub seed: u64,
+    /// Probability that a request is an attack, as `(num, den)`.
+    /// `(0, 1)` yields pure legitimate traffic.
+    pub attack_ratio: (u32, u32),
+    /// Restart attempts the supervisor grants each server process before
+    /// declaring it down.
+    pub restart_budget: u32,
+}
+
+impl FarmConfig {
+    /// A farm of `kind` under `mode` with the default shape: 4 servers,
+    /// 4 threads, 100 requests per server, 1-in-8 attacks.
+    pub fn new(kind: ServerKind, mode: Mode) -> FarmConfig {
+        FarmConfig {
+            kind,
+            mode,
+            servers: 4,
+            threads: 4,
+            requests_per_server: 100,
+            seed: 0xF0C_0001,
+            attack_ratio: (1, 8),
+            restart_budget: 8,
+        }
+    }
+
+    /// Same farm with a different thread count (scaling sweeps).
+    pub fn with_threads(mut self, threads: usize) -> FarmConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Same farm with a different attack ratio.
+    pub fn with_attack_ratio(mut self, num: u32, den: u32) -> FarmConfig {
+        self.attack_ratio = (num, den);
+        self
+    }
+}
+
+/// What happened on one server process over its whole request stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests attempted (attacks included; counts connections refused
+    /// while the server was down).
+    pub requests: u64,
+    /// Requests that received a response.
+    pub completed: u64,
+    /// Requests lost to a dead or down process.
+    pub dropped: u64,
+    /// Attack requests within `requests` (attempted, like `requests`).
+    pub attacks: u64,
+    /// Process deaths observed while serving.
+    pub deaths: u64,
+    /// Restart attempts the supervisor made.
+    pub restarts: u64,
+    /// Whether the process was down (unusable, budget exhausted) when the
+    /// stream ended.
+    pub down_at_end: bool,
+    /// Virtual cycles spent serving plus restart overhead.
+    pub total_cycles: u64,
+    /// Per-completed-request virtual latencies, in stream order.
+    pub latencies: Vec<u64>,
+}
+
+/// Deterministic farm-wide aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Total requests attempted across the farm (refused connections
+    /// included).
+    pub requests: u64,
+    /// Requests that received a response.
+    pub completed: u64,
+    /// Dropped connections.
+    pub dropped: u64,
+    /// Attack requests attempted.
+    pub attacks: u64,
+    /// Process deaths across the farm.
+    pub deaths: u64,
+    /// Supervisor restart attempts.
+    pub restarts: u64,
+    /// Servers down when their streams ended.
+    pub servers_down: u64,
+    /// Virtual cycles spent farm-wide (serving + restarts).
+    pub total_cycles: u64,
+    /// Mean completed-request latency in millicycles (fixed point, so the
+    /// aggregate stays `Eq`-comparable).
+    pub latency_mean_millicycles: u64,
+    /// Median completed-request latency (virtual cycles).
+    pub latency_p50: u64,
+    /// 90th-percentile latency.
+    pub latency_p90: u64,
+    /// 99th-percentile latency.
+    pub latency_p99: u64,
+    /// Worst completed-request latency.
+    pub latency_max: u64,
+}
+
+impl FarmStats {
+    /// Fraction of requests that completed.
+    pub fn survival_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.requests as f64
+    }
+
+    /// Completed requests per virtual megacycle — the farm's throughput
+    /// in virtual time (host-independent).
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.total_cycles as f64 / 1e6)
+    }
+}
+
+/// The result of one farm run. `PartialEq` compares everything except
+/// `host_wall_ms` (the only host-time measurement), so reports from runs
+/// with identical configs and seeds compare equal regardless of thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// The configuration that produced this report.
+    pub config: FarmConfig,
+    /// Farm-wide aggregate (server-index order, thread-independent).
+    pub stats: FarmStats,
+    /// Per-server breakdown, indexed by server.
+    pub per_server: Vec<ServerStats>,
+    /// Host wall-clock time for the whole run, in milliseconds. Excluded
+    /// from `PartialEq`.
+    pub host_wall_ms: f64,
+}
+
+impl PartialEq for FarmReport {
+    fn eq(&self, other: &FarmReport) -> bool {
+        let a = &self.config;
+        let b = &other.config;
+        // Thread count is excluded: it shapes host wall time only, never
+        // the measured data — that is the determinism contract.
+        a.kind == b.kind
+            && a.mode == b.mode
+            && a.servers == b.servers
+            && a.requests_per_server == b.requests_per_server
+            && a.seed == b.seed
+            && a.attack_ratio == b.attack_ratio
+            && a.restart_budget == b.restart_budget
+            && self.stats == other.stats
+            && self.per_server == other.per_server
+    }
+}
+
+impl FarmReport {
+    /// Completed requests per host second — the farm's host-side
+    /// throughput (what the scaling sweep measures).
+    pub fn host_throughput_rps(&self) -> f64 {
+        if self.host_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.stats.completed as f64 / (self.host_wall_ms / 1e3)
+    }
+}
+
+/// One guest server process under farm supervision.
+enum FarmProcess {
+    Apache(apache::ApacheWorker),
+    Sendmail(sendmail::Sendmail),
+    Pine {
+        pine: pine::Pine,
+        /// Driver-side view of the mailbox size (read-index domain).
+        messages: i64,
+    },
+    Mutt(mutt::Mutt),
+    Mc {
+        mc: mc::Mc,
+        /// Monotonic counter for unique file names.
+        files: u64,
+    },
+}
+
+/// Messages every Pine farm process starts with.
+const PINE_SEED_MESSAGES: usize = 3;
+/// Messages every Mutt farm process starts with.
+const MUTT_SEED_MESSAGES: usize = 2;
+
+impl FarmProcess {
+    fn boot(kind: ServerKind, mode: Mode) -> FarmProcess {
+        match kind {
+            ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot(mode)),
+            ServerKind::Sendmail => FarmProcess::Sendmail(sendmail::Sendmail::boot(mode)),
+            ServerKind::Pine => FarmProcess::Pine {
+                pine: pine::Pine::boot(mode, pine::Pine::standard_mailbox(PINE_SEED_MESSAGES)),
+                messages: PINE_SEED_MESSAGES as i64,
+            },
+            ServerKind::Mutt => FarmProcess::Mutt(mutt::Mutt::boot(mode, MUTT_SEED_MESSAGES)),
+            ServerKind::Mc => FarmProcess::Mc {
+                mc: mc::Mc::boot(mode, &mc::clean_config()),
+                files: 0,
+            },
+        }
+    }
+
+    /// Whether the process can serve requests.
+    fn usable(&self) -> bool {
+        match self {
+            FarmProcess::Apache(w) => !w.is_dead(),
+            FarmProcess::Sendmail(s) => s.usable(),
+            FarmProcess::Pine { pine, .. } => pine.usable(),
+            FarmProcess::Mutt(m) => !m.process().is_dead(),
+            FarmProcess::Mc { mc, .. } => mc.usable(),
+        }
+    }
+
+    /// Replaces the dead process, preserving persistent environment (the
+    /// Pine mailbox survives restarts — it is the mail file on disk).
+    fn restart(&mut self, kind: ServerKind, mode: Mode) {
+        match self {
+            FarmProcess::Pine { pine, .. } => pine.restart(),
+            other => *other = FarmProcess::boot(kind, mode),
+        }
+    }
+
+    /// Serves one generated request. All request content derives from
+    /// `rng`, which must be dedicated to this server's stream.
+    fn serve(&mut self, rng: &mut StdRng, attack: bool) -> Measured {
+        match self {
+            FarmProcess::Apache(w) => {
+                if attack {
+                    return w.get(&apache::attack_url());
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=5 => w.get(b"/index.html"),
+                    6..=7 => w.get(b"/rw/index.html"),
+                    8 => w.get(b"/big.bin"),
+                    _ => w.get(b"/nosuchpage.html"),
+                }
+            }
+            FarmProcess::Sendmail(s) => {
+                if attack {
+                    let to = workload::sendmail_address(rng.next_u64());
+                    return s.receive(&sendmail::attack_address(40), &to, b"attack payload");
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=6 => {
+                        let from = workload::sendmail_address(rng.next_u64());
+                        let to = workload::sendmail_address(rng.next_u64());
+                        let body = workload::lorem(160, rng.next_u64());
+                        s.receive(&from, &to, &body)
+                    }
+                    7..=8 => {
+                        let to = workload::sendmail_address(rng.next_u64());
+                        let body = workload::lorem(200, rng.next_u64());
+                        s.send(&to, &body)
+                    }
+                    _ => s.wakeup(),
+                }
+            }
+            FarmProcess::Pine { pine, messages } => {
+                if attack {
+                    // The poisoned message persists in the mailbox: every
+                    // restart replays it (§4.7).
+                    let r = pine.deliver(&pine::attack_from(40), b"pwn", b"payload");
+                    if r.outcome.survived() {
+                        *messages += 1;
+                    }
+                    return r;
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=2 => {
+                        let from = workload::from_field(rng.next_u64());
+                        let body = workload::lorem(300, rng.next_u64());
+                        let r = pine.deliver(&from, b"new mail", &body);
+                        if r.outcome.survived() {
+                            *messages += 1;
+                        }
+                        r
+                    }
+                    3..=6 => pine.read(rng.gen_range(0..(*messages).max(1))),
+                    7..=8 => pine.compose(),
+                    _ => pine.move_message(rng.gen_range(0..(*messages).max(1))),
+                }
+            }
+            FarmProcess::Mutt(m) => {
+                if attack {
+                    return m.open_folder(&mutt::attack_folder_name(40));
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=3 => m.open_folder(b"INBOX"),
+                    4..=8 => m.read_message(rng.gen_range(0..MUTT_SEED_MESSAGES as i64)),
+                    _ => m.open_folder(b"work"),
+                }
+            }
+            FarmProcess::Mc { mc, files } => {
+                if attack {
+                    return mc.open_archive(&mc::attack_links());
+                }
+                match rng.gen_range(0u32..10) {
+                    0..=3 => {
+                        *files += 1;
+                        let dst = format!("/tmp/copy{files}");
+                        mc.copy(b"/home/user/data.bin", dst.as_bytes())
+                    }
+                    4..=5 => {
+                        *files += 1;
+                        let dir = format!("/tmp/dir{files}");
+                        mc.mkdir(dir.as_bytes())
+                    }
+                    6..=7 => mc.component_end(b"usr/share/component/lib"),
+                    _ => {
+                        let victim = format!("/tmp/copy{files}");
+                        mc.delete(victim.as_bytes())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Derives server `index`'s stream seed from the farm seed (SplitMix64
+/// finalizer, so neighbouring indices get unrelated streams).
+fn server_seed(farm_seed: u64, index: usize) -> u64 {
+    let mut z = farm_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Restarts `process` until it serves again or the budget runs out,
+/// charging each attempt to the server's stats.
+fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmConfig) {
+    while !process.usable() && stats.restarts < u64::from(config.restart_budget) {
+        stats.restarts += 1;
+        stats.total_cycles += RESTART_COST_CYCLES;
+        process.restart(config.kind, config.mode);
+    }
+}
+
+/// Runs one server's entire request stream. Pure function of the config
+/// and the server index — the unit of parallelism.
+fn run_server(config: &FarmConfig, index: usize) -> ServerStats {
+    let mut rng = StdRng::seed_from_u64(server_seed(config.seed, index));
+    let mut stats = ServerStats::default();
+    let mut process = FarmProcess::boot(config.kind, config.mode);
+
+    // Some servers die during initialization (Bounds Check Sendmail's
+    // wake-up, §4.4.4). The supervisor burns restart budget up front.
+    supervise(&mut process, &mut stats, config);
+
+    for _ in 0..config.requests_per_server {
+        stats.requests += 1;
+        let attack = config.attack_ratio.0 > 0
+            && rng.gen_ratio(config.attack_ratio.0, config.attack_ratio.1);
+        if attack {
+            stats.attacks += 1;
+        }
+
+        if !process.usable() {
+            // Down and out of budget: the connection is refused.
+            stats.dropped += 1;
+            continue;
+        }
+
+        let measured = process.serve(&mut rng, attack);
+        stats.total_cycles += measured.cycles;
+        match measured.outcome {
+            Outcome::Done { .. } => {
+                stats.completed += 1;
+                stats.latencies.push(measured.cycles);
+            }
+            Outcome::Crashed(_) => {
+                stats.dropped += 1;
+                stats.deaths += 1;
+                supervise(&mut process, &mut stats, config);
+            }
+        }
+    }
+
+    stats.down_at_end = !process.usable();
+    stats
+}
+
+/// Aggregates per-server stats in server-index order (making the result
+/// independent of which thread ran which server).
+fn aggregate(per_server: &[ServerStats]) -> FarmStats {
+    let mut agg = FarmStats::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    for s in per_server {
+        agg.requests += s.requests;
+        agg.completed += s.completed;
+        agg.dropped += s.dropped;
+        agg.attacks += s.attacks;
+        agg.deaths += s.deaths;
+        agg.restarts += s.restarts;
+        agg.servers_down += u64::from(s.down_at_end);
+        agg.total_cycles += s.total_cycles;
+        latencies.extend_from_slice(&s.latencies);
+    }
+    if !latencies.is_empty() {
+        latencies.sort_unstable();
+        let total: u64 = latencies.iter().sum();
+        agg.latency_mean_millicycles = total * 1000 / latencies.len() as u64;
+        let pick = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+        agg.latency_p50 = pick(50);
+        agg.latency_p90 = pick(90);
+        agg.latency_p99 = pick(99);
+        agg.latency_max = *latencies.last().unwrap();
+    }
+    agg
+}
+
+/// Runs the farm: boots `config.servers` processes, drives them from
+/// `config.threads` OS threads, and aggregates deterministically.
+///
+/// # Panics
+///
+/// Panics when `config.servers == 0` or `config.requests_per_server == 0`
+/// (an empty farm is a harness bug, not a measurement), or when a worker
+/// thread panics.
+pub fn run_farm(config: &FarmConfig) -> FarmReport {
+    assert!(config.servers > 0, "farm needs at least one server");
+    assert!(
+        config.requests_per_server > 0,
+        "farm needs at least one request per server"
+    );
+    let threads = config.threads.clamp(1, config.servers);
+    let started = Instant::now();
+
+    let next: AtomicUsize = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ServerStats>>> = Mutex::new(vec![None; config.servers]);
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= config.servers {
+                    break;
+                }
+                let stats = run_server(config, index);
+                slots.lock().expect("farm result lock")[index] = Some(stats);
+            });
+        }
+    });
+
+    let per_server: Vec<ServerStats> = slots
+        .into_inner()
+        .expect("farm result lock")
+        .into_iter()
+        .map(|s| s.expect("every server slot filled"))
+        .collect();
+    let stats = aggregate(&per_server);
+
+    FarmReport {
+        config: config.clone(),
+        stats,
+        per_server,
+        host_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs one farm per mode for a fixed kind — the cross-mode comparison
+/// the paper's throughput figures make, at farm scale.
+pub fn run_mode_sweep(kind: ServerKind, base: &FarmConfig) -> Vec<FarmReport> {
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let mut config = base.clone();
+            config.kind = kind;
+            config.mode = mode;
+            run_farm(&config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: ServerKind, mode: Mode) -> FarmConfig {
+        let mut c = FarmConfig::new(kind, mode);
+        c.servers = 2;
+        c.threads = 2;
+        c.requests_per_server = 12;
+        c
+    }
+
+    #[test]
+    fn apache_farm_serves_benign_traffic_fully() {
+        let mut c = quick(ServerKind::Apache, Mode::FailureOblivious);
+        c.attack_ratio = (0, 1);
+        let r = run_farm(&c);
+        assert_eq!(r.stats.requests, 24);
+        assert_eq!(r.stats.completed, 24);
+        assert_eq!(r.stats.deaths, 0);
+        assert_eq!(r.stats.servers_down, 0);
+        assert!(r.stats.latency_p50 > 0);
+        assert!(r.stats.latency_max >= r.stats.latency_p99);
+    }
+
+    #[test]
+    fn farm_report_is_thread_count_invariant() {
+        let c = quick(ServerKind::Apache, Mode::BoundsCheck);
+        let one = run_farm(&c.clone().with_threads(1));
+        let two = run_farm(&c.with_threads(2));
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn bounds_check_sendmail_farm_is_down() {
+        // §4.4.4: the daemon dies during init; restarts die the same way.
+        let r = run_farm(&quick(ServerKind::Sendmail, Mode::BoundsCheck));
+        assert_eq!(r.stats.completed, 0);
+        assert_eq!(r.stats.dropped, r.stats.requests);
+        assert_eq!(r.stats.servers_down, 2);
+        assert_eq!(r.stats.restarts, 2 * 8);
+    }
+
+    #[test]
+    fn fo_farm_survives_attacks_everywhere() {
+        for kind in ServerKind::ALL {
+            let mut c = quick(kind, Mode::FailureOblivious);
+            c.attack_ratio = (1, 3);
+            let r = run_farm(&c);
+            assert_eq!(r.stats.deaths, 0, "{} FO farm must not die", kind.name());
+            assert_eq!(
+                r.stats.completed,
+                r.stats.requests,
+                "{} FO farm must answer everything",
+                kind.name()
+            );
+            assert!(r.stats.attacks > 0, "{} stream had no attacks", kind.name());
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! situation where the Bounds Check version dies during startup, §4.7).
 
 pub mod apache;
+pub mod farm;
 pub mod mc;
 pub mod mutt;
 pub mod pine;

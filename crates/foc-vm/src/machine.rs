@@ -447,7 +447,7 @@ impl Machine {
         }
         for (i, &arg) in args.iter().enumerate().take(param_count) {
             let (off, size) = slots[i];
-            let acc = AccessSize::from_bytes(size.min(8).max(1).next_power_of_two().min(8));
+            let acc = AccessSize::from_bytes(size.clamp(1, 8).next_power_of_two().min(8));
             let ok = self.space.write_raw(base + off, acc, arg as u64);
             debug_assert!(ok, "parameter slot must be mapped");
         }

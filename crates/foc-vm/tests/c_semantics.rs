@@ -46,7 +46,11 @@ fn signed_division_truncates_toward_zero() {
 fn shifts_are_type_aware() {
     assert_eq!(eval("1 << 10"), 1024);
     assert_eq!(eval("-8 >> 1"), -4, "arithmetic shift for signed");
-    assert_eq!(eval("(unsigned int) -8 >> 1"), 2147483644, "logical for unsigned");
+    assert_eq!(
+        eval("(unsigned int) -8 >> 1"),
+        2147483644,
+        "logical for unsigned"
+    );
     assert_eq!(eval("((long) 1 << 40)"), 1 << 40);
 }
 

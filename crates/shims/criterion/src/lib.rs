@@ -1,0 +1,239 @@
+//! Offline stand-in for the parts of the `criterion` crate the bench
+//! targets use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local crate shadows the real `criterion` via a path
+//! dependency. It keeps the same bench-source API but replaces the
+//! statistics engine with a plain warmup + timed-batch loop that prints
+//! one `ns/iter` line per benchmark — enough to track the repository's
+//! perf trajectory without the dependency tree.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How long each benchmark warms up before measurement, unless
+/// overridden with the `FOC_BENCH_WARMUP_MS` environment variable.
+const DEFAULT_WARMUP_MS: u64 = 30;
+/// Minimum measurement window per benchmark (`FOC_BENCH_MEASURE_MS`).
+const DEFAULT_MEASURE_MS: u64 = 150;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    let ms = std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default);
+    Duration::from_millis(ms)
+}
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("lookup", "local")` → `lookup/local`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            warmup: env_ms("FOC_BENCH_WARMUP_MS", DEFAULT_WARMUP_MS),
+            measure: env_ms("FOC_BENCH_MEASURE_MS", DEFAULT_MEASURE_MS),
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Runs `routine` repeatedly: first until the warmup window expires,
+    /// then until the measurement window expires (at least once each),
+    /// recording the mean wall time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label:<48} (no measurement: Bencher::iter never called)");
+    } else {
+        println!(
+            "bench {label:<48} {:>14.1} ns/iter  ({} iters)",
+            b.mean_ns, b.iters
+        );
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Compatibility no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a per-case input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Accepted and ignored: the shim sizes samples by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as the real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("FOC_BENCH_WARMUP_MS", "1");
+        std::env::set_var("FOC_BENCH_MEASURE_MS", "5");
+        let mut b = Bencher::new();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

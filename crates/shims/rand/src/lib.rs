@@ -1,0 +1,130 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen_range` / `gen_ratio` / `gen_bool`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local crate shadows the real `rand` via a path dependency.
+//! The generator is SplitMix64 — not cryptographic, but statistically
+//! fine for workload synthesis and, crucially, **stable**: experiment
+//! reproducibility (same seed → same bytes, forever) is part of the
+//! repository's contract, so the algorithm here must never change.
+
+use core::ops::Range;
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire output is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Maps `raw` into `[low, high)`. `high > low` is the caller's duty.
+    fn from_raw(raw: u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_raw(raw: u64, low: Self, high: Self) -> Self {
+                let span = (high as i128) - (low as i128);
+                debug_assert!(span > 0, "gen_range called with an empty range");
+                let off = (raw as u128 % span as u128) as i128;
+                ((low as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (modulo method; the tiny bias is
+    /// irrelevant for workload synthesis).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::from_raw(self.next_u64(), range.start, range.end)
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.next_u64() % u64::from(denominator) < u64::from(numerator)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seedable generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_calibrated() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "1/4 ratio gave {hits}/10000");
+    }
+}

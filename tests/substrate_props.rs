@@ -1,0 +1,193 @@
+//! Property tests for the memory substrate, the workload generators,
+//! and the farm harness's determinism contract.
+//!
+//! These pin down the three foundations every experiment rests on:
+//!
+//! 1. **Manufactured values** follow the paper's §3 sequence — groups of
+//!    `0, 1, k` with `k = 2, 3, 4, …` (the "0,1,2, 0,1,3, …" pattern
+//!    that favours the common values 0 and 1 while still iterating
+//!    through all small integers);
+//! 2. **Out-of-bounds writes never corrupt adjacent live objects** under
+//!    any checked policy — discarding (FO), out-of-band storage
+//!    (Boundless), and in-unit wrapping (Redirect) all confine damage to
+//!    the accessed data unit;
+//! 3. **Workloads and farm runs are reproducible**: the same seed yields
+//!    the same bytes, and the same farm config yields the same
+//!    [`FarmReport`] no matter how many OS threads drive it.
+
+use proptest::prelude::*;
+
+use failure_oblivious::memory::{
+    AccessCtx, AccessSize, Manufacturer, MemConfig, MemorySpace, Mode, ValueSequence,
+};
+use failure_oblivious::servers::farm::{run_farm, FarmConfig, ServerKind};
+use failure_oblivious::servers::workload;
+
+const CTX: AccessCtx = AccessCtx { func: 0, pc: 0 };
+
+// ---------------------------------------------------------------------
+// Manufactured-value sequence.
+// ---------------------------------------------------------------------
+
+#[test]
+fn manufactured_sequence_starts_zero_one_two() {
+    // The concrete opening of the paper's sequence: 0, 1, 2, 0, 1, 3, …
+    let mut m = Manufacturer::new(ValueSequence::default());
+    let head: Vec<u64> = (0..9).map(|_| m.next_value()).collect();
+    assert_eq!(head, vec![0, 1, 2, 0, 1, 3, 0, 1, 4]);
+}
+
+#[test]
+fn invalid_reads_consume_the_sequence_in_order() {
+    // Reads through an out-of-bounds pointer manufacture 0, 1, 2, …
+    let mut space = MemorySpace::new(MemConfig::with_mode(Mode::FailureOblivious));
+    let p = space.malloc(8).unwrap();
+    let mut seen = Vec::new();
+    for i in 0..6 {
+        let q = space.ptr_add(p, 64 + i); // far out of bounds
+        seen.push(space.load(q, AccessSize::B1, CTX).unwrap().value);
+        let back = space.ptr_add(q, -(64 + i));
+        assert_eq!(back, p, "pointer must walk back in-bounds");
+    }
+    assert_eq!(seen, vec![0, 1, 2, 0, 1, 3]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every group of three is `0, 1, k` with `k` stepping 2, 3, …, and
+    /// wrapping back to 2 — for any wrap limit.
+    #[test]
+    fn manufactured_sequence_is_grouped_zero_one_k(wrap in 3u64..200, groups in 2usize..60) {
+        let mut m = Manufacturer::new(ValueSequence::Cycling { wrap });
+        let mut expected_k = 2u64;
+        for g in 0..groups {
+            prop_assert_eq!(m.next_value(), 0, "group {} position 0", g);
+            prop_assert_eq!(m.next_value(), 1, "group {} position 1", g);
+            prop_assert_eq!(m.next_value(), expected_k, "group {} position 2", g);
+            expected_k += 1;
+            if expected_k >= wrap {
+                expected_k = 2;
+            }
+        }
+    }
+
+    /// Out-of-bounds stores through a wandering pointer never reach any
+    /// *other* live data unit, under every policy that continues (and
+    /// under Bounds Check the first violation is reported, not applied).
+    #[test]
+    fn oob_writes_never_corrupt_adjacent_live_objects(
+        offsets in proptest::collection::vec(-160i64..192, 1..48),
+        mode_pick in 0u8..4,
+    ) {
+        let mode = [
+            Mode::FailureOblivious,
+            Mode::Boundless,
+            Mode::Redirect,
+            Mode::BoundsCheck,
+        ][mode_pick as usize];
+        let mut space = MemorySpace::new(MemConfig::with_mode(mode));
+
+        // Two victims bracketing the attacker allocation.
+        let left = space.malloc(32).unwrap();
+        let attacker = space.malloc(16).unwrap();
+        let right = space.malloc(32).unwrap();
+        for i in 0..4u64 {
+            space.store(left + i * 8, AccessSize::B8, 0x1111_0000 + i, CTX).unwrap();
+            space.store(right + i * 8, AccessSize::B8, 0x2222_0000 + i, CTX).unwrap();
+        }
+
+        for off in offsets {
+            let p = space.ptr_add(attacker, off);
+            let in_bounds = (0..16).contains(&off);
+            match space.store(p, AccessSize::B8, 0xDEAD_BEEF, CTX) {
+                Ok(_) => {}
+                Err(fault) => {
+                    // Only the terminating policy may fault, and only on
+                    // an actual violation.
+                    prop_assert_eq!(mode, Mode::BoundsCheck, "{} faulted: {}", mode.name(), fault);
+                    prop_assert!(!in_bounds, "in-bounds store faulted at {}", off);
+                    break; // the process would be dead here
+                }
+            }
+        }
+
+        for i in 0..4u64 {
+            let l = space.load(left + i * 8, AccessSize::B8, CTX).unwrap().value;
+            prop_assert_eq!(l, 0x1111_0000 + i, "left victim word {} corrupted ({})", i, mode.name());
+            let r = space.load(right + i * 8, AccessSize::B8, CTX).unwrap().value;
+            prop_assert_eq!(r, 0x2222_0000 + i, "right victim word {} corrupted ({})", i, mode.name());
+        }
+    }
+
+    /// Workload generators are pure functions of their seed.
+    #[test]
+    fn workload_generators_are_seed_deterministic(seed in any::<u64>(), len in 1usize..2000) {
+        prop_assert_eq!(workload::lorem(len, seed), workload::lorem(len, seed));
+        prop_assert_eq!(workload::from_field(seed), workload::from_field(seed));
+        prop_assert_eq!(workload::sendmail_address(seed), workload::sendmail_address(seed));
+        let text = workload::lorem(len, seed);
+        prop_assert!(!text.is_empty() && text.len() <= len.max(1));
+        prop_assert!(!text.contains(&0), "workload text must stay NUL-free");
+    }
+
+    /// Different seeds give different request bytes (no seed collapse).
+    #[test]
+    fn workload_seeds_actually_vary_the_stream(seed in any::<u64>()) {
+        let a = workload::lorem(600, seed);
+        let b = workload::lorem(600, seed.wrapping_add(1));
+        prop_assert_ne!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Farm determinism.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary seeds, the farm's report is invariant under the
+    /// thread count (the unit of determinism is the server stream).
+    #[test]
+    fn farm_reports_are_thread_count_invariant_for_any_seed(seed in any::<u64>()) {
+        let mut config = FarmConfig::new(ServerKind::Apache, Mode::BoundsCheck);
+        config.servers = 3;
+        config.requests_per_server = 8;
+        config.seed = seed;
+        let sequential = run_farm(&config.clone().with_threads(1));
+        let parallel = run_farm(&config.with_threads(3));
+        prop_assert_eq!(&sequential, &parallel);
+        prop_assert_eq!(sequential.stats.requests, 24);
+    }
+}
+
+/// The acceptance-criteria configuration: at least 4 worker threads, at
+/// least 100 requests per server, identical reports across thread
+/// counts — including repeated runs at the same thread count.
+#[test]
+fn farm_acceptance_four_threads_hundred_requests() {
+    for kind in [ServerKind::Apache, ServerKind::Pine] {
+        let mut config = FarmConfig::new(kind, Mode::FailureOblivious);
+        config.servers = 6;
+        config.requests_per_server = 100;
+        let base = run_farm(&config.clone().with_threads(4));
+        assert_eq!(base.stats.requests, 600);
+        assert_eq!(
+            base.stats.completed,
+            600,
+            "{}: FO farm must answer all requests",
+            kind.name()
+        );
+        for threads in [1usize, 4, 8] {
+            let other = run_farm(&config.clone().with_threads(threads));
+            assert_eq!(
+                base,
+                other,
+                "{}: report must not depend on thread count {}",
+                kind.name(),
+                threads
+            );
+        }
+    }
+}
