@@ -1,28 +1,28 @@
 //! Runs the server-farm benchmark suite — every server kind under every
-//! mode, plus a Pine failure-oblivious thread-scaling sweep — and writes
-//! the result to `BENCH_farm.json` (the repository's farm perf
-//! trajectory record).
+//! mode, a Pine failure-oblivious thread-scaling sweep, and the
+//! cold-vs-cached boot-cost split — and writes the result to
+//! `BENCH_farm.json` (the repository's farm perf trajectory record).
 //!
-//! Usage: `cargo run --release -p foc-bench --bin farm_scaling [requests]`
-//! where `requests` is the per-server request count (default 100).
+//! Usage:
+//!
+//! * `cargo run --release -p foc-bench --bin farm_scaling [requests]` —
+//!   full run; `requests` is the per-server request count (default 100).
+//! * `cargo run --release -p foc-bench --bin farm_scaling -- --check` —
+//!   CI smoke mode: a miniature suite that exercises every code path
+//!   (suite, scaling sweep with its determinism assertion, boot-cost
+//!   measurement, JSON rendering) without writing the record, so bench
+//!   bitrot fails CI instead of being discovered at measurement time.
 
-use foc_bench::farm_report::{farm_suite, render_farm_json, thread_scaling};
+use foc_bench::farm_report::{
+    farm_suite, measure_boot_cost, render_farm_json, thread_scaling, BootCost, ScalingRow,
+};
 
-fn main() {
-    let requests: usize = match std::env::args().nth(1) {
-        None => 100,
-        Some(arg) => match arg.parse() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("farm_scaling: invalid request count {arg:?} (want a positive integer)");
-                std::process::exit(2);
-            }
-        },
-    };
-
-    eprintln!("running farm suite: 5 servers x 5 modes, {requests} requests/server ...");
-    let reports = farm_suite(requests);
-    for r in &reports {
+fn print_summary(
+    reports: &[foc_servers::farm::FarmReport],
+    scaling: &[ScalingRow],
+    boot: &BootCost,
+) {
+    for r in reports {
         eprintln!(
             "  {:<9} {:<18} completed {:>5}/{:<5}  deaths {:>4}  restarts {:>4}  {:>8.1} req/Mcycle  {:>8.1} ms",
             r.config.kind.name(),
@@ -35,14 +35,72 @@ fn main() {
             r.host_wall_ms,
         );
     }
-
-    eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
-    let scaling = thread_scaling(requests, &[1, 2, 4, 8]);
-    for (threads, wall_ms, rps) in &scaling {
-        eprintln!("  threads {threads}: {wall_ms:.1} ms  ({rps:.0} req/s host)");
+    for row in scaling {
+        eprintln!(
+            "  threads {}: {:.1} ms ± {:.1} (95% CI, {} reps)  ({:.0} req/s host)",
+            row.threads, row.wall_ms, row.wall_ms_ci95, row.reps, row.host_rps
+        );
     }
+    eprintln!(
+        "  boot cost: cold compile+boot {:.0} ns, cached-image boot {:.0} ns ({:.1}x)",
+        boot.cold_ns,
+        boot.cached_ns,
+        boot.speedup()
+    );
+}
 
-    let json = render_farm_json(&reports, &scaling);
+fn run_check() {
+    eprintln!("farm_scaling --check: miniature suite ...");
+    let reports = farm_suite(4);
+    assert_eq!(
+        reports.len(),
+        5 * foc_memory::Mode::ALL.len(),
+        "suite must cover every server x mode cell"
+    );
+    // The sweep asserts report determinism across threads internally.
+    let scaling = thread_scaling(4, &[1, 2], 2);
+    let boot = measure_boot_cost(4);
+    assert!(
+        boot.speedup() >= 2.0,
+        "interned images must beat cold compiles even on noisy hosts: {:.1}x",
+        boot.speedup()
+    );
+    let json = render_farm_json(&reports, &scaling, &boot);
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "rendered record must balance"
+    );
+    print_summary(&reports, &scaling, &boot);
+    println!("farm_scaling --check OK ({} reports)", reports.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+    let requests: usize = match args.first() {
+        None => 100,
+        Some(arg) => match arg.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("farm_scaling: invalid request count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    eprintln!("running farm suite: 5 servers x 5 modes, {requests} requests/server ...");
+    let reports = farm_suite(requests);
+    eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
+    let scaling = thread_scaling(requests, &[1, 2, 4, 8], 3);
+    eprintln!("measuring boot cost (cold compile vs cached image) ...");
+    let boot = measure_boot_cost(24);
+    print_summary(&reports, &scaling, &boot);
+
+    let json = render_farm_json(&reports, &scaling, &boot);
     let path = "BENCH_farm.json";
     std::fs::write(path, &json).expect("write BENCH_farm.json");
     println!("wrote {path} ({} reports)", reports.len());

@@ -12,7 +12,7 @@ use foc_memory::AccessSize;
 /// on the canonical representation: values of narrow C types are kept
 /// sign- or zero-extended according to their static type, re-established
 /// by [`Instr::Normalize`] after operations that may overflow the type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// Push a constant.
     Const(i64),
@@ -112,7 +112,7 @@ impl fmt::Display for Instr {
 }
 
 /// Stack frame layout for one function.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct FrameLayout {
     /// Per-slot `(offset from frame base, size in bytes)`.
     pub slots: Vec<(u64, u64)>,
@@ -122,7 +122,7 @@ pub struct FrameLayout {
 }
 
 /// A compiled function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CompiledFunc {
     /// Source name.
     pub name: String,
@@ -135,7 +135,7 @@ pub struct CompiledFunc {
 }
 
 /// A global's load image.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct GlobalImage {
     /// Source name (data-unit label).
     pub name: String,
@@ -148,7 +148,7 @@ pub struct GlobalImage {
 }
 
 /// A complete compiled program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Hash)]
 pub struct CompiledProgram {
     /// Functions; indices match [`Instr::Call`] operands.
     pub funcs: Vec<CompiledFunc>,

@@ -22,13 +22,21 @@
 //! any behavioural difference is attributable to the policy alone).
 
 pub mod bytecode;
+pub mod image;
 pub mod lower;
 
 pub use bytecode::{CompiledFunc, CompiledProgram, FrameLayout, GlobalImage, Instr};
+pub use image::{ProgramId, ProgramImage};
 pub use lower::{compile, CompileError};
 
 /// Convenience: front end plus lowering in one call.
 pub fn compile_source(source: &str) -> Result<CompiledProgram, String> {
     let program = foc_lang::frontend(source).map_err(|e| e.to_string())?;
     compile(&program).map_err(|e| e.to_string())
+}
+
+/// Compiles source straight into a shareable [`ProgramImage`] — the
+/// entry point machines and image caches use.
+pub fn compile_image(source: &str) -> Result<ProgramImage, String> {
+    compile_source(source).map(ProgramImage::new)
 }

@@ -94,21 +94,104 @@ impl AccessSize {
     }
 }
 
-/// A contiguous mapped region backed by real bytes.
+/// A contiguous mapped region, committed lazily.
+///
+/// The region *reserves* `len` bytes of address space but backs only a
+/// committed window `[commit_base, commit_base + bytes.len())` with real
+/// storage; everything outside the window is logically zero. Reads
+/// manufacture those zeros without allocating; writes grow the window
+/// geometrically toward the touched offset (which handles both the
+/// upward-growing heap and the downward-growing stack). This is what
+/// makes booting a machine cheap — a fresh space costs three empty
+/// `Vec`s instead of ~76 MB of eager zeroing — which in turn is what
+/// makes farm restarts cheap (§4.7's availability argument prices every
+/// restart).
 #[derive(Debug)]
 pub struct Region {
     kind: RegionKind,
     base: u64,
+    /// Reserved size in bytes; bounds checks answer against this.
+    len: usize,
+    /// Offset of `bytes[0]` within the region.
+    commit_base: usize,
+    /// The committed window's storage.
     bytes: Vec<u8>,
 }
 
+/// Commit granularity (window edges are aligned to it).
+const COMMIT_CHUNK: usize = 64 << 10;
+
 impl Region {
-    /// Creates a zero-initialised region of `len` bytes starting at `base`.
+    /// Creates a logically zero region of `len` bytes starting at
+    /// `base`, committing no storage yet.
     pub fn new(kind: RegionKind, base: u64, len: usize) -> Region {
         Region {
             kind,
             base,
-            bytes: vec![0; len],
+            len,
+            commit_base: 0,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Bytes of real storage currently committed (diagnostics).
+    pub fn committed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Extends the committed window to cover `[off, end)`, padding
+    /// geometrically (at least the current window size, at least one
+    /// chunk) in the direction(s) that grew so repeated nearby touches
+    /// amortise to O(final window).
+    #[cold]
+    fn grow(&mut self, off: usize, end: usize) {
+        // An empty window anchors at the touched range, not at offset 0
+        // — the stack's first touch is near the *top* of its region, and
+        // anchoring low would commit the whole region eagerly.
+        let (cur_lo, cur_hi) = if self.bytes.is_empty() {
+            (off, end)
+        } else {
+            (self.commit_base, self.commit_base + self.bytes.len())
+        };
+        let pad = self.bytes.len().max(COMMIT_CHUNK);
+        let mut lo = cur_lo.min(off);
+        let mut hi = cur_hi.max(end);
+        if self.bytes.is_empty() || off < cur_lo {
+            lo = lo.saturating_sub(pad);
+        }
+        if self.bytes.is_empty() || end > cur_hi {
+            hi = hi.saturating_add(pad);
+        }
+        lo -= lo % COMMIT_CHUNK;
+        hi = hi.div_ceil(COMMIT_CHUNK) * COMMIT_CHUNK;
+        hi = hi.min(self.len);
+        debug_assert!(lo <= off && end <= hi);
+        let mut grown = vec![0u8; hi - lo];
+        if !self.bytes.is_empty() {
+            grown[cur_lo - lo..cur_hi - lo].copy_from_slice(&self.bytes);
+        }
+        self.commit_base = lo;
+        self.bytes = grown;
+    }
+
+    /// Copies the committed overlap of `[off, off + out.len())` into
+    /// `out`; bytes outside the window keep their existing (zero)
+    /// contents. The one place the window-overlap arithmetic lives.
+    #[inline]
+    fn copy_committed(&self, off: usize, out: &mut [u8]) {
+        let lo = off.max(self.commit_base);
+        let hi = (off + out.len()).min(self.commit_base + self.bytes.len());
+        if lo < hi {
+            out[lo - off..hi - off]
+                .copy_from_slice(&self.bytes[lo - self.commit_base..hi - self.commit_base]);
+        }
+    }
+
+    /// Ensures `[off, end)` is backed by committed storage.
+    #[inline]
+    fn commit(&mut self, off: usize, end: usize) {
+        if off < self.commit_base || end > self.commit_base + self.bytes.len() {
+            self.grow(off, end);
         }
     }
 
@@ -127,7 +210,7 @@ impl Region {
     /// One past the last mapped address.
     #[inline]
     pub fn end(&self) -> u64 {
-        self.base + self.bytes.len() as u64
+        self.base + self.len as u64
     }
 
     /// Whether the whole access `[addr, addr + len)` is inside the region.
@@ -137,50 +220,61 @@ impl Region {
     }
 
     /// Reads `size` bytes at `addr` as a little-endian unsigned value.
+    /// Bytes outside the committed window read as zero.
     ///
     /// Returns `None` when any byte of the access is outside the region.
     #[inline]
     pub fn read(&self, addr: u64, size: AccessSize) -> Option<u64> {
-        let len = size.bytes();
-        if !self.contains(addr, len) {
+        let len = size.bytes() as usize;
+        if !self.contains(addr, len as u64) {
             return None;
         }
         let off = (addr - self.base) as usize;
         let mut buf = [0u8; 8];
-        buf[..len as usize].copy_from_slice(&self.bytes[off..off + len as usize]);
+        self.copy_committed(off, &mut buf[..len]);
         Some(u64::from_le_bytes(buf))
     }
 
-    /// Writes the low `size` bytes of `value` at `addr`, little-endian.
+    /// Writes the low `size` bytes of `value` at `addr`, little-endian,
+    /// committing storage as needed.
     ///
     /// Returns `false` when any byte of the access is outside the region.
     #[inline]
     pub fn write(&mut self, addr: u64, size: AccessSize, value: u64) -> bool {
-        let len = size.bytes();
-        if !self.contains(addr, len) {
+        let len = size.bytes() as usize;
+        if !self.contains(addr, len as u64) {
             return false;
         }
         let off = (addr - self.base) as usize;
-        self.bytes[off..off + len as usize].copy_from_slice(&value.to_le_bytes()[..len as usize]);
+        self.commit(off, off + len);
+        let at = off - self.commit_base;
+        self.bytes[at..at + len].copy_from_slice(&value.to_le_bytes()[..len]);
         true
     }
 
-    /// Borrows `len` raw bytes starting at `addr`.
-    pub fn slice(&self, addr: u64, len: u64) -> Option<&[u8]> {
+    /// Copies `len` raw bytes starting at `addr` out to the host; bytes
+    /// outside the committed window read as zero.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Option<Vec<u8>> {
         if !self.contains(addr, len) {
             return None;
         }
         let off = (addr - self.base) as usize;
-        Some(&self.bytes[off..off + len as usize])
+        let mut out = vec![0u8; len as usize];
+        self.copy_committed(off, &mut out);
+        Some(out)
     }
 
-    /// Mutably borrows `len` raw bytes starting at `addr`.
+    /// Mutably borrows `len` raw bytes starting at `addr`, committing
+    /// storage as needed.
     pub fn slice_mut(&mut self, addr: u64, len: u64) -> Option<&mut [u8]> {
         if !self.contains(addr, len) {
             return None;
         }
         let off = (addr - self.base) as usize;
-        Some(&mut self.bytes[off..off + len as usize])
+        let len = len as usize;
+        self.commit(off, off + len);
+        let at = off - self.commit_base;
+        Some(&mut self.bytes[at..at + len])
     }
 }
 
@@ -242,6 +336,33 @@ mod tests {
         assert_eq!(r.read(1, AccessSize::B1), Some(0x02));
         assert_eq!(r.read(2, AccessSize::B1), Some(0x03));
         assert_eq!(r.read(3, AccessSize::B1), Some(0x04));
+    }
+
+    #[test]
+    fn lazy_commit_stays_near_the_touched_offset() {
+        // A fresh region commits nothing.
+        let mut r = Region::new(RegionKind::Stack, 0, 8 << 20);
+        assert_eq!(r.committed_bytes(), 0);
+        // Reads never commit.
+        assert_eq!(r.read(4 << 20, AccessSize::B8), Some(0));
+        assert_eq!(r.committed_bytes(), 0);
+        // The first write near the TOP of the region (where the
+        // downward-growing stack starts) must not commit the whole
+        // region — the window anchors at the touched offset.
+        let top = (8 << 20) - 16;
+        assert!(r.write(top, AccessSize::B8, 0xDEAD));
+        assert!(
+            r.committed_bytes() <= 4 * COMMIT_CHUNK,
+            "first stack write committed {} bytes",
+            r.committed_bytes()
+        );
+        // The window then grows geometrically toward deeper frames and
+        // reads straddling the window edge see committed and zero bytes.
+        assert!(r.write(top - (1 << 20), AccessSize::B8, 0xBEEF));
+        assert_eq!(r.read(top, AccessSize::B8), Some(0xDEAD));
+        assert_eq!(r.read(top - (1 << 20), AccessSize::B8), Some(0xBEEF));
+        assert_eq!(r.read(1024, AccessSize::B8), Some(0));
+        assert!(r.committed_bytes() <= (3 << 20));
     }
 
     #[test]

@@ -358,7 +358,7 @@ impl MemorySpace {
 
     /// Copies guest bytes out to the host, bypassing checks.
     pub fn read_bytes_raw(&self, a: u64, len: u64) -> Option<Vec<u8>> {
-        self.region(a)?.slice(a, len).map(<[u8]>::to_vec)
+        self.region(a)?.read_bytes(a, len)
     }
 
     /// Reads a NUL-terminated guest string (host-side, unchecked), with a

@@ -23,10 +23,11 @@
 //!   exactly right and the request is processed *correctly* (the errors
 //!   occur in irrelevant data).
 
-use foc_compiler::CompiledProgram;
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
-use foc_vm::{Machine, MachineConfig, VmFault};
+use foc_vm::VmFault;
 
+use crate::image::ServerKind;
 use crate::{Measured, Outcome, Process};
 
 /// MiniC source of the Apache worker.
@@ -189,10 +190,10 @@ long apache_requests_served() {
 }
 "#;
 
-/// Builds the compiled Apache worker image (compiled once, shared by the
-/// whole pool).
-pub fn compile_worker() -> CompiledProgram {
-    foc_compiler::compile_source(APACHE_SOURCE).expect("apache source must compile")
+/// The interned Apache worker image (compiled at most once per process,
+/// shared by pools, farms, and standalone workers).
+pub fn worker_image() -> ProgramImage {
+    ServerKind::Apache.image()
 }
 
 /// Default documents: the 5 KB home page and the 830 KB large file of
@@ -218,22 +219,20 @@ pub fn attack_url() -> Vec<u8> {
     rewrite_url(20)
 }
 
-fn init_worker(machine: &mut Machine) {
+fn init_worker(proc: &mut Process) {
     let docs = [SMALL_PAGE, LARGE_FILE, ("/s0", 512)];
     for (path, size) in docs {
-        let p = machine.alloc_cstring(path.as_bytes()).expect("heap");
-        machine
-            .call("apache_add_doc", &[p as i64, size])
-            .expect("init add_doc");
-        machine.free_guest(p).expect("free");
+        let p = proc.guest_str(path.as_bytes());
+        let r = proc.request("apache_add_doc", &[p.arg(), size]);
+        assert!(r.outcome.survived(), "init add_doc");
+        proc.free_guest_str(p);
     }
-    let pat = machine.alloc_cstring(b"%").expect("heap");
-    let rep = machine.alloc_cstring(b"/$0").expect("heap");
-    machine
-        .call("apache_set_rewrite", &[pat as i64, rep as i64])
-        .expect("init rewrite");
-    machine.free_guest(pat).expect("free");
-    machine.free_guest(rep).expect("free");
+    let pat = proc.guest_str(b"%");
+    let rep = proc.guest_str(b"/$0");
+    let r = proc.request("apache_set_rewrite", &[pat.arg(), rep.arg()]);
+    assert!(r.outcome.survived(), "init rewrite");
+    proc.free_guest_str(pat);
+    proc.free_guest_str(rep);
 }
 
 /// A single Apache child process.
@@ -242,23 +241,16 @@ pub struct ApacheWorker {
 }
 
 impl ApacheWorker {
-    /// Boots one worker from source (standalone use; pools share a
-    /// compiled image instead).
+    /// Boots one worker from the interned image.
     pub fn boot(mode: Mode) -> ApacheWorker {
-        let mut proc = Process::boot(APACHE_SOURCE, mode, 80_000_000);
-        init_worker(proc.machine_mut());
-        ApacheWorker { proc }
+        ApacheWorker::from_image(&ServerKind::Apache.image(), mode)
     }
 
-    fn from_image(image: CompiledProgram, mode: Mode) -> ApacheWorker {
-        let config = MachineConfig {
-            mem: foc_memory::MemConfig::with_mode(mode),
-            fuel_per_call: 80_000_000,
-        };
-        let mut machine = Machine::load(image, config).expect("load worker");
-        init_worker(&mut machine);
-        // Wrap in a Process for uniform measurement.
-        let proc = Process::from_machine(machine, mode, 80_000_000);
+    /// Boots one worker from an explicit image (pools hold their own
+    /// handle; tests pass a fresh uncached compile).
+    pub fn from_image(image: &ProgramImage, mode: Mode) -> ApacheWorker {
+        let mut proc = Process::boot(image, mode, ServerKind::Apache.fuel());
+        init_worker(&mut proc);
         ApacheWorker { proc }
     }
 
@@ -292,7 +284,7 @@ impl ApacheWorker {
             };
         }
         let p = self.proc.guest_str(url);
-        let r = self.proc.request("handle_request", &[p]);
+        let r = self.proc.request("handle_request", &[p.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }
@@ -308,7 +300,7 @@ pub const RESTART_COST_CYCLES: u64 = 220_000;
 
 /// The regenerating process pool (the paper's Apache architecture).
 pub struct ApachePool {
-    image: CompiledProgram,
+    image: ProgramImage,
     mode: Mode,
     workers: Vec<ApacheWorker>,
     next: usize,
@@ -321,11 +313,11 @@ pub struct ApachePool {
 }
 
 impl ApachePool {
-    /// Creates a pool with `n` children.
+    /// Creates a pool with `n` children sharing the interned image.
     pub fn new(mode: Mode, n: usize) -> ApachePool {
-        let image = compile_worker();
+        let image = worker_image();
         let workers = (0..n)
-            .map(|_| ApacheWorker::from_image(image.clone(), mode))
+            .map(|_| ApacheWorker::from_image(&image, mode))
             .collect();
         ApachePool {
             image,
@@ -353,7 +345,7 @@ impl ApachePool {
             Outcome::Crashed(_) => {
                 self.child_deaths += 1;
                 self.total_cycles += RESTART_COST_CYCLES;
-                self.workers[idx] = ApacheWorker::from_image(self.image.clone(), self.mode);
+                self.workers[idx] = ApacheWorker::from_image(&self.image, self.mode);
             }
         }
         r.outcome

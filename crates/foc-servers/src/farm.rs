@@ -3,28 +3,41 @@
 //! paper's evaluation.
 //!
 //! A farm boots `servers` independent guest processes of one
-//! [`ServerKind`] under one [`Mode`], spreads them over `threads` OS
-//! threads, and drives each with its own deterministic seeded request
-//! stream mixing legitimate traffic with attacks at a configured ratio.
-//! A supervisor policy restarts dead processes (recompiling and
-//! replaying initialization, which for persistent triggers — Pine's
-//! poisoned mailbox, Sendmail's wake-up error under Bounds Check — dies
-//! again, exactly the §4.7 situation) until a per-server restart budget
-//! is exhausted; after that the server is down and its remaining
-//! requests are dropped connections.
+//! [`ServerKind`] under one [`Mode`] — all sharing that kind's interned
+//! compiled image (see [`crate::image`]), so neither boots nor
+//! supervisor restarts ever invoke the compiler — and drives each with
+//! its own deterministic seeded request stream mixing legitimate
+//! traffic with attacks at a configured ratio. A supervisor policy
+//! restarts dead processes (replaying initialization, which for
+//! persistent triggers — Pine's poisoned mailbox, Sendmail's wake-up
+//! error under Bounds Check — dies again, exactly the §4.7 situation)
+//! until a per-server restart budget is exhausted; after that the
+//! server is down and its remaining requests are dropped connections.
+//!
+//! **Scheduling.** Work is interleaved at *request granularity*: each
+//! server's stream is cut into slices of [`FarmConfig::slice_requests`]
+//! requests, and a slice is the unit a worker thread executes before
+//! requeueing the server. Every worker owns a deque; it drains its own
+//! deque from the front (round-robinning its servers) and steals from
+//! the back of other workers' deques when it runs dry. Thousands of
+//! lightweight server processes therefore interleave over a handful of
+//! OS threads, and a slow server (one deep in supervised restarts)
+//! cannot pin its siblings behind it.
 //!
 //! **Determinism contract.** Every request stream is a pure function of
 //! `(seed, server index)`, each server's guest machines are fully
-//! deterministic (virtual clock, no host time), and aggregation runs in
-//! server-index order after all threads join. Therefore two farm runs
-//! with the same config but different `threads` values produce
-//! [`FarmReport`]s that compare equal (`PartialEq` ignores the one
-//! host-side measurement, wall time). The property tests assert this;
-//! the scaling bins rely on it to attribute wall-time differences to
-//! parallelism alone.
+//! deterministic (virtual clock, no host time), requests within one
+//! server execute in stream order no matter which threads run its
+//! slices, and aggregation runs in server-index order after all threads
+//! join. Therefore two farm runs with the same config but different
+//! `threads` or `slice_requests` values produce [`FarmReport`]s that
+//! compare equal (`PartialEq` ignores the one host-side measurement,
+//! wall time). The property tests assert this; the scaling bins rely on
+//! it to attribute wall-time differences to parallelism alone.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -32,44 +45,9 @@ use foc_memory::Mode;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::{apache, mc, mutt, pine, sendmail, workload, Measured, Outcome};
+pub use crate::image::ServerKind;
 
-/// Which of the paper's five servers the farm is running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ServerKind {
-    /// Apache httpd worker (mod_rewrite offsets overflow, §4.3).
-    Apache,
-    /// Sendmail daemon (prescan overflow, §4.4).
-    Sendmail,
-    /// Pine mail reader (From-quoting overflow, §4.2).
-    Pine,
-    /// Mutt mail reader (UTF-8→UTF-7 overflow, §4.6 / Figure 1).
-    Mutt,
-    /// Midnight Commander (symlink-path overflow, §4.5).
-    Mc,
-}
-
-impl ServerKind {
-    /// All five servers, in the paper's presentation order.
-    pub const ALL: [ServerKind; 5] = [
-        ServerKind::Pine,
-        ServerKind::Apache,
-        ServerKind::Sendmail,
-        ServerKind::Mc,
-        ServerKind::Mutt,
-    ];
-
-    /// Human-readable server name.
-    pub fn name(self) -> &'static str {
-        match self {
-            ServerKind::Apache => "Apache",
-            ServerKind::Sendmail => "Sendmail",
-            ServerKind::Pine => "Pine",
-            ServerKind::Mutt => "Mutt",
-            ServerKind::Mc => "MC",
-        }
-    }
-}
+use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload, Measured, Outcome};
 
 /// Virtual cycles charged for forking and re-initialising a replacement
 /// process (shared with the Apache pool's accounting).
@@ -96,11 +74,16 @@ pub struct FarmConfig {
     /// Restart attempts the supervisor grants each server process before
     /// declaring it down.
     pub restart_budget: u32,
+    /// Requests a worker thread serves on one server before requeueing
+    /// it — the work-stealing scheduler's interleaving grain. Affects
+    /// host scheduling only, never the measured data (clamped to ≥ 1).
+    pub slice_requests: usize,
 }
 
 impl FarmConfig {
     /// A farm of `kind` under `mode` with the default shape: 4 servers,
-    /// 4 threads, 100 requests per server, 1-in-8 attacks.
+    /// 4 threads, 100 requests per server, 1-in-8 attacks, and the
+    /// shared supervision budget.
     pub fn new(kind: ServerKind, mode: Mode) -> FarmConfig {
         FarmConfig {
             kind,
@@ -110,13 +93,20 @@ impl FarmConfig {
             requests_per_server: 100,
             seed: 0xF0C_0001,
             attack_ratio: (1, 8),
-            restart_budget: 8,
+            restart_budget: supervisor::RESTART_BUDGET,
+            slice_requests: 16,
         }
     }
 
     /// Same farm with a different thread count (scaling sweeps).
     pub fn with_threads(mut self, threads: usize) -> FarmConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Same farm with a different scheduling grain.
+    pub fn with_slice(mut self, slice_requests: usize) -> FarmConfig {
+        self.slice_requests = slice_requests;
         self
     }
 
@@ -148,6 +138,9 @@ pub struct ServerStats {
     pub down_at_end: bool,
     /// Virtual cycles spent serving plus restart overhead.
     pub total_cycles: u64,
+    /// The restart-overhead share of `total_cycles` (the §4.3.2
+    /// process-management cost; the boot/restart split in the reports).
+    pub restart_cycles: u64,
     /// Per-completed-request virtual latencies, in stream order.
     pub latencies: Vec<u64>,
 }
@@ -172,6 +165,8 @@ pub struct FarmStats {
     pub servers_down: u64,
     /// Virtual cycles spent farm-wide (serving + restarts).
     pub total_cycles: u64,
+    /// The restart-overhead share of `total_cycles`.
+    pub restart_cycles: u64,
     /// Mean completed-request latency in millicycles (fixed point, so the
     /// aggregate stays `Eq`-comparable).
     pub latency_mean_millicycles: u64,
@@ -202,12 +197,18 @@ impl FarmStats {
         }
         self.completed as f64 / (self.total_cycles as f64 / 1e6)
     }
+
+    /// Virtual cycles spent actually serving requests (total minus the
+    /// restart overhead — the other half of the boot/restart split).
+    pub fn service_cycles(&self) -> u64 {
+        self.total_cycles - self.restart_cycles
+    }
 }
 
 /// The result of one farm run. `PartialEq` compares everything except
 /// `host_wall_ms` (the only host-time measurement), so reports from runs
 /// with identical configs and seeds compare equal regardless of thread
-/// count.
+/// count or scheduling grain.
 #[derive(Debug, Clone)]
 pub struct FarmReport {
     /// The configuration that produced this report.
@@ -225,8 +226,9 @@ impl PartialEq for FarmReport {
     fn eq(&self, other: &FarmReport) -> bool {
         let a = &self.config;
         let b = &other.config;
-        // Thread count is excluded: it shapes host wall time only, never
-        // the measured data — that is the determinism contract.
+        // Thread count and slice grain are excluded: they shape host wall
+        // time only, never the measured data — that is the determinism
+        // contract.
         a.kind == b.kind
             && a.mode == b.mode
             && a.servers == b.servers
@@ -273,6 +275,10 @@ const PINE_SEED_MESSAGES: usize = 3;
 const MUTT_SEED_MESSAGES: usize = 2;
 
 impl FarmProcess {
+    /// Boots one process of `kind` from the interned image — the
+    /// compiler runs at most once per kind per host process, no matter
+    /// how many farm servers boot or how often the supervisor restarts
+    /// them.
     fn boot(kind: ServerKind, mode: Mode) -> FarmProcess {
         match kind {
             ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot(mode)),
@@ -414,58 +420,245 @@ fn server_seed(farm_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Restarts `process` until it serves again or the budget runs out,
-/// charging each attempt to the server's stats.
+/// Restarts `process` until it serves again or the server's remaining
+/// budget runs out, charging each attempt to the server's stats. The
+/// attempt loop itself is the shared [`supervisor::restart_until_usable`]
+/// helper — one definition of supervision for the farm and the §4.7
+/// study.
 fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmConfig) {
-    while !process.usable() && stats.restarts < u64::from(config.restart_budget) {
-        stats.restarts += 1;
-        stats.total_cycles += RESTART_COST_CYCLES;
-        process.restart(config.kind, config.mode);
+    let remaining = u64::from(config.restart_budget).saturating_sub(stats.restarts);
+    let budget = u32::try_from(remaining).unwrap_or(u32::MAX);
+    let (kind, mode) = (config.kind, config.mode);
+    let attempts = supervisor::restart_until_usable(
+        process,
+        budget,
+        |p| p.usable(),
+        |p| p.restart(kind, mode),
+    );
+    stats.restarts += u64::from(attempts);
+    stats.total_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
+    stats.restart_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
+}
+
+/// One server's in-flight execution state: the unit the work-stealing
+/// scheduler moves between threads. Requests within the server always
+/// execute in stream order; only *which thread* runs the next slice
+/// varies.
+struct ServerRun {
+    index: usize,
+    rng: StdRng,
+    process: FarmProcess,
+    stats: ServerStats,
+    /// Requests issued so far (attempted, including refused connections).
+    issued: usize,
+}
+
+impl ServerRun {
+    /// Boots server `index` from the interned image and burns any
+    /// restart budget initialization demands (Bounds Check Sendmail's
+    /// wake-up, §4.4.4).
+    fn boot(config: &FarmConfig, index: usize) -> Box<ServerRun> {
+        let rng = StdRng::seed_from_u64(server_seed(config.seed, index));
+        let mut stats = ServerStats::default();
+        let mut process = FarmProcess::boot(config.kind, config.mode);
+        supervise(&mut process, &mut stats, config);
+        Box::new(ServerRun {
+            index,
+            rng,
+            process,
+            stats,
+            issued: 0,
+        })
+    }
+
+    /// Issues the next request of this server's stream.
+    fn step(&mut self, config: &FarmConfig) {
+        self.issued += 1;
+        self.stats.requests += 1;
+        let attack = config.attack_ratio.0 > 0
+            && self
+                .rng
+                .gen_ratio(config.attack_ratio.0, config.attack_ratio.1);
+        if attack {
+            self.stats.attacks += 1;
+        }
+
+        if !self.process.usable() {
+            // Down and out of budget: the connection is refused.
+            self.stats.dropped += 1;
+            return;
+        }
+
+        let measured = self.process.serve(&mut self.rng, attack);
+        self.stats.total_cycles += measured.cycles;
+        match measured.outcome {
+            Outcome::Done { .. } => {
+                self.stats.completed += 1;
+                self.stats.latencies.push(measured.cycles);
+            }
+            Outcome::Crashed(_) => {
+                self.stats.dropped += 1;
+                self.stats.deaths += 1;
+                supervise(&mut self.process, &mut self.stats, config);
+            }
+        }
+    }
+
+    /// Whether the whole stream has been issued.
+    fn finished(&self, config: &FarmConfig) -> bool {
+        self.issued >= config.requests_per_server
+    }
+
+    /// Seals the run and returns its stats.
+    fn finish(mut self, config: &FarmConfig) -> (usize, ServerStats) {
+        debug_assert!(self.finished(config));
+        self.stats.down_at_end = !self.process.usable();
+        (self.index, self.stats)
     }
 }
 
-/// Runs one server's entire request stream. Pure function of the config
-/// and the server index — the unit of parallelism.
-fn run_server(config: &FarmConfig, index: usize) -> ServerStats {
-    let mut rng = StdRng::seed_from_u64(server_seed(config.seed, index));
-    let mut stats = ServerStats::default();
-    let mut process = FarmProcess::boot(config.kind, config.mode);
+/// A schedulable unit in a worker deque.
+enum Task {
+    /// A server that has not booted yet (boot happens on first pop, so
+    /// boot cost lands on whichever thread has capacity).
+    Fresh(usize),
+    /// A booted server mid-stream, carrying its execution state.
+    Resume(Box<ServerRun>),
+}
 
-    // Some servers die during initialization (Bounds Check Sendmail's
-    // wake-up, §4.4.4). The supervisor burns restart budget up front.
-    supervise(&mut process, &mut stats, config);
+/// What became of one executed slice.
+enum SliceOutcome {
+    /// Stream unfinished: requeue the server.
+    Yield(Box<ServerRun>),
+    /// Stream complete: publish the stats for this server index.
+    Finished(usize, ServerStats),
+}
 
-    for _ in 0..config.requests_per_server {
-        stats.requests += 1;
-        let attack = config.attack_ratio.0 > 0
-            && rng.gen_ratio(config.attack_ratio.0, config.attack_ratio.1);
-        if attack {
-            stats.attacks += 1;
+/// Executes up to `slice` requests of `task`'s server.
+fn run_slice(config: &FarmConfig, task: Task, slice: usize) -> SliceOutcome {
+    let mut run = match task {
+        Task::Fresh(index) => ServerRun::boot(config, index),
+        Task::Resume(run) => run,
+    };
+    for _ in 0..slice {
+        if run.finished(config) {
+            break;
         }
+        run.step(config);
+    }
+    if run.finished(config) {
+        let (index, stats) = run.finish(config);
+        SliceOutcome::Finished(index, stats)
+    } else {
+        SliceOutcome::Yield(run)
+    }
+}
 
-        if !process.usable() {
-            // Down and out of budget: the connection is refused.
-            stats.dropped += 1;
-            continue;
+/// Shared scheduler state for one farm run.
+struct Scheduler {
+    /// One deque per worker thread.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Servers whose stats have not been published yet.
+    unfinished: AtomicUsize,
+    /// Per-server results, filled in as streams finish.
+    slots: Mutex<Vec<Option<ServerStats>>>,
+    /// Set when a worker unwinds mid-task: its server will never finish,
+    /// so idle siblings must stop waiting for the count to drain and let
+    /// the scope re-throw the panic instead of hanging the farm.
+    aborted: AtomicBool,
+    /// Idle workers park here instead of burning CPU; signalled when a
+    /// task is requeued and when the farm drains or aborts.
+    idle_lock: Mutex<()>,
+    idle: Condvar,
+}
+
+impl Scheduler {
+    fn new(servers: usize, threads: usize) -> Scheduler {
+        Scheduler {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            unfinished: AtomicUsize::new(servers),
+            slots: Mutex::new(vec![None; servers]),
+            aborted: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle: Condvar::new(),
         }
+    }
+}
 
-        let measured = process.serve(&mut rng, attack);
-        stats.total_cycles += measured.cycles;
-        match measured.outcome {
-            Outcome::Done { .. } => {
-                stats.completed += 1;
-                stats.latencies.push(measured.cycles);
+/// Pops the next task for worker `me`: own deque first (front — the
+/// worker round-robins its servers), then steal from the back of the
+/// other workers' deques.
+fn pop_task(me: usize, deques: &[Mutex<VecDeque<Task>>]) -> Option<Task> {
+    if let Some(task) = deques[me].lock().expect("farm deque lock").pop_front() {
+        return Some(task);
+    }
+    let n = deques.len();
+    for d in 1..n {
+        let victim = (me + d) % n;
+        if let Some(task) = deques[victim].lock().expect("farm deque lock").pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Flags the scheduler as aborted when dropped armed (i.e. when the
+/// owning worker unwinds instead of exiting its loop normally).
+struct AbortSentinel<'a> {
+    sched: &'a Scheduler,
+    armed: bool,
+}
+
+impl Drop for AbortSentinel<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sched.aborted.store(true, Ordering::Release);
+            self.sched.idle.notify_all();
+        }
+    }
+}
+
+/// How long an idle worker parks before re-checking for stealable work
+/// (bounds the window where a wakeup raced its last pop attempt).
+const IDLE_PARK: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// One worker thread's scheduling loop.
+fn worker_loop(config: &FarmConfig, me: usize, slice: usize, sched: &Scheduler) {
+    let mut sentinel = AbortSentinel { sched, armed: true };
+    loop {
+        if sched.aborted.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(task) = pop_task(me, &sched.deques) else {
+            if sched.unfinished.load(Ordering::Acquire) == 0 {
+                break;
             }
-            Outcome::Crashed(_) => {
-                stats.dropped += 1;
-                stats.deaths += 1;
-                supervise(&mut process, &mut stats, config);
+            // Every remaining task is live on some other worker; park
+            // until one yields or finishes rather than spinning.
+            let guard = sched.idle_lock.lock().expect("farm idle lock");
+            let _ = sched
+                .idle
+                .wait_timeout(guard, IDLE_PARK)
+                .expect("farm idle lock");
+            continue;
+        };
+        match run_slice(config, task, slice) {
+            SliceOutcome::Yield(run) => {
+                sched.deques[me]
+                    .lock()
+                    .expect("farm deque lock")
+                    .push_back(Task::Resume(run));
+                sched.idle.notify_one();
+            }
+            SliceOutcome::Finished(index, stats) => {
+                sched.slots.lock().expect("farm result lock")[index] = Some(stats);
+                if sched.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    sched.idle.notify_all();
+                }
             }
         }
     }
-
-    stats.down_at_end = !process.usable();
-    stats
+    sentinel.armed = false;
 }
 
 /// Aggregates per-server stats in server-index order (making the result
@@ -482,6 +675,7 @@ fn aggregate(per_server: &[ServerStats]) -> FarmStats {
         agg.restarts += s.restarts;
         agg.servers_down += u64::from(s.down_at_end);
         agg.total_cycles += s.total_cycles;
+        agg.restart_cycles += s.restart_cycles;
         latencies.extend_from_slice(&s.latencies);
     }
     if !latencies.is_empty() {
@@ -497,8 +691,9 @@ fn aggregate(per_server: &[ServerStats]) -> FarmStats {
     agg
 }
 
-/// Runs the farm: boots `config.servers` processes, drives them from
-/// `config.threads` OS threads, and aggregates deterministically.
+/// Runs the farm: seeds `config.servers` server tasks round-robin over
+/// `config.threads` worker deques, executes them slice-by-slice with
+/// work stealing, and aggregates deterministically.
 ///
 /// # Panics
 ///
@@ -512,25 +707,26 @@ pub fn run_farm(config: &FarmConfig) -> FarmReport {
         "farm needs at least one request per server"
     );
     let threads = config.threads.clamp(1, config.servers);
+    let slice = config.slice_requests.max(1);
     let started = Instant::now();
 
-    let next: AtomicUsize = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<ServerStats>>> = Mutex::new(vec![None; config.servers]);
+    let sched = Scheduler::new(config.servers, threads);
+    for index in 0..config.servers {
+        sched.deques[index % threads]
+            .lock()
+            .expect("farm deque lock")
+            .push_back(Task::Fresh(index));
+    }
 
     thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= config.servers {
-                    break;
-                }
-                let stats = run_server(config, index);
-                slots.lock().expect("farm result lock")[index] = Some(stats);
-            });
+        for me in 0..threads {
+            let sched = &sched;
+            scope.spawn(move || worker_loop(config, me, slice, sched));
         }
     });
 
-    let per_server: Vec<ServerStats> = slots
+    let per_server: Vec<ServerStats> = sched
+        .slots
         .into_inner()
         .expect("farm result lock")
         .into_iter()
@@ -581,6 +777,8 @@ mod tests {
         assert_eq!(r.stats.completed, 24);
         assert_eq!(r.stats.deaths, 0);
         assert_eq!(r.stats.servers_down, 0);
+        assert_eq!(r.stats.restart_cycles, 0);
+        assert_eq!(r.stats.service_cycles(), r.stats.total_cycles);
         assert!(r.stats.latency_p50 > 0);
         assert!(r.stats.latency_max >= r.stats.latency_p99);
     }
@@ -594,13 +792,31 @@ mod tests {
     }
 
     #[test]
+    fn farm_report_is_slice_grain_invariant() {
+        // The scheduling grain decides how often servers hop threads,
+        // never what their streams compute.
+        let c = quick(ServerKind::Pine, Mode::FailureOblivious).with_attack_ratio(1, 4);
+        let fine = run_farm(&c.clone().with_slice(1));
+        let medium = run_farm(&c.clone().with_slice(5));
+        let whole = run_farm(&c.with_slice(usize::MAX));
+        assert_eq!(fine, medium);
+        assert_eq!(fine, whole);
+    }
+
+    #[test]
     fn bounds_check_sendmail_farm_is_down() {
         // §4.4.4: the daemon dies during init; restarts die the same way.
-        let r = run_farm(&quick(ServerKind::Sendmail, Mode::BoundsCheck));
+        let c = quick(ServerKind::Sendmail, Mode::BoundsCheck);
+        let r = run_farm(&c);
         assert_eq!(r.stats.completed, 0);
         assert_eq!(r.stats.dropped, r.stats.requests);
         assert_eq!(r.stats.servers_down, 2);
-        assert_eq!(r.stats.restarts, 2 * 8);
+        assert_eq!(r.stats.restarts, 2 * u64::from(c.restart_budget));
+        assert_eq!(
+            r.stats.restart_cycles,
+            r.stats.restarts * RESTART_COST_CYCLES,
+            "every charged cycle of a dead farm is restart overhead",
+        );
     }
 
     #[test]
@@ -618,5 +834,22 @@ mod tests {
             );
             assert!(r.stats.attacks > 0, "{} stream had no attacks", kind.name());
         }
+    }
+
+    #[test]
+    fn many_servers_interleave_over_few_threads() {
+        // More servers than threads: the deques must cycle everything
+        // through without losing a stream.
+        let mut c = FarmConfig::new(ServerKind::Apache, Mode::FailureOblivious);
+        c.servers = 9;
+        c.threads = 2;
+        c.requests_per_server = 7;
+        c.slice_requests = 2;
+        c.attack_ratio = (1, 5);
+        let r = run_farm(&c);
+        assert_eq!(r.per_server.len(), 9);
+        assert_eq!(r.stats.requests, 63);
+        assert_eq!(r.stats.completed, 63);
+        assert_eq!(r, run_farm(&c.clone().with_threads(4).with_slice(3)));
     }
 }

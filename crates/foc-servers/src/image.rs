@@ -1,0 +1,175 @@
+//! Per-server compiled-image interning.
+//!
+//! The five server sources are fixed constants, so there are exactly five
+//! compiled programs in the whole system — yet before this module every
+//! boot and every supervisor restart recompiled its source from scratch
+//! (only Apache's regenerating pool reused an image, and even the pool
+//! recompiled once per pool). This module holds one lazily-compiled
+//! [`ProgramImage`] per [`ServerKind`] in a process-wide cache:
+//! [`ServerKind::image`] compiles on first use and afterwards hands out
+//! `Arc` clones, so farm boots, restarts, and pool respawns never invoke
+//! the compiler again. The `boot_cost` bench quantifies the difference.
+//!
+//! [`ServerKind::fresh_image`] bypasses the cache; the image-sharing
+//! property tests use it to prove cached boots behave byte-identically
+//! to from-source boots.
+
+use std::sync::OnceLock;
+
+use foc_compiler::ProgramImage;
+
+use crate::{apache, mc, mutt, pine, sendmail};
+
+/// Which of the paper's five servers is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Apache httpd worker (mod_rewrite offsets overflow, §4.3).
+    Apache,
+    /// Sendmail daemon (prescan overflow, §4.4).
+    Sendmail,
+    /// Pine mail reader (From-quoting overflow, §4.2).
+    Pine,
+    /// Mutt mail reader (UTF-8→UTF-7 overflow, §4.6 / Figure 1).
+    Mutt,
+    /// Midnight Commander (symlink-path overflow, §4.5).
+    Mc,
+}
+
+/// One cache slot per [`ServerKind`], indexed by [`ServerKind::index`].
+static IMAGES: [OnceLock<ProgramImage>; 5] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+impl ServerKind {
+    /// All five servers, in the paper's presentation order.
+    pub const ALL: [ServerKind; 5] = [
+        ServerKind::Pine,
+        ServerKind::Apache,
+        ServerKind::Sendmail,
+        ServerKind::Mc,
+        ServerKind::Mutt,
+    ];
+
+    /// Human-readable server name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Apache => "Apache",
+            ServerKind::Sendmail => "Sendmail",
+            ServerKind::Pine => "Pine",
+            ServerKind::Mutt => "Mutt",
+            ServerKind::Mc => "MC",
+        }
+    }
+
+    /// The MiniC source of this server.
+    pub fn source(self) -> &'static str {
+        match self {
+            ServerKind::Apache => apache::APACHE_SOURCE,
+            ServerKind::Sendmail => sendmail::SENDMAIL_SOURCE,
+            ServerKind::Pine => pine::PINE_SOURCE,
+            ServerKind::Mutt => mutt::MUTT_SOURCE,
+            ServerKind::Mc => mc::MC_SOURCE,
+        }
+    }
+
+    /// Fuel budget per guest call for this server's drivers.
+    pub fn fuel(self) -> u64 {
+        match self {
+            // MC's archive walk visits more guest code per request.
+            ServerKind::Mc => 120_000_000,
+            _ => 80_000_000,
+        }
+    }
+
+    /// Dense index (cache slots, report tables).
+    pub fn index(self) -> usize {
+        match self {
+            ServerKind::Pine => 0,
+            ServerKind::Apache => 1,
+            ServerKind::Sendmail => 2,
+            ServerKind::Mc => 3,
+            ServerKind::Mutt => 4,
+        }
+    }
+
+    /// The interned compiled image: compiled at most once per process,
+    /// then shared by every machine of this kind. Concurrent first
+    /// callers race benignly — `OnceLock` publishes exactly one image,
+    /// so all threads observe the same [`foc_compiler::ProgramId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server source fails to compile — the sources are
+    /// fixed constants, so that is a bug in this crate, not input error.
+    pub fn image(self) -> ProgramImage {
+        IMAGES[self.index()]
+            .get_or_init(|| self.fresh_image())
+            .clone()
+    }
+
+    /// Compiles a fresh, uncached image from source (cold-boot path;
+    /// tests and the `boot_cost` bench compare it against the cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server source fails to compile, as
+    /// [`ServerKind::image`] does.
+    pub fn fresh_image(self) -> ProgramImage {
+        match foc_compiler::compile_image(self.source()) {
+            Ok(image) => image,
+            Err(e) => panic!("{} source failed to build: {e}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hands_out_one_shared_image_per_kind() {
+        for kind in ServerKind::ALL {
+            let a = kind.image();
+            let b = kind.image();
+            assert_eq!(a.id(), b.id(), "{}", kind.name());
+            assert!(
+                std::ptr::eq(a.program(), b.program()),
+                "{}: cache must share one allocation",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_and_fresh_images_have_equal_ids() {
+        for kind in ServerKind::ALL {
+            assert_eq!(
+                kind.image().id(),
+                kind.fresh_image().id(),
+                "{}: cache must serve the same content as a cold compile",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn the_five_images_are_distinct_programs() {
+        let ids: Vec<_> = ServerKind::ALL.iter().map(|k| k.image().id()).collect();
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j], "two servers share a ProgramId");
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (pos, kind) in ServerKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), pos);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod apache;
 pub mod farm;
+pub mod image;
 pub mod mc;
 pub mod mutt;
 pub mod pine;
@@ -24,6 +25,9 @@ pub mod sendmail;
 pub mod supervisor;
 pub mod workload;
 
+pub use image::ServerKind;
+
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
 use foc_vm::{Machine, MachineConfig, VmFault};
 
@@ -74,6 +78,41 @@ pub struct Measured {
     pub cycles: u64,
 }
 
+/// A guest address handed out by the driver-side allocator
+/// ([`Process::guest_str`]), typed so the alloc/arg/free round-trip
+/// can't silently mix addresses with ordinary guest integers or lose
+/// bits in unchecked casts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GuestAddr(u64);
+
+impl GuestAddr {
+    /// Wraps a raw guest address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the address does not fit the guest calling
+    /// convention's `i64` argument slot (the memory map never hands out
+    /// such addresses; one here is a harness bug).
+    pub fn new(raw: u64) -> GuestAddr {
+        assert!(
+            i64::try_from(raw).is_ok(),
+            "guest address {raw:#x} overflows the i64 argument slot"
+        );
+        GuestAddr(raw)
+    }
+
+    /// The raw address (for direct [`Machine`] APIs).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address as a guest call argument. Infallible by the
+    /// [`GuestAddr::new`] invariant.
+    pub fn arg(self) -> i64 {
+        self.0 as i64
+    }
+}
+
 /// Shared plumbing: one guest process running a compiled server.
 pub struct Process {
     machine: Machine,
@@ -82,20 +121,22 @@ pub struct Process {
 }
 
 impl Process {
-    /// Compiles `source` and boots it under `mode`.
+    /// Boots a shared compiled image under `mode`. This is the farm's
+    /// hot path: no compilation, just globals/strings allocation —
+    /// restarts and pool respawns reuse the interned image.
     ///
     /// # Panics
     ///
-    /// Panics when the server source fails to compile — the sources are
-    /// fixed constants, so that is a bug in this crate, not input error.
-    pub fn boot(source: &str, mode: Mode, fuel: u64) -> Process {
+    /// Panics when the image fails to load (global region exhaustion —
+    /// a harness bug, since the server images are fixed).
+    pub fn boot(image: &ProgramImage, mode: Mode, fuel: u64) -> Process {
         let config = MachineConfig {
             mem: foc_memory::MemConfig::with_mode(mode),
             fuel_per_call: fuel,
         };
-        let machine = match Machine::from_source(source, config) {
+        let machine = match Machine::load(image.clone(), config) {
             Ok(m) => m,
-            Err(e) => panic!("server source failed to build: {e}"),
+            Err(e) => panic!("server image failed to load: {e}"),
         };
         Process {
             machine,
@@ -104,13 +145,19 @@ impl Process {
         }
     }
 
-    /// Wraps an already-loaded machine (pools share compiled images).
-    pub fn from_machine(machine: Machine, mode: Mode, fuel: u64) -> Process {
-        Process {
-            machine,
-            mode,
-            fuel,
-        }
+    /// Compiles `source` cold and boots it — the pre-interning path,
+    /// kept for one-off programs and as the differential baseline the
+    /// image-sharing property tests compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the source fails to compile.
+    pub fn boot_source(source: &str, mode: Mode, fuel: u64) -> Process {
+        let image = match foc_compiler::compile_image(source) {
+            Ok(image) => image,
+            Err(e) => panic!("server source failed to build: {e}"),
+        };
+        Process::boot(&image, mode, fuel)
     }
 
     /// The policy this process runs under.
@@ -153,22 +200,25 @@ impl Process {
         Measured { outcome, cycles }
     }
 
-    /// Copies a byte string into the guest heap, NUL-terminated.
+    /// Copies a byte string into the guest heap, NUL-terminated,
+    /// returning the typed address for the call/free round-trip.
     ///
     /// # Panics
     ///
     /// Panics when the guest heap is exhausted (drivers allocate tiny
     /// request strings; exhaustion indicates a harness bug).
-    pub fn guest_str(&mut self, bytes: &[u8]) -> i64 {
-        self.machine
-            .alloc_cstring(bytes)
-            .expect("guest heap exhausted") as i64
+    pub fn guest_str(&mut self, bytes: &[u8]) -> GuestAddr {
+        GuestAddr::new(
+            self.machine
+                .alloc_cstring(bytes)
+                .expect("guest heap exhausted"),
+        )
     }
 
     /// Frees a driver-allocated guest string.
-    pub fn free_guest_str(&mut self, addr: i64) {
+    pub fn free_guest_str(&mut self, addr: GuestAddr) {
         // Tolerate failure: freeing after a fault is pointless anyway.
-        let _ = self.machine.free_guest(addr as u64);
+        let _ = self.machine.free_guest(addr.raw());
     }
 }
 
@@ -200,7 +250,7 @@ mod tests {
 
     #[test]
     fn process_boot_and_request() {
-        let mut p = Process::boot(
+        let mut p = Process::boot_source(
             "int n = 0; int bump() { n++; return n; }",
             Mode::FailureOblivious,
             1_000_000,

@@ -17,9 +17,11 @@
 //!   manufactured-value sequence: a constant sequence would hang it; the
 //!   cycling sequence eventually produces `'/'` and the loop exits.
 
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
 use foc_vm::VmFault;
 
+use crate::image::ServerKind;
 use crate::{Measured, Outcome, Process};
 
 /// MiniC source of the Midnight Commander model.
@@ -221,9 +223,14 @@ impl Mc {
     /// Boots MC: loads the configuration (which may itself fault) and
     /// populates a working directory.
     pub fn boot(mode: Mode, config: &[u8]) -> Mc {
-        let mut proc = Process::boot(MC_SOURCE, mode, 120_000_000);
+        Mc::boot_image(&ServerKind::Mc.image(), mode, config)
+    }
+
+    /// Boots MC from an explicit compiled image.
+    pub fn boot_image(image: &ProgramImage, mode: Mode, config: &[u8]) -> Mc {
+        let mut proc = Process::boot(image, mode, ServerKind::Mc.fuel());
         let cfg = proc.guest_str(config);
-        let init_outcome = proc.request("mc_load_config", &[cfg]).outcome;
+        let init_outcome = proc.request("mc_load_config", &[cfg.arg()]).outcome;
         if init_outcome.survived() {
             proc.free_guest_str(cfg);
         }
@@ -266,7 +273,7 @@ impl Mc {
             return dead(&self.proc);
         }
         let p = self.proc.guest_str(arg);
-        let r = self.proc.request(func, &[p]);
+        let r = self.proc.request(func, &[p.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }
@@ -279,7 +286,9 @@ impl Mc {
             return None;
         }
         let p = self.proc.guest_str(name);
-        let r = self.proc.request("fs_create", &[p, size, is_dir as i64]);
+        let r = self
+            .proc
+            .request("fs_create", &[p.arg(), size, is_dir as i64]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }
@@ -297,7 +306,7 @@ impl Mc {
         }
         for l in links {
             let p = self.proc.guest_str(l);
-            let r = self.proc.request("mc_add_link", &[p]);
+            let r = self.proc.request("mc_add_link", &[p.arg()]);
             if !r.outcome.survived() {
                 return r;
             }
@@ -313,7 +322,7 @@ impl Mc {
         }
         let s = self.proc.guest_str(src);
         let d = self.proc.guest_str(dst);
-        let r = self.proc.request("mc_copy_file", &[s, d]);
+        let r = self.proc.request("mc_copy_file", &[s.arg(), d.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(s);
             self.proc.free_guest_str(d);
@@ -328,7 +337,7 @@ impl Mc {
         }
         let s = self.proc.guest_str(src);
         let d = self.proc.guest_str(dst);
-        let r = self.proc.request("mc_move_file", &[s, d]);
+        let r = self.proc.request("mc_move_file", &[s.arg(), d.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(s);
             self.proc.free_guest_str(d);

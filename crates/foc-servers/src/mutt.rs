@@ -22,9 +22,11 @@
 //!   "folder does not exist", Mutt's error handling rejects it, and the
 //!   user continues working with legitimate folders.
 
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
 use foc_vm::VmFault;
 
+use crate::image::ServerKind;
 use crate::{Measured, Outcome, Process};
 
 /// MiniC source of the Mutt model.
@@ -251,7 +253,12 @@ impl Mutt {
     /// Boots Mutt (IMAP folder list, startup allocations) and seeds the
     /// mailbox with `seed_messages` ordinary messages.
     pub fn boot(mode: Mode, seed_messages: usize) -> Mutt {
-        let mut proc = Process::boot(MUTT_SOURCE, mode, 80_000_000);
+        Mutt::boot_image(&ServerKind::Mutt.image(), mode, seed_messages)
+    }
+
+    /// Boots Mutt from an explicit compiled image.
+    pub fn boot_image(image: &ProgramImage, mode: Mode, seed_messages: usize) -> Mutt {
+        let mut proc = Process::boot(image, mode, ServerKind::Mutt.fuel());
         let r = proc.request("mutt_init", &[]);
         assert!(
             r.outcome.survived(),
@@ -285,7 +292,9 @@ impl Mutt {
         let f = self.proc.guest_str(from);
         let s = self.proc.guest_str(subject);
         let b = self.proc.guest_str(body);
-        let r = self.proc.request("mutt_add_message", &[f, s, b]);
+        let r = self
+            .proc
+            .request("mutt_add_message", &[f.arg(), s.arg(), b.arg()]);
         for p in [f, s, b] {
             self.proc.free_guest_str(p);
         }
@@ -298,7 +307,7 @@ impl Mutt {
             return dead(&self.proc);
         }
         let p = self.proc.guest_str(name);
-        let r = self.proc.request("mutt_open_folder", &[p]);
+        let r = self.proc.request("mutt_open_folder", &[p.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }
@@ -319,7 +328,7 @@ impl Mutt {
             return dead(&self.proc);
         }
         let p = self.proc.guest_str(dest);
-        let r = self.proc.request("mutt_move_message", &[idx, p]);
+        let r = self.proc.request("mutt_move_message", &[idx, p.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }

@@ -20,9 +20,11 @@
 //!   shows only an initial segment); selecting the message takes a
 //!   different, correct path that displays the complete From field.
 
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
 use foc_vm::VmFault;
 
+use crate::image::ServerKind;
 use crate::workload;
 use crate::{Measured, Outcome, Process};
 
@@ -222,9 +224,19 @@ pub fn attack_from(quoted: usize) -> Vec<u8> {
 }
 
 impl Pine {
-    /// Boots Pine over the given mail file contents.
+    /// Boots Pine from the interned image over the given mail file
+    /// contents.
     pub fn boot(mode: Mode, mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Pine {
-        let mut proc = Process::boot(PINE_SOURCE, mode, 80_000_000);
+        Pine::boot_image(&ServerKind::Pine.image(), mode, mailbox)
+    }
+
+    /// Boots Pine from an explicit compiled image.
+    pub fn boot_image(
+        image: &ProgramImage,
+        mode: Mode,
+        mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+    ) -> Pine {
+        let mut proc = Process::boot(image, mode, ServerKind::Pine.fuel());
         let r = proc.request("pine_init", &[]);
         assert!(r.outcome.survived(), "pine_init cannot fail");
         let mut pine = Pine {
@@ -261,7 +273,9 @@ impl Pine {
             let f = self.proc.guest_str(&from);
             let s = self.proc.guest_str(&subject);
             let b = self.proc.guest_str(&body);
-            let r = self.proc.request("pine_add_message", &[f, s, b]);
+            let r = self
+                .proc
+                .request("pine_add_message", &[f.arg(), s.arg(), b.arg()]);
             if r.outcome.survived() {
                 for p in [f, s, b] {
                     self.proc.free_guest_str(p);
@@ -312,7 +326,9 @@ impl Pine {
         let f = self.proc.guest_str(from);
         let s = self.proc.guest_str(subject);
         let b = self.proc.guest_str(body);
-        let r = self.proc.request("pine_add_message", &[f, s, b]);
+        let r = self
+            .proc
+            .request("pine_add_message", &[f.arg(), s.arg(), b.arg()]);
         if !r.outcome.survived() {
             return r;
         }

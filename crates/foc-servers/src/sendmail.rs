@@ -24,9 +24,11 @@
 //!   wake-up error is logged and otherwise harmless — the "steady stream
 //!   of memory errors during normal execution" of §4.4.4.
 
+use foc_compiler::ProgramImage;
 use foc_memory::Mode;
 use foc_vm::VmFault;
 
+use crate::image::ServerKind;
 use crate::workload;
 use crate::{Measured, Outcome, Process};
 
@@ -239,9 +241,15 @@ pub fn attack_address(pairs: usize) -> Vec<u8> {
 }
 
 impl Sendmail {
-    /// Boots the daemon: the first wake-up happens during init.
+    /// Boots the daemon from the interned image: the first wake-up
+    /// happens during init.
     pub fn boot(mode: Mode) -> Sendmail {
-        let mut proc = Process::boot(SENDMAIL_SOURCE, mode, 80_000_000);
+        Sendmail::boot_image(&ServerKind::Sendmail.image(), mode)
+    }
+
+    /// Boots the daemon from an explicit compiled image.
+    pub fn boot_image(image: &ProgramImage, mode: Mode) -> Sendmail {
+        let mut proc = Process::boot(image, mode, ServerKind::Sendmail.fuel());
         let init_outcome = proc.request("sendmail_init", &[]).outcome;
         Sendmail { proc, init_outcome }
     }
@@ -279,7 +287,7 @@ impl Sendmail {
             return dead(&self.proc);
         }
         let p = self.proc.guest_str(arg);
-        let r = self.proc.request(func, &[p]);
+        let r = self.proc.request(func, &[p.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(p);
         }
@@ -325,7 +333,7 @@ impl Sendmail {
         }
         let t = self.proc.guest_str(to);
         let b = self.proc.guest_str(body);
-        let r = self.proc.request("smtp_send", &[t, b]);
+        let r = self.proc.request("smtp_send", &[t.arg(), b.arg()]);
         if r.outcome.survived() {
             self.proc.free_guest_str(t);
             self.proc.free_guest_str(b);
@@ -430,10 +438,10 @@ mod tests {
     fn attack_terminates_bounds_check_worker() {
         // Boot dies at wake-up already; to exercise the prescan path give
         // the worker a life without wake-up by testing the parse directly.
-        let mut proc = Process::boot(SENDMAIL_SOURCE, Mode::BoundsCheck, 80_000_000);
+        let mut proc = Process::boot_source(SENDMAIL_SOURCE, Mode::BoundsCheck, 80_000_000);
         let addr = proc.guest_str(&attack_address(120));
         let canon = proc.guest_str(&[0u8; 63]);
-        let r = proc.request("parse_address", &[addr, canon, 64]);
+        let r = proc.request("parse_address", &[addr.arg(), canon.arg(), 64]);
         let Outcome::Crashed(f) = &r.outcome else {
             panic!("expected memory error");
         };

@@ -10,6 +10,12 @@
 //! malicious folder in Mutt's startup config, Sendmail's wake-up error —
 //! "restarting is of no use because the restarted computations would,
 //! once again, simply exit during initialization."
+//!
+//! [`restart_until_usable`] is the one definition of that supervision
+//! loop in the tree: the study functions below use it with
+//! [`RESTART_BUDGET`], and the farm's supervisor
+//! (`farm::FarmConfig::restart_budget`, seeded from the same constant)
+//! routes through it too.
 
 use foc_memory::Mode;
 
@@ -29,20 +35,36 @@ pub struct RestartStudy {
     pub recovered: bool,
 }
 
-/// Maximum restart attempts before the supervisor declares the service
-/// down (real init systems back off similarly).
+/// Maximum restart attempts before a supervisor declares the service
+/// down (real init systems back off similarly). The single default
+/// budget: the §4.7 study uses it directly and `FarmConfig::new` seeds
+/// its per-server budget from it.
 pub const RESTART_BUDGET: u32 = 5;
+
+/// The supervision loop itself: restarts `subject` until `usable`
+/// reports true or `budget` attempts have been spent, returning the
+/// number of attempts made. Zero attempts means the subject was already
+/// serving.
+pub fn restart_until_usable<T>(
+    subject: &mut T,
+    budget: u32,
+    usable: impl Fn(&T) -> bool,
+    mut restart: impl FnMut(&mut T),
+) -> u32 {
+    let mut attempts = 0;
+    while !usable(subject) && attempts < budget {
+        attempts += 1;
+        restart(subject);
+    }
+    attempts
+}
 
 /// Supervises Pine over a mailbox containing a poisoned message.
 pub fn supervise_pine(mode: Mode) -> RestartStudy {
     let mut mailbox = pine::Pine::standard_mailbox(4);
     mailbox.insert(2, (pine::attack_from(40), b"pwn".to_vec(), b"x".to_vec()));
     let mut p = pine::Pine::boot(mode, mailbox);
-    let mut attempts = 0;
-    while !p.usable() && attempts < RESTART_BUDGET {
-        attempts += 1;
-        p.restart();
-    }
+    let attempts = restart_until_usable(&mut p, RESTART_BUDGET, |p| p.usable(), |p| p.restart());
     let recovered = p.usable() && p.read(0).outcome.ret() == Some(0);
     RestartStudy {
         server: "Pine",
@@ -60,14 +82,9 @@ pub fn supervise_mutt(mode: Mode) -> RestartStudy {
         let startup = m.open_folder(&mutt::attack_folder_name(40));
         (m, startup.outcome.survived())
     };
-    let (mut m, mut up) = boot(mode);
-    let mut attempts = 0;
-    while !up && attempts < RESTART_BUDGET {
-        attempts += 1;
-        let (m2, up2) = boot(mode);
-        m = m2;
-        up = up2;
-    }
+    let mut state = boot(mode);
+    let attempts = restart_until_usable(&mut state, RESTART_BUDGET, |s| s.1, |s| *s = boot(mode));
+    let (mut m, up) = state;
     let recovered = up
         && m.open_folder(b"INBOX").outcome.ret() == Some(0)
         && m.read_message(0).outcome.ret() == Some(0);
@@ -82,11 +99,12 @@ pub fn supervise_mutt(mode: Mode) -> RestartStudy {
 /// Supervises MC with the blank configuration line on disk.
 pub fn supervise_mc(mode: Mode) -> RestartStudy {
     let mut m = mc::Mc::boot(mode, &mc::config_with_blank_line());
-    let mut attempts = 0;
-    while !m.usable() && attempts < RESTART_BUDGET {
-        attempts += 1;
-        m = mc::Mc::boot(mode, &mc::config_with_blank_line());
-    }
+    let attempts = restart_until_usable(
+        &mut m,
+        RESTART_BUDGET,
+        |m| m.usable(),
+        |m| *m = mc::Mc::boot(mode, &mc::config_with_blank_line()),
+    );
     let recovered = m.usable() && {
         m.create(b"/t", 512, false);
         m.copy(b"/t", b"/t2").outcome.ret() == Some(512)
@@ -102,11 +120,12 @@ pub fn supervise_mc(mode: Mode) -> RestartStudy {
 /// Supervises the Sendmail daemon (whose wake-up itself errs).
 pub fn supervise_sendmail(mode: Mode) -> RestartStudy {
     let mut sm = sendmail::Sendmail::boot(mode);
-    let mut attempts = 0;
-    while !sm.usable() && attempts < RESTART_BUDGET {
-        attempts += 1;
-        sm = sendmail::Sendmail::boot(mode);
-    }
+    let attempts = restart_until_usable(
+        &mut sm,
+        RESTART_BUDGET,
+        |sm| sm.usable(),
+        |sm| *sm = sendmail::Sendmail::boot(mode),
+    );
     let recovered = sm.usable()
         && sm
             .receive(b"a@example.org", b"b@example.org", b"probe")
@@ -134,6 +153,22 @@ pub fn study(mode: Mode) -> Vec<RestartStudy> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn restart_helper_counts_attempts_and_stops_at_budget() {
+        // A subject that becomes usable after 3 restarts.
+        let mut health = 0u32;
+        let attempts = restart_until_usable(&mut health, 10, |h| *h >= 3, |h| *h += 1);
+        assert_eq!(attempts, 3);
+        // Already usable: zero attempts.
+        let attempts = restart_until_usable(&mut health, 10, |h| *h >= 3, |h| *h += 1);
+        assert_eq!(attempts, 0);
+        // Never usable: the budget bounds the attempts.
+        let mut hopeless = 0u32;
+        let attempts = restart_until_usable(&mut hopeless, 4, |_| false, |h| *h += 1);
+        assert_eq!(attempts, 4);
+        assert_eq!(hopeless, 4);
+    }
 
     #[test]
     fn restarting_bounds_check_is_futile_for_persistent_triggers() {

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use foc_compiler::{CompiledProgram, Instr};
+use foc_compiler::{Instr, ProgramImage};
 use foc_memory::{AccessCtx, AccessSize, MemConfig, MemorySpace};
 
 use crate::builtins;
@@ -67,7 +67,7 @@ struct Frame {
 /// building a fresh machine, losing all in-memory state, exactly like the
 /// process restarts discussed in §4.7 of the paper.
 pub struct Machine {
-    program: CompiledProgram,
+    program: ProgramImage,
     space: MemorySpace,
     global_addrs: Vec<u64>,
     string_addrs: Vec<u64>,
@@ -83,9 +83,12 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Loads a compiled program: allocates globals and string literals and
-    /// applies relocations.
-    pub fn load(program: CompiledProgram, config: MachineConfig) -> Result<Machine, VmFault> {
+    /// Loads a shared compiled image: allocates globals and string
+    /// literals and applies relocations. The image is `Arc`-backed, so
+    /// any number of machines (across any number of threads) share one
+    /// copy of the bytecode — booting a machine never copies or
+    /// recompiles the program.
+    pub fn load(program: ProgramImage, config: MachineConfig) -> Result<Machine, VmFault> {
         let mut space = MemorySpace::new(config.mem);
         let checked = space.mode().is_checked();
         let mut string_addrs = Vec::with_capacity(program.strings.len());
@@ -121,10 +124,19 @@ impl Machine {
         })
     }
 
-    /// Compiles and loads MiniC source in one step.
+    /// Compiles and loads MiniC source in one step — a thin convenience
+    /// over [`foc_compiler::compile_image`] plus [`Machine::load`].
+    /// Callers that boot more than once should compile once and share
+    /// the [`ProgramImage`] instead.
     pub fn from_source(source: &str, config: MachineConfig) -> Result<Machine, String> {
-        let program = foc_compiler::compile_source(source)?;
-        Machine::load(program, config).map_err(|e| e.to_string())
+        let image = foc_compiler::compile_image(source)?;
+        Machine::load(image, config).map_err(|e| e.to_string())
+    }
+
+    /// The shared image this machine runs (cheap to clone for booting
+    /// sibling machines).
+    pub fn image(&self) -> &ProgramImage {
+        &self.program
     }
 
     // ------------------------------------------------------------------

@@ -6,12 +6,18 @@
 //! The build environment has no network access to crates.io, so this
 //! workspace-local crate shadows the real `criterion` via a path
 //! dependency. It keeps the same bench-source API but replaces the
-//! statistics engine with a plain warmup + timed-batch loop that prints
-//! one `ns/iter` line per benchmark — enough to track the repository's
-//! perf trajectory without the dependency tree.
+//! statistics engine with a warmup + timed-batch loop whose batch
+//! samples go through [`stats::robust_summary`]: Tukey/IQR outlier
+//! rejection followed by a 95% confidence interval, printed as
+//! `mean ± ci ns/iter` per benchmark — enough to defend the
+//! repository's perf trajectory points without the dependency tree.
+
+pub mod stats;
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+use stats::Summary;
 
 /// An opaque value barrier (re-export of the std hint).
 pub fn black_box<T>(x: T) -> T {
@@ -68,13 +74,22 @@ pub enum Throughput {
     Elements(u64),
 }
 
+/// Batch samples the measurement loop aims to collect (the statistics
+/// need a population to reject outliers from).
+const TARGET_SAMPLES: usize = 24;
+/// Batch samples the loop insists on even when the routine is slower
+/// than the measurement window.
+const MIN_SAMPLES: usize = 5;
+
 /// The timing loop handed to each benchmark closure.
 pub struct Bencher {
     warmup: Duration,
     measure: Duration,
-    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    /// Robust mean nanoseconds per iteration, filled in by
+    /// [`Bencher::iter`] (outliers rejected).
     mean_ns: f64,
     iters: u64,
+    summary: Option<Summary>,
 }
 
 impl Bencher {
@@ -84,44 +99,65 @@ impl Bencher {
             measure: env_ms("FOC_BENCH_MEASURE_MS", DEFAULT_MEASURE_MS),
             mean_ns: 0.0,
             iters: 0,
+            summary: None,
         }
     }
 
-    /// Runs `routine` repeatedly: first until the warmup window expires,
-    /// then until the measurement window expires (at least once each),
-    /// recording the mean wall time per iteration.
+    /// Runs `routine` repeatedly: first until the warmup window expires
+    /// (calibrating the batch size), then in timed batches until the
+    /// measurement window expires and at least [`MIN_SAMPLES`] batches
+    /// exist. Each batch contributes one ns/iter sample; the samples go
+    /// through IQR outlier rejection and a 95% confidence interval
+    /// ([`stats::robust_summary`]).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
+        let mut warm_iters = 0u64;
         loop {
             black_box(routine());
+            warm_iters += 1;
             if start.elapsed() >= self.warmup {
                 break;
             }
         }
-        let start = Instant::now();
+        let warm_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let measure_ns = self.measure.as_nanos() as f64;
+        let batch = ((measure_ns / TARGET_SAMPLES as f64 / warm_ns).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(TARGET_SAMPLES + 8);
         let mut iters = 0u64;
+        let begun = Instant::now();
         loop {
-            black_box(routine());
-            iters += 1;
-            if start.elapsed() >= self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch;
+            if begun.elapsed() >= self.measure && samples.len() >= MIN_SAMPLES {
                 break;
             }
         }
-        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let summary = stats::robust_summary(&samples);
+        self.mean_ns = summary.mean;
         self.iters = iters;
+        self.summary = Some(summary);
+    }
+
+    /// The robust statistics of the last [`Bencher::iter`] run.
+    pub fn summary(&self) -> Option<&Summary> {
+        self.summary.as_ref()
     }
 }
 
 fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher::new();
     f(&mut b);
-    if b.iters == 0 {
-        println!("bench {label:<48} (no measurement: Bencher::iter never called)");
-    } else {
-        println!(
-            "bench {label:<48} {:>14.1} ns/iter  ({} iters)",
-            b.mean_ns, b.iters
-        );
+    match b.summary {
+        None => println!("bench {label:<48} (no measurement: Bencher::iter never called)"),
+        Some(s) => println!(
+            "bench {label:<48} {:>14.1} ns/iter ± {:>10.1} (95% CI, n={}, {} outliers, {} iters)",
+            s.mean, s.ci95, s.used, s.rejected, b.iters
+        ),
     }
 }
 
@@ -229,6 +265,9 @@ mod tests {
         b.iter(|| black_box(1 + 1));
         assert!(b.iters > 0);
         assert!(b.mean_ns > 0.0);
+        let s = b.summary().expect("summary recorded");
+        assert!(s.used >= MIN_SAMPLES);
+        assert!(s.mean > 0.0);
     }
 
     #[test]

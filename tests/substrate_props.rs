@@ -163,8 +163,9 @@ proptest! {
 }
 
 /// The acceptance-criteria configuration: at least 4 worker threads, at
-/// least 100 requests per server, identical reports across thread
-/// counts — including repeated runs at the same thread count.
+/// least 100 requests per server, identical reports at 1, 2, 4, and 8
+/// threads under the work-stealing scheduler — including repeated runs
+/// at the same thread count and across scheduling grains.
 #[test]
 fn farm_acceptance_four_threads_hundred_requests() {
     for kind in [ServerKind::Apache, ServerKind::Pine] {
@@ -179,7 +180,7 @@ fn farm_acceptance_four_threads_hundred_requests() {
             "{}: FO farm must answer all requests",
             kind.name()
         );
-        for threads in [1usize, 4, 8] {
+        for threads in [1usize, 2, 4, 8] {
             let other = run_farm(&config.clone().with_threads(threads));
             assert_eq!(
                 base,
@@ -187,6 +188,18 @@ fn farm_acceptance_four_threads_hundred_requests() {
                 "{}: report must not depend on thread count {}",
                 kind.name(),
                 threads
+            );
+        }
+        // The work-stealing grain shuffles which thread serves which
+        // slice; the measured data must not notice.
+        for slice in [1usize, 7, 1000] {
+            let other = run_farm(&config.clone().with_threads(4).with_slice(slice));
+            assert_eq!(
+                base,
+                other,
+                "{}: report must not depend on slice grain {}",
+                kind.name(),
+                slice
             );
         }
     }
