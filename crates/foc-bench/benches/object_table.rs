@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use foc_memory::{BTreeTable, ObjectTable, SplayTable, UnitId};
+use foc_memory::{BTreeTable, FlatTable, ObjectTable, SplayTable, UnitId};
 
 const UNITS: u64 = 1024;
 
@@ -73,6 +73,19 @@ fn bench_lookup(c: &mut Criterion) {
                 hits
             });
         });
+        group.bench_with_input(BenchmarkId::new("flat", trace_name), &trace, |b, trace| {
+            let mut t = FlatTable::new();
+            populate(&mut t);
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &addr in trace {
+                    if t.lookup(std::hint::black_box(addr)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
     }
     group.finish();
 }
@@ -97,6 +110,20 @@ fn bench_churn(c: &mut Criterion) {
     group.bench_function("btree", |b| {
         b.iter(|| {
             let mut t = BTreeTable::new();
+            for round in 0..8u64 {
+                for i in 0..256u64 {
+                    t.insert(i * 64 + round, 32, UnitId(i as u32));
+                }
+                for i in 0..256u64 {
+                    t.remove(i * 64 + round);
+                }
+            }
+            t.len()
+        });
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut t = FlatTable::new();
             for round in 0..8u64 {
                 for i in 0..256u64 {
                     t.insert(i * 64 + round, 32, UnitId(i as u32));

@@ -1,7 +1,8 @@
 //! Runs the server-farm benchmark suite — every server kind under every
-//! mode, a Pine failure-oblivious thread-scaling sweep, and the
-//! cold-vs-cached boot-cost split — and writes the result to
-//! `BENCH_farm.json` (the repository's farm perf trajectory record).
+//! mode, a Pine failure-oblivious thread-scaling sweep, the
+//! cold-vs-cached boot-cost split, and the per-backend `farm_stress`
+//! scale-out point — and writes the result to `BENCH_farm.json` (the
+//! repository's farm perf trajectory record).
 //!
 //! Usage:
 //!
@@ -12,16 +13,22 @@
 //!   (suite, scaling sweep with its determinism assertion, boot-cost
 //!   measurement, JSON rendering) without writing the record, so bench
 //!   bitrot fails CI instead of being discovered at measurement time.
+//!   (The stress point has its own smoke bin: `farm_stress --check`.)
 
 use foc_bench::farm_report::{
-    farm_suite, measure_boot_cost, render_farm_json, thread_scaling, BootCost, ScalingRow,
+    farm_suite, measure_boot_cost, measure_record, measure_unit_churn, render_farm_json,
+    stress_sweep, thread_scaling, BootCost, FarmRecord, RecordShape, ScalingRow, StressRow,
+    UnitChurn,
 };
 
-fn print_summary(
-    reports: &[foc_servers::farm::FarmReport],
-    scaling: &[ScalingRow],
-    boot: &BootCost,
-) {
+fn print_summary(record: &FarmRecord) {
+    print_reports(&record.reports);
+    print_scaling(&record.scaling);
+    print_boot(&record.boot);
+    print_stress(&record.stress, &record.churn);
+}
+
+fn print_reports(reports: &[foc_servers::farm::FarmReport]) {
     for r in reports {
         eprintln!(
             "  {:<9} {:<18} completed {:>5}/{:<5}  deaths {:>4}  restarts {:>4}  {:>8.1} req/Mcycle  {:>8.1} ms",
@@ -35,17 +42,44 @@ fn print_summary(
             r.host_wall_ms,
         );
     }
+}
+
+fn print_scaling(scaling: &[ScalingRow]) {
     for row in scaling {
         eprintln!(
             "  threads {}: {:.1} ms ± {:.1} (95% CI, {} reps)  ({:.0} req/s host)",
             row.threads, row.wall_ms, row.wall_ms_ci95, row.reps, row.host_rps
         );
     }
+}
+
+fn print_boot(boot: &BootCost) {
     eprintln!(
         "  boot cost: cold compile+boot {:.0} ns, cached-image boot {:.0} ns ({:.1}x)",
         boot.cold_ns,
         boot.cached_ns,
         boot.speedup()
+    );
+}
+
+fn print_stress(stress: &[StressRow], churn: &UnitChurn) {
+    for row in stress {
+        eprintln!(
+            "  stress {:<6} {} servers: {:.1} ms ± {:.1}  ({:.0} req/s host, p99.9 {} cycles)",
+            row.backend.name(),
+            row.report.config.servers,
+            row.wall_ms,
+            row.wall_ms_ci95,
+            row.host_rps,
+            row.report.stats.latency_p999,
+        );
+    }
+    eprintln!(
+        "  unit churn ({} machines): arena {:.0} ns vs seed boxed {:.0} ns ({:.2}x)",
+        churn.machines,
+        churn.arena_ns,
+        churn.boxed_ns,
+        churn.speedup()
     );
 }
 
@@ -65,13 +99,18 @@ fn run_check() {
         "interned images must beat cold compiles even on noisy hosts: {:.1}x",
         boot.speedup()
     );
-    let json = render_farm_json(&reports, &scaling, &boot);
+    let stress = stress_sweep(4, 3, 1);
+    let churn = measure_unit_churn(16, 2);
+    let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn);
     assert_eq!(
         json.matches('{').count(),
         json.matches('}').count(),
         "rendered record must balance"
     );
-    print_summary(&reports, &scaling, &boot);
+    print_reports(&reports);
+    print_scaling(&scaling);
+    print_boot(&boot);
+    print_stress(&stress, &churn);
     println!("farm_scaling --check OK ({} reports)", reports.len());
 }
 
@@ -81,27 +120,21 @@ fn main() {
         run_check();
         return;
     }
-    let requests: usize = match args.first() {
-        None => 100,
-        Some(arg) => match arg.parse() {
-            Ok(n) if n > 0 => n,
+    let mut shape = RecordShape::default();
+    if let Some(arg) = args.first() {
+        match arg.parse() {
+            Ok(n) if n > 0 => shape.requests = n,
             _ => {
                 eprintln!("farm_scaling: invalid request count {arg:?} (want a positive integer)");
                 std::process::exit(2);
             }
-        },
-    };
+        }
+    }
 
-    eprintln!("running farm suite: 5 servers x 5 modes, {requests} requests/server ...");
-    let reports = farm_suite(requests);
-    eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
-    let scaling = thread_scaling(requests, &[1, 2, 4, 8], 3);
-    eprintln!("measuring boot cost (cold compile vs cached image) ...");
-    let boot = measure_boot_cost(24);
-    print_summary(&reports, &scaling, &boot);
+    let record = measure_record(&shape);
+    print_summary(&record);
 
-    let json = render_farm_json(&reports, &scaling, &boot);
     let path = "BENCH_farm.json";
-    std::fs::write(path, &json).expect("write BENCH_farm.json");
-    println!("wrote {path} ({} reports)", reports.len());
+    std::fs::write(path, record.render()).expect("write BENCH_farm.json");
+    println!("wrote {path} ({} reports)", record.reports.len());
 }

@@ -1,0 +1,137 @@
+//! The scale-out stress point: a thousands-of-servers farm, run once per
+//! object-table backend, plus the arena-vs-seed unit-store churn
+//! measurement — the standing bench row the ROADMAP asks for.
+//!
+//! With cached boots at microseconds, a 4096-process Apache farm is an
+//! interactive measurement; this bin finds the next hot path by
+//! attributing the wall-time spread between backends to bounds-lookup
+//! cost (the deterministic farm results are asserted identical across
+//! backends, so nothing else can differ) and by comparing the arena
+//! [`foc_memory::UnitStore`] against the seed tree's boxed per-unit
+//! representation at the same machine count.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p foc-bench --bin farm_stress [servers] [requests]`
+//!   — full run (defaults: 4096 servers × 4 requests, 3 reps per
+//!   backend); regenerates the complete `BENCH_farm.json` so the record
+//!   stays consistent with the suite sections.
+//! * `cargo run --release -p foc-bench --bin farm_stress -- --check` —
+//!   CI smoke mode: a miniature stress sweep (every backend, the
+//!   cross-backend equality assertion, churn measurement, JSON
+//!   rendering) without writing the record.
+
+use foc_bench::farm_report::{measure_record, measure_unit_churn, stress_sweep, RecordShape};
+use foc_memory::TableKind;
+
+fn run_check() {
+    eprintln!("farm_stress --check: miniature stress sweep ...");
+    let rows = stress_sweep(96, 3, 2);
+    assert_eq!(rows.len(), TableKind::ALL.len(), "one row per backend");
+    for pair in rows.windows(2) {
+        assert_eq!(
+            pair[0].report, pair[1].report,
+            "backends must agree on the deterministic farm results"
+        );
+    }
+    for row in &rows {
+        assert!(row.wall_ms > 0.0, "{}: no wall time measured", row.backend);
+        assert!(
+            row.report.stats.completed > 0,
+            "{}: stress farm served nothing",
+            row.backend
+        );
+        // The serialized histogram must bound the exact percentiles it
+        // summarizes (bucket tops round up, never down).
+        let stats = &row.report.stats;
+        assert!(
+            stats.service_hist.quantile(999, 1000) >= stats.latency_p999,
+            "{}: histogram p99.9 fell below the exact value",
+            row.backend
+        );
+        assert!(
+            stats.service_hist.quantile(1, 2) >= stats.latency_p50,
+            "{}: histogram p50 fell below the exact value",
+            row.backend
+        );
+        eprintln!(
+            "  {:<6} {:.1} ms ± {:.1} ({:.0} req/s host)",
+            row.backend.name(),
+            row.wall_ms,
+            row.wall_ms_ci95,
+            row.host_rps
+        );
+    }
+    let churn = measure_unit_churn(96, 3);
+    assert!(churn.arena_ns > 0.0 && churn.boxed_ns > 0.0);
+    eprintln!(
+        "  unit churn: arena {:.0} ns vs seed boxed {:.0} ns ({:.2}x)",
+        churn.arena_ns,
+        churn.boxed_ns,
+        churn.speedup()
+    );
+    println!("farm_stress --check OK ({} backends)", rows.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        // An unrecognized flag must not silently fall through to the
+        // full (file-writing) measurement — `--chek` meant `--check`.
+        eprintln!("farm_stress: unknown flag {flag:?} (only --check is supported)");
+        std::process::exit(2);
+    }
+    let mut shape = RecordShape::default();
+    let positional: Vec<&String> = args.iter().collect();
+    if let Some(arg) = positional.first() {
+        match arg.parse() {
+            Ok(n) if n > 0 => shape.stress_servers = n,
+            _ => {
+                eprintln!("farm_stress: invalid server count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(arg) = positional.get(1) {
+        match arg.parse() {
+            Ok(n) if n > 0 => shape.stress_requests = n,
+            _ => {
+                eprintln!("farm_stress: invalid request count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let record = measure_record(&shape);
+    for row in &record.stress {
+        let s = &row.report.stats;
+        println!(
+            "{:<6} {} servers x {} requests: {:.1} ms ± {:.1}  ({:.0} req/s host, \
+             hist p50/p99/p99.9 ≤ {}/{}/{} cycles)",
+            row.backend.name(),
+            row.report.config.servers,
+            row.report.config.requests_per_server,
+            row.wall_ms,
+            row.wall_ms_ci95,
+            row.host_rps,
+            s.service_hist.quantile(1, 2),
+            s.service_hist.quantile(99, 100),
+            s.service_hist.quantile(999, 1000),
+        );
+    }
+    println!(
+        "unit churn ({} machines): arena {:.0} ns vs seed boxed {:.0} ns ({:.2}x)",
+        record.churn.machines,
+        record.churn.arena_ns,
+        record.churn.boxed_ns,
+        record.churn.speedup()
+    );
+
+    let path = "BENCH_farm.json";
+    std::fs::write(path, record.render()).expect("write BENCH_farm.json");
+    println!("wrote {path}");
+}

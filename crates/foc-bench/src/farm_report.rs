@@ -15,8 +15,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use criterion::stats::robust_summary;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind, UnitKind, UnitStore};
 use foc_servers::farm::{run_farm, FarmConfig, FarmReport, ServerKind};
+use foc_servers::latency::LatencyHist;
 
 /// Shape of the recorded suite: every server kind under every mode.
 pub fn suite_config(kind: ServerKind, mode: Mode, requests: usize) -> FarmConfig {
@@ -163,8 +164,328 @@ pub fn measure_boot_cost(reps: usize) -> BootCost {
     }
 }
 
+// ----------------------------------------------------------------------
+// The farm_stress scale-out point: thousands of servers, per-backend.
+// ----------------------------------------------------------------------
+
+/// One object-table backend's measurement at the scale-out stress point.
+#[derive(Debug, Clone)]
+pub struct StressRow {
+    /// Which backend ran.
+    pub backend: TableKind,
+    /// Robust mean host wall time per run, milliseconds.
+    pub wall_ms: f64,
+    /// Half-width of the 95% confidence interval on `wall_ms`.
+    pub wall_ms_ci95: f64,
+    /// Completed requests per host second at the mean wall time.
+    pub host_rps: f64,
+    /// Repetitions measured.
+    pub reps: usize,
+    /// The (backend-invariant) deterministic report of the run.
+    pub report: FarmReport,
+}
+
+/// Shape of the scale-out stress farm: `servers` Apache processes under
+/// the failure-oblivious policy, each serving a short stream with the
+/// standard 1-in-8 attack mix.
+pub fn stress_config(servers: usize, requests: usize) -> FarmConfig {
+    let mut config = FarmConfig::new(ServerKind::Apache, Mode::FailureOblivious);
+    config.servers = servers;
+    config.requests_per_server = requests;
+    config.threads = 4;
+    config
+}
+
+/// Runs the stress farm once per object-table backend, `reps` times
+/// each, asserting the determinism contract across backends: every
+/// backend must produce the *same* [`FarmReport`], so the wall-time
+/// spread between rows is attributable to lookup cost alone.
+pub fn stress_sweep(servers: usize, requests: usize, reps: usize) -> Vec<StressRow> {
+    let reps = reps.max(1);
+    let base = stress_config(servers, requests);
+    let mut reference: Option<FarmReport> = None;
+    let mut rows = Vec::new();
+    for backend in TableKind::ALL {
+        let config = base.clone().with_table(backend);
+        let mut walls = Vec::with_capacity(reps);
+        let mut last: Option<FarmReport> = None;
+        for _ in 0..reps {
+            let report = run_farm(&config);
+            if let Some(r) = &reference {
+                assert_eq!(
+                    *r, report,
+                    "table backend {backend} broke the determinism contract"
+                );
+            } else {
+                reference = Some(report.clone());
+            }
+            walls.push(report.host_wall_ms);
+            last = Some(report);
+        }
+        let report = last.expect("reps >= 1");
+        let s = robust_summary(&walls);
+        let host_rps = if s.mean > 0.0 {
+            report.stats.completed as f64 / (s.mean / 1e3)
+        } else {
+            0.0
+        };
+        rows.push(StressRow {
+            backend,
+            wall_ms: s.mean,
+            wall_ms_ci95: s.ci95,
+            host_rps,
+            reps,
+            report,
+        });
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Unit-store churn: the arena against the seed's boxed representation.
+// ----------------------------------------------------------------------
+
+/// What one simulated machine does to its unit store over a boot plus a
+/// short serving window, mirroring the stress farm's shape: labelled
+/// globals and string literals at image load, then the heap alloc/free
+/// pairs a short request stream drives through `guest_str`.
+const CHURN_GLOBALS: usize = 24;
+const CHURN_HEAP_PAIRS: usize = 32;
+
+/// The seed tree's per-unit representation, kept here as the measured
+/// baseline: units in a growable `Vec` beside a separate free-slot list,
+/// with a heap-allocated `String` label per global — the per-machine
+/// allocator overhead the arena store removes.
+#[allow(dead_code)] // fields mirror the seed layout; only writes are timed
+struct SeedUnit {
+    base: u64,
+    size: u64,
+    live: bool,
+    label: Option<String>,
+}
+
+#[derive(Default)]
+struct SeedBoxedStore {
+    units: Vec<SeedUnit>,
+    free: Vec<u32>,
+}
+
+impl SeedBoxedStore {
+    fn alloc(&mut self, base: u64, size: u64, label: Option<&str>) -> u32 {
+        let unit = SeedUnit {
+            base,
+            size,
+            live: true,
+            label: label.map(|l| l.to_string()),
+        };
+        if let Some(slot) = self.free.pop() {
+            self.units[slot as usize] = unit;
+            slot
+        } else {
+            self.units.push(unit);
+            (self.units.len() - 1) as u32
+        }
+    }
+
+    fn kill(&mut self, slot: u32) {
+        self.units[slot as usize].live = false;
+        self.free.push(slot);
+    }
+}
+
+/// Arena-vs-seed unit-store cost at farm scale.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitChurn {
+    /// Machines simulated per measured run.
+    pub machines: usize,
+    /// Robust mean nanoseconds per run for the arena [`UnitStore`].
+    pub arena_ns: f64,
+    /// 95% CI half-width on `arena_ns`.
+    pub arena_ci95_ns: f64,
+    /// Robust mean nanoseconds per run for the seed boxed baseline.
+    pub boxed_ns: f64,
+    /// 95% CI half-width on `boxed_ns`.
+    pub boxed_ci95_ns: f64,
+    /// Repetitions measured per flavour.
+    pub reps: usize,
+}
+
+impl UnitChurn {
+    /// How much faster the arena store is than the seed representation.
+    pub fn speedup(&self) -> f64 {
+        if self.arena_ns <= 0.0 {
+            return 0.0;
+        }
+        self.boxed_ns / self.arena_ns
+    }
+}
+
+/// Measures [`UnitChurn`]: `machines` fresh stores each performing the
+/// standard boot-plus-serving unit traffic, arena versus the seed's
+/// boxed representation, `reps` runs per flavour.
+pub fn measure_unit_churn(machines: usize, reps: usize) -> UnitChurn {
+    let reps = reps.max(1);
+    let mut arena = Vec::with_capacity(reps);
+    let mut boxed = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for m in 0..machines {
+            let mut store = UnitStore::new();
+            for g in 0..CHURN_GLOBALS {
+                store.alloc(
+                    (g as u64) << 8,
+                    64,
+                    UnitKind::Global,
+                    Some("server_global_symbol"),
+                );
+            }
+            for h in 0..CHURN_HEAP_PAIRS {
+                let id = store.alloc((h as u64) << 16, 128, UnitKind::Heap, None);
+                store.kill(id);
+            }
+            black_box((m, &store));
+        }
+        arena.push(t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now();
+        for m in 0..machines {
+            let mut store = SeedBoxedStore::default();
+            for g in 0..CHURN_GLOBALS {
+                store.alloc((g as u64) << 8, 64, Some("server_global_symbol"));
+            }
+            for h in 0..CHURN_HEAP_PAIRS {
+                let slot = store.alloc((h as u64) << 16, 128, None);
+                store.kill(slot);
+            }
+            black_box((m, &store.units, &store.free));
+        }
+        boxed.push(t.elapsed().as_nanos() as f64);
+    }
+    let a = robust_summary(&arena);
+    let b = robust_summary(&boxed);
+    UnitChurn {
+        machines,
+        arena_ns: a.mean,
+        arena_ci95_ns: a.ci95,
+        boxed_ns: b.mean,
+        boxed_ci95_ns: b.ci95,
+        reps,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The whole record, in one place.
+// ----------------------------------------------------------------------
+
+/// Shape of a full `BENCH_farm.json` regeneration. Both recording
+/// binaries (`farm_scaling`, `farm_stress`) build the complete record
+/// through this, so whichever one ran last leaves a consistent file.
+#[derive(Debug, Clone)]
+pub struct RecordShape {
+    /// Requests per server in the kind × mode suite.
+    pub requests: usize,
+    /// Thread counts for the scaling sweep.
+    pub scaling_threads: Vec<usize>,
+    /// Repetitions per scaling row.
+    pub scaling_reps: usize,
+    /// Boot-cost repetitions.
+    pub boot_reps: usize,
+    /// Server processes at the scale-out stress point.
+    pub stress_servers: usize,
+    /// Requests per server at the stress point (short streams).
+    pub stress_requests: usize,
+    /// Repetitions per stress row.
+    pub stress_reps: usize,
+    /// Unit-churn repetitions (machine count follows `stress_servers`).
+    pub churn_reps: usize,
+}
+
+impl Default for RecordShape {
+    fn default() -> RecordShape {
+        RecordShape {
+            requests: 100,
+            scaling_threads: vec![1, 2, 4, 8],
+            scaling_reps: 3,
+            boot_reps: 24,
+            stress_servers: 4096,
+            stress_requests: 4,
+            stress_reps: 3,
+            churn_reps: 5,
+        }
+    }
+}
+
+/// The measured sections of one full record.
+pub struct FarmRecord {
+    /// Kind × mode suite reports.
+    pub reports: Vec<FarmReport>,
+    /// Thread-scaling rows.
+    pub scaling: Vec<ScalingRow>,
+    /// Cold-vs-cached boot cost.
+    pub boot: BootCost,
+    /// Per-backend stress rows.
+    pub stress: Vec<StressRow>,
+    /// Arena-vs-seed unit-store churn.
+    pub churn: UnitChurn,
+}
+
+impl FarmRecord {
+    /// Renders the record as the `BENCH_farm.json` document.
+    pub fn render(&self) -> String {
+        render_farm_json(
+            &self.reports,
+            &self.scaling,
+            &self.boot,
+            &self.stress,
+            &self.churn,
+        )
+    }
+}
+
+/// Runs every measurement of the record at the given shape.
+pub fn measure_record(shape: &RecordShape) -> FarmRecord {
+    eprintln!(
+        "running farm suite: 5 servers x 5 modes, {} requests/server ...",
+        shape.requests
+    );
+    let reports = farm_suite(shape.requests);
+    eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
+    let scaling = thread_scaling(shape.requests, &shape.scaling_threads, shape.scaling_reps);
+    eprintln!("measuring boot cost (cold compile vs cached image) ...");
+    let boot = measure_boot_cost(shape.boot_reps);
+    eprintln!(
+        "running farm_stress: {} Apache servers x {} requests, {} backends ...",
+        shape.stress_servers,
+        shape.stress_requests,
+        TableKind::ALL.len()
+    );
+    let stress = stress_sweep(
+        shape.stress_servers,
+        shape.stress_requests,
+        shape.stress_reps,
+    );
+    eprintln!("measuring unit-store churn (arena vs seed boxed baseline) ...");
+    let churn = measure_unit_churn(shape.stress_servers, shape.churn_reps);
+    FarmRecord {
+        reports,
+        scaling,
+        boot,
+        stress,
+        churn,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn hist_json(h: &LatencyHist) -> String {
+    let pairs: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|&(top, n)| format!("[{top}, {n}]"))
+        .collect();
+    format!("[{}]", pairs.join(", "))
 }
 
 fn report_json(r: &FarmReport) -> String {
@@ -177,7 +498,9 @@ fn report_json(r: &FarmReport) -> String {
             "\"total_cycles\": {}, \"service_cycles\": {}, \"restart_cycles\": {}, ",
             "\"survival_rate\": {:.4}, ",
             "\"throughput_per_mcycle\": {:.4}, \"latency_p50\": {}, ",
-            "\"latency_p90\": {}, \"latency_p99\": {}, \"latency_max\": {}, ",
+            "\"latency_p90\": {}, \"latency_p99\": {}, \"latency_p999\": {}, ",
+            "\"latency_max\": {}, ",
+            "\"tail_service_cycles\": {}, \"tail_restart_cycles\": {}, ",
             "\"host_wall_ms\": {:.2}}}"
         ),
         json_escape(r.config.kind.name()),
@@ -198,13 +521,50 @@ fn report_json(r: &FarmReport) -> String {
         s.latency_p50,
         s.latency_p90,
         s.latency_p99,
+        s.latency_p999,
         s.latency_max,
+        s.tail_service_cycles,
+        s.tail_restart_cycles,
         r.host_wall_ms,
     )
 }
 
+fn stress_row_json(row: &StressRow) -> String {
+    let s = &row.report.stats;
+    format!(
+        concat!(
+            "      {{\"backend\": \"{}\", \"wall_ms\": {:.2}, ",
+            "\"wall_ms_ci95\": {:.2}, \"host_rps\": {:.1}, \"reps\": {}, ",
+            "\"completed\": {}, \"total_cycles\": {}, ",
+            "\"latency_p50\": {}, \"latency_p99\": {}, \"latency_p999\": {}, ",
+            "\"tail_service_cycles\": {}, \"tail_restart_cycles\": {}, ",
+            "\"service_hist\": {}, \"restart_hist\": {}}}"
+        ),
+        row.backend.name(),
+        row.wall_ms,
+        row.wall_ms_ci95,
+        row.host_rps,
+        row.reps,
+        s.completed,
+        s.total_cycles,
+        s.latency_p50,
+        s.latency_p99,
+        s.latency_p999,
+        s.tail_service_cycles,
+        s.tail_restart_cycles,
+        hist_json(&s.service_hist),
+        hist_json(&s.restart_hist),
+    )
+}
+
 /// Renders the whole benchmark record.
-pub fn render_farm_json(reports: &[FarmReport], scaling: &[ScalingRow], boot: &BootCost) -> String {
+pub fn render_farm_json(
+    reports: &[FarmReport],
+    scaling: &[ScalingRow],
+    boot: &BootCost,
+    stress: &[StressRow],
+    churn: &UnitChurn,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&report_json(r));
@@ -231,7 +591,7 @@ pub fn render_farm_json(reports: &[FarmReport], scaling: &[ScalingRow], boot: &B
         concat!(
             "  ],\n  \"boot_cost\": {{\"cold_compile_boot_ns\": {:.0}, ",
             "\"cold_ci95_ns\": {:.0}, \"cached_image_boot_ns\": {:.0}, ",
-            "\"cached_ci95_ns\": {:.0}, \"speedup\": {:.1}, \"reps\": {}}}\n"
+            "\"cached_ci95_ns\": {:.0}, \"speedup\": {:.1}, \"reps\": {}}},\n"
         ),
         boot.cold_ns,
         boot.cold_ci95_ns,
@@ -239,6 +599,45 @@ pub fn render_farm_json(reports: &[FarmReport], scaling: &[ScalingRow], boot: &B
         boot.cached_ci95_ns,
         boot.speedup(),
         boot.reps,
+    ));
+    // The scale-out stress point: per-backend rows plus the arena-vs-seed
+    // unit-store churn measurement.
+    if let Some(first) = stress.first() {
+        let c = &first.report.config;
+        out.push_str(&format!(
+            concat!(
+                "  \"farm_stress\": {{\"server\": \"{}\", \"mode\": \"{}\", ",
+                "\"servers\": {}, \"requests_per_server\": {},\n    \"rows\": [\n"
+            ),
+            json_escape(c.kind.name()),
+            json_escape(c.mode.name()),
+            c.servers,
+            c.requests_per_server,
+        ));
+        for (i, row) in stress.iter().enumerate() {
+            out.push_str(&stress_row_json(row));
+            if i + 1 < stress.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("    ],\n");
+    } else {
+        out.push_str("  \"farm_stress\": {\n    \"rows\": [],\n");
+    }
+    out.push_str(&format!(
+        concat!(
+            "    \"unit_churn\": {{\"machines\": {}, \"arena_ns\": {:.0}, ",
+            "\"arena_ci95_ns\": {:.0}, \"boxed_seed_ns\": {:.0}, ",
+            "\"boxed_ci95_ns\": {:.0}, \"arena_speedup\": {:.2}, \"reps\": {}}}\n  }}\n"
+        ),
+        churn.machines,
+        churn.arena_ns,
+        churn.arena_ci95_ns,
+        churn.boxed_ns,
+        churn.boxed_ci95_ns,
+        churn.speedup(),
+        churn.reps,
     ));
     out.push_str("}\n");
     out
@@ -277,7 +676,9 @@ mod tests {
             cached_ci95_ns: 500.0,
             reps: 10,
         };
-        let json = render_farm_json(&reports, &scaling, &boot);
+        let stress = stress_sweep(3, 3, 1);
+        let churn = measure_unit_churn(4, 2);
+        let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -287,10 +688,50 @@ mod tests {
         assert!(json.contains("\"mode\": \"Failure Oblivious\""));
         assert!(json.contains("\"service_cycles\""));
         assert!(json.contains("\"restart_cycles\""));
+        assert!(json.contains("\"latency_p999\""));
+        assert!(json.contains("\"tail_service_cycles\""));
+        assert!(json.contains("\"tail_restart_cycles\""));
         assert!(json.contains("\"thread_scaling\""));
         assert!(json.contains("\"host_wall_ms_ci95\""));
         assert!(json.contains("\"boot_cost\""));
         assert!(json.contains("\"speedup\": 20.0"));
+        assert!(json.contains("\"farm_stress\""));
+        for backend in foc_memory::TableKind::ALL {
+            assert!(
+                json.contains(&format!("\"backend\": \"{}\"", backend.name())),
+                "missing stress row for {backend}"
+            );
+        }
+        assert!(json.contains("\"service_hist\": [["));
+        assert!(json.contains("\"unit_churn\""));
+        assert!(json.contains("\"arena_speedup\""));
+    }
+
+    #[test]
+    fn stress_sweep_rows_agree_across_backends() {
+        let rows = stress_sweep(4, 5, 2);
+        assert_eq!(rows.len(), TableKind::ALL.len());
+        for pair in rows.windows(2) {
+            assert_eq!(
+                pair[0].report, pair[1].report,
+                "{} and {} must compute identical farms",
+                pair[0].backend, pair[1].backend
+            );
+        }
+        for row in &rows {
+            assert_eq!(row.report.config.table, row.backend);
+            assert!(row.wall_ms > 0.0);
+            assert!(row.host_rps > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_churn_measures_both_flavours() {
+        let churn = measure_unit_churn(32, 4);
+        assert_eq!(churn.machines, 32);
+        assert!(churn.arena_ns > 0.0);
+        assert!(churn.boxed_ns > 0.0);
+        assert!(churn.speedup() > 0.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod oob;
 pub mod policy;
 pub mod report;
 pub mod space;
+pub mod store;
 pub mod table;
 pub mod unit;
 
@@ -43,8 +44,9 @@ pub use oob::{OobId, OobRegistry};
 pub use policy::{BoundlessStore, Mode};
 pub use report::{summarize, LogReport, SiteReport};
 pub use space::{
-    AccessCtx, MemConfig, MemFault, MemorySpace, ReadOutcome, SpaceStats, TableKind, WriteOutcome,
+    AccessCtx, MemConfig, MemFault, MemorySpace, ReadOutcome, SpaceStats, WriteOutcome,
     FRAME_GUARD_SIZE,
 };
-pub use table::{BTreeTable, ObjectTable, SplayTable, TableImpl};
+pub use store::UnitStore;
+pub use table::{BTreeTable, FlatTable, ObjectTable, Placement, SplayTable, TableKind};
 pub use unit::{DataUnit, UnitId, UnitKind};

@@ -19,7 +19,8 @@ use crate::log::{ErrorKind, MemoryErrorLog};
 use crate::manufacture::{Manufacturer, ValueSequence};
 use crate::oob::OobRegistry;
 use crate::policy::{BoundlessStore, Mode};
-use crate::table::{BTreeTable, ObjectTable, SplayTable, TableImpl};
+use crate::store::UnitStore;
+use crate::table::{ObjectTable, TableKind};
 use crate::unit::{DataUnit, UnitId, UnitKind};
 
 /// First canary token word written at the top of each stack frame.
@@ -29,16 +30,6 @@ const CANARY_B: u64 = 0x004E_70DD_4E55_C00D ^ 0x1111_1111_1111_1111;
 
 /// Bytes reserved above each frame's locals for the canary pair.
 pub const FRAME_GUARD_SIZE: u64 = 16;
-
-/// Which object-table implementation to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TableKind {
-    /// Self-adjusting splay tree (default; as in Jones & Kelly).
-    #[default]
-    Splay,
-    /// B-tree baseline for the ablation benchmark.
-    BTree,
-}
 
 /// Configuration for a memory space.
 #[derive(Debug, Clone)]
@@ -53,7 +44,7 @@ pub struct MemConfig {
     pub stack_len: usize,
     /// Manufactured-value strategy for invalid reads.
     pub sequence: ValueSequence,
-    /// Object table implementation.
+    /// Object table backend.
     pub table: TableKind,
     /// Retention capacity of the memory-error log.
     pub log_capacity: usize,
@@ -174,8 +165,9 @@ pub struct WriteOutcome {
     pub violation: bool,
 }
 
-/// Counters describing a space's activity.
-#[derive(Debug, Clone, Copy, Default)]
+/// Counters describing a space's activity. `PartialEq` so differential
+/// harnesses can assert two runs drove the substrate identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpaceStats {
     /// Total loads.
     pub loads: u64,
@@ -224,9 +216,8 @@ pub struct MemorySpace {
     globals: Region,
     heap: Region,
     stack: Region,
-    units: Vec<DataUnit>,
-    free_units: Vec<u32>,
-    table: TableImpl,
+    store: UnitStore,
+    table: Box<dyn ObjectTable>,
     oob: OobRegistry,
     allocator: HeapAllocator,
     boundless: BoundlessStore,
@@ -255,12 +246,8 @@ impl MemorySpace {
             allocator,
             sp,
             stack,
-            units: Vec::new(),
-            free_units: Vec::new(),
-            table: match config.table {
-                TableKind::Splay => TableImpl::Splay(SplayTable::new()),
-                TableKind::BTree => TableImpl::BTree(BTreeTable::new()),
-            },
+            store: UnitStore::new(),
+            table: config.table.build(),
             oob: OobRegistry::new(),
             boundless: BoundlessStore::new(),
             manufacturer: Manufacturer::new(config.sequence),
@@ -382,51 +369,39 @@ impl MemorySpace {
     // Unit bookkeeping.
     // ------------------------------------------------------------------
 
-    fn new_unit(
-        &mut self,
-        base: u64,
-        size: u64,
-        kind: UnitKind,
-        label: Option<Box<str>>,
-    ) -> UnitId {
-        let unit = DataUnit {
-            id: UnitId(0),
-            base,
-            size,
-            kind,
-            live: true,
-            label: label.map(|b| b.into_string()),
-        };
-        let id = if let Some(slot) = self.free_units.pop() {
-            let mut unit = unit;
-            unit.id = UnitId(slot);
-            self.units[slot as usize] = unit;
-            UnitId(slot)
-        } else {
-            let slot = self.units.len() as u32;
-            let mut unit = unit;
-            unit.id = UnitId(slot);
-            self.units.push(unit);
-            UnitId(slot)
-        };
+    fn new_unit(&mut self, base: u64, size: u64, kind: UnitKind, label: Option<&str>) -> UnitId {
+        let id = self.store.alloc(base, size, kind, label);
         self.table.insert(base, size, id);
         id
     }
 
     fn kill_unit(&mut self, id: UnitId) {
-        let unit = &mut self.units[id.0 as usize];
-        debug_assert!(unit.live, "unit {id} already dead");
-        unit.live = false;
-        let base = unit.base;
+        let base = self.store.kill(id);
         self.table.remove(base);
         self.oob.purge_unit(id);
         self.boundless.forget_unit(id);
-        self.free_units.push(id.0);
     }
 
-    /// Looks up a unit by id (for diagnostics).
+    /// Looks up a unit by id (for diagnostics). Returns the unit while it
+    /// is live or dead-awaiting-recycling; a recycled slot's stale id
+    /// resolves to `None`.
     pub fn unit(&self, id: UnitId) -> Option<&DataUnit> {
-        self.units.get(id.0 as usize)
+        self.store.get(id)
+    }
+
+    /// The arena-allocated debug label of a unit (allocation-site names).
+    pub fn unit_label(&self, id: UnitId) -> Option<&str> {
+        self.store.label(id)
+    }
+
+    /// The arena-backed unit store (diagnostics, capacity accounting).
+    pub fn unit_store(&self) -> &UnitStore {
+        &self.store
+    }
+
+    /// Which object-table backend this space runs.
+    pub fn table_kind(&self) -> TableKind {
+        self.table.kind()
     }
 
     // ------------------------------------------------------------------
@@ -444,7 +419,7 @@ impl MemorySpace {
         }
         self.global_brk = end;
         if self.mode.is_checked() {
-            self.new_unit(base, size, UnitKind::Global, Some(label.into()));
+            self.new_unit(base, size, UnitKind::Global, Some(label));
         }
         Ok(base)
     }
@@ -486,7 +461,13 @@ impl MemorySpace {
         // Checked modes: `p` must be the exact base of a live heap unit.
         let placement = self.table.lookup(p);
         let valid = placement
-            .map(|pl| pl.base == p && self.units[pl.unit.0 as usize].kind == UnitKind::Heap)
+            .map(|pl| {
+                pl.base == p
+                    && self
+                        .store
+                        .get(pl.unit)
+                        .is_some_and(|u| u.kind == UnitKind::Heap)
+            })
             .unwrap_or(false);
         if !valid {
             return self.violation_op(ErrorKind::InvalidFree, p, None, ctx);
@@ -632,8 +613,11 @@ impl MemorySpace {
         if addr::is_oob_zone(ptr) {
             if let Some(entry) = self.oob.decode(ptr).copied() {
                 let intended = entry.intended.wrapping_add(delta as u64);
-                let referent = &self.units[entry.referent.0 as usize];
-                if referent.live && referent.contains_addr(intended) {
+                let back_in_bounds = self
+                    .store
+                    .get(entry.referent)
+                    .is_some_and(|u| u.live && u.contains_addr(intended));
+                if back_in_bounds {
                     return intended;
                 }
                 self.stats.oob_interned += 1;
@@ -846,11 +830,11 @@ impl MemorySpace {
         if addr::is_oob_zone(a) {
             return match self.oob.decode(a) {
                 Some(entry) => {
-                    let referent = &self.units[entry.referent.0 as usize];
-                    let kind = if referent.live {
-                        ErrorKind::InvalidRead
-                    } else {
-                        ErrorKind::DanglingRead
+                    // A recycled referent slot (stale generation) means the
+                    // unit died long ago: classify as dangling.
+                    let kind = match self.store.get(entry.referent) {
+                        Some(u) if u.live => ErrorKind::InvalidRead,
+                        _ => ErrorKind::DanglingRead,
                     };
                     Resolution::Violation {
                         kind,
@@ -894,8 +878,7 @@ impl MemorySpace {
         if usize_ < len {
             return None;
         }
-        let unit_ref = &self.units[unit.0 as usize];
-        if !unit_ref.live {
+        if !self.store.get(unit).is_some_and(|u| u.live) {
             return None;
         }
         let off = (intended.wrapping_sub(base) as i64).rem_euclid(usize_ as i64) as u64;
@@ -1303,9 +1286,9 @@ mod tests {
             s.free(p, CTX).unwrap();
         }
         assert!(
-            s.units.len() <= 4,
+            s.store.slot_count() <= 4,
             "unit slots must be reused, got {}",
-            s.units.len()
+            s.store.slot_count()
         );
     }
 }

@@ -4,19 +4,64 @@
 //! (each struct, array, and variable is a data unit)" (§3). A data unit is
 //! the granularity at which bounds are enforced: an access is legal only
 //! when it falls entirely inside one live data unit.
+//!
+//! Units live in the arena-backed [`crate::store::UnitStore`]; a
+//! [`UnitId`] names a store slot plus a generation, so recycled slots never
+//! alias stale identifiers held by dangling pointers or old descriptors.
 
 use std::fmt;
 
 /// Identifier of a data unit, unique for the lifetime of a memory space.
 ///
-/// Identifiers are never reused, so a dangling pointer's referent can be
-/// named in diagnostics even after the unit dies.
+/// The identifier packs a store slot index (low [`UnitId::SLOT_BITS`]
+/// bits) with a slot generation (high bits). The generation advances each
+/// time a slot is recycled, so an identifier held across its unit's death
+/// and the slot's reuse resolves to *nothing* rather than to the unrelated
+/// unit now occupying the slot. (The generation wraps at 256; an alias
+/// therefore needs 256 reuses of one slot between derivation and use,
+/// and even then the confusion is bounded: dereferencing the stale id was
+/// already a memory error, and the policy layer treats it as one.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UnitId(pub u32);
 
+impl UnitId {
+    /// Bits of the packed representation carrying the slot index.
+    pub const SLOT_BITS: u32 = 24;
+    /// Maximum representable slot index.
+    pub const MAX_SLOT: u32 = (1 << UnitId::SLOT_BITS) - 1;
+
+    /// Packs a slot index and generation into an identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` exceeds [`UnitId::MAX_SLOT`] (more than 16M live
+    /// unit slots in one space is a harness bug, not a workload).
+    #[inline]
+    pub fn new(slot: u32, generation: u32) -> UnitId {
+        assert!(slot <= UnitId::MAX_SLOT, "unit slot {slot} out of range");
+        UnitId(((generation & 0xFF) << UnitId::SLOT_BITS) | slot)
+    }
+
+    /// The store slot this identifier names.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 & UnitId::MAX_SLOT
+    }
+
+    /// The slot generation this identifier was minted under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.0 >> UnitId::SLOT_BITS
+    }
+}
+
 impl fmt::Display for UnitId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "u{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "u{}", self.slot())
+        } else {
+            write!(f, "u{}g{}", self.slot(), self.generation())
+        }
     }
 }
 
@@ -32,7 +77,13 @@ pub enum UnitKind {
 }
 
 /// A single allocation known to the object table.
-#[derive(Debug, Clone)]
+///
+/// Debug labels are *not* stored inline: the owning
+/// [`crate::store::UnitStore`] appends them to a shared string arena
+/// (see [`crate::store::UnitStore::label`]), so a unit costs no per-unit
+/// heap allocation — load-bearing when thousands of machines each
+/// maintain their own store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataUnit {
     /// Stable identifier.
     pub id: UnitId,
@@ -43,11 +94,10 @@ pub struct DataUnit {
     pub size: u64,
     /// Storage class.
     pub kind: UnitKind,
-    /// Whether the unit is still live. Dead units stay in the unit list for
-    /// diagnostics but are removed from the object table.
+    /// Whether the unit is still live. Dead units stay in the store for
+    /// diagnostics (until their slot is recycled) but are removed from the
+    /// object table.
     pub live: bool,
-    /// Debug label (variable name, allocation site), used by the error log.
-    pub label: Option<String>,
 }
 
 impl DataUnit {
@@ -81,7 +131,6 @@ mod tests {
             size,
             kind: UnitKind::Heap,
             live: true,
-            label: None,
         }
     }
 
@@ -108,5 +157,29 @@ mod tests {
     fn containment_rejects_wrapping() {
         let u = unit(u64::MAX - 4, 4);
         assert!(!u.contains_access(u64::MAX - 1, 8));
+    }
+
+    #[test]
+    fn id_packs_slot_and_generation() {
+        let id = UnitId::new(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_ne!(id, UnitId::new(7, 4));
+        assert_ne!(id, UnitId::new(8, 3));
+        // Bare construction (tests, tables) means generation 0.
+        assert_eq!(UnitId(7), UnitId::new(7, 0));
+        assert_eq!(UnitId::new(UnitId::MAX_SLOT, 255).slot(), UnitId::MAX_SLOT);
+    }
+
+    #[test]
+    fn id_generation_wraps_at_256() {
+        assert_eq!(UnitId::new(1, 256), UnitId::new(1, 0));
+        assert_eq!(UnitId::new(1, 257).generation(), 1);
+    }
+
+    #[test]
+    fn id_display_names_slot_and_nonzero_generation() {
+        assert_eq!(UnitId::new(5, 0).to_string(), "u5");
+        assert_eq!(UnitId::new(5, 2).to_string(), "u5g2");
     }
 }

@@ -24,7 +24,7 @@
 //!   occur in irrelevant data).
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
@@ -246,10 +246,20 @@ impl ApacheWorker {
         ApacheWorker::from_image(&ServerKind::Apache.image(), mode)
     }
 
+    /// Boots one worker with an explicit object-table backend.
+    pub fn boot_table(mode: Mode, table: TableKind) -> ApacheWorker {
+        ApacheWorker::from_image_table(&ServerKind::Apache.image(), mode, table)
+    }
+
     /// Boots one worker from an explicit image (pools hold their own
     /// handle; tests pass a fresh uncached compile).
     pub fn from_image(image: &ProgramImage, mode: Mode) -> ApacheWorker {
-        let mut proc = Process::boot(image, mode, ServerKind::Apache.fuel());
+        ApacheWorker::from_image_table(image, mode, TableKind::default())
+    }
+
+    /// Boots one worker from an explicit image and table backend.
+    pub fn from_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> ApacheWorker {
+        let mut proc = Process::boot_table(image, mode, table, ServerKind::Apache.fuel());
         init_worker(&mut proc);
         ApacheWorker { proc }
     }
@@ -302,6 +312,7 @@ pub const RESTART_COST_CYCLES: u64 = 220_000;
 pub struct ApachePool {
     image: ProgramImage,
     mode: Mode,
+    table: TableKind,
     workers: Vec<ApacheWorker>,
     next: usize,
     /// Total virtual cycles spent, including restart overhead.
@@ -315,13 +326,19 @@ pub struct ApachePool {
 impl ApachePool {
     /// Creates a pool with `n` children sharing the interned image.
     pub fn new(mode: Mode, n: usize) -> ApachePool {
+        ApachePool::new_table(mode, TableKind::default(), n)
+    }
+
+    /// Creates a pool whose children all run the given table backend.
+    pub fn new_table(mode: Mode, table: TableKind, n: usize) -> ApachePool {
         let image = worker_image();
         let workers = (0..n)
-            .map(|_| ApacheWorker::from_image(&image, mode))
+            .map(|_| ApacheWorker::from_image_table(&image, mode, table))
             .collect();
         ApachePool {
             image,
             mode,
+            table,
             workers,
             next: 0,
             total_cycles: 0,
@@ -345,7 +362,8 @@ impl ApachePool {
             Outcome::Crashed(_) => {
                 self.child_deaths += 1;
                 self.total_cycles += RESTART_COST_CYCLES;
-                self.workers[idx] = ApacheWorker::from_image(&self.image, self.mode);
+                self.workers[idx] =
+                    ApacheWorker::from_image_table(&self.image, self.mode, self.table);
             }
         }
         r.outcome

@@ -37,16 +37,17 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::Instant;
 
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 pub use crate::image::ServerKind;
 
+use crate::latency::LatencyHist;
 use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload, Measured, Outcome};
 
 /// Virtual cycles charged for forking and re-initialising a replacement
@@ -60,6 +61,12 @@ pub struct FarmConfig {
     pub kind: ServerKind,
     /// Compiler/runtime policy for every process in the farm.
     pub mode: Mode,
+    /// Object-table backend for every process in the farm. Backend
+    /// choice never changes what a farm computes (the cross-backend
+    /// equivalence tests assert byte-identical transcripts), only how
+    /// fast the bounds lookups run — so, like `threads`, it is excluded
+    /// from [`FarmReport`] equality.
+    pub table: TableKind,
     /// Number of independent server processes.
     pub servers: usize,
     /// Number of OS threads driving them (clamped to `servers`).
@@ -88,6 +95,7 @@ impl FarmConfig {
         FarmConfig {
             kind,
             mode,
+            table: TableKind::default(),
             servers: 4,
             threads: 4,
             requests_per_server: 100,
@@ -107,6 +115,12 @@ impl FarmConfig {
     /// Same farm with a different scheduling grain.
     pub fn with_slice(mut self, slice_requests: usize) -> FarmConfig {
         self.slice_requests = slice_requests;
+        self
+    }
+
+    /// Same farm on a different object-table backend.
+    pub fn with_table(mut self, table: TableKind) -> FarmConfig {
+        self.table = table;
         self
     }
 
@@ -143,6 +157,10 @@ pub struct ServerStats {
     pub restart_cycles: u64,
     /// Per-completed-request virtual latencies, in stream order.
     pub latencies: Vec<u64>,
+    /// Virtual cycles of each supervised restart burst (one entry per
+    /// time the supervisor had to step in), in stream order — the raw
+    /// material of the tail-attribution split.
+    pub restart_bursts: Vec<u64>,
 }
 
 /// Deterministic farm-wide aggregate.
@@ -176,8 +194,21 @@ pub struct FarmStats {
     pub latency_p90: u64,
     /// 99th-percentile latency.
     pub latency_p99: u64,
+    /// 99.9th-percentile latency (exact, from the full latency set).
+    pub latency_p999: u64,
     /// Worst completed-request latency.
     pub latency_max: u64,
+    /// Log-bucket histogram of completed-request latencies.
+    pub service_hist: LatencyHist,
+    /// Log-bucket histogram of supervised restart bursts (cycles).
+    pub restart_hist: LatencyHist,
+    /// Cycle mass of *tail events* — the top ~1% by position of the
+    /// merged population of completed-request latencies and restart
+    /// bursts — owned by request service.
+    pub tail_service_cycles: u64,
+    /// Cycle mass of tail events owned by restart overhead — at farm
+    /// scale this is where the §4.3.2 process-management cost surfaces.
+    pub tail_restart_cycles: u64,
 }
 
 impl FarmStats {
@@ -226,9 +257,10 @@ impl PartialEq for FarmReport {
     fn eq(&self, other: &FarmReport) -> bool {
         let a = &self.config;
         let b = &other.config;
-        // Thread count and slice grain are excluded: they shape host wall
-        // time only, never the measured data — that is the determinism
-        // contract.
+        // Thread count, slice grain, and table backend are excluded:
+        // they shape host wall time only, never the measured data — that
+        // is the determinism contract (the backend half is asserted by
+        // the cross-backend transcript-equivalence tests).
         a.kind == b.kind
             && a.mode == b.mode
             && a.servers == b.servers
@@ -274,22 +306,60 @@ const PINE_SEED_MESSAGES: usize = 3;
 /// Messages every Mutt farm process starts with.
 const MUTT_SEED_MESSAGES: usize = 2;
 
+/// The farm's fixed attack payloads, interned once per host process —
+/// at thousands of servers, regenerating a constant attack string per
+/// request is measurable allocator churn.
+fn apache_attack() -> &'static [u8] {
+    static P: OnceLock<Vec<u8>> = OnceLock::new();
+    P.get_or_init(apache::attack_url)
+}
+
+fn sendmail_attack() -> &'static [u8] {
+    static P: OnceLock<Vec<u8>> = OnceLock::new();
+    P.get_or_init(|| sendmail::attack_address(40))
+}
+
+fn pine_attack() -> &'static [u8] {
+    static P: OnceLock<Vec<u8>> = OnceLock::new();
+    P.get_or_init(|| pine::attack_from(40))
+}
+
+fn mutt_attack() -> &'static [u8] {
+    static P: OnceLock<Vec<u8>> = OnceLock::new();
+    P.get_or_init(|| mutt::attack_folder_name(40))
+}
+
+fn mc_attack() -> &'static [Vec<u8>] {
+    static P: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    P.get_or_init(mc::attack_links)
+}
+
 impl FarmProcess {
     /// Boots one process of `kind` from the interned image — the
     /// compiler runs at most once per kind per host process, no matter
     /// how many farm servers boot or how often the supervisor restarts
     /// them.
-    fn boot(kind: ServerKind, mode: Mode) -> FarmProcess {
+    fn boot(kind: ServerKind, mode: Mode, table: TableKind) -> FarmProcess {
         match kind {
-            ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot(mode)),
-            ServerKind::Sendmail => FarmProcess::Sendmail(sendmail::Sendmail::boot(mode)),
+            ServerKind::Apache => {
+                FarmProcess::Apache(apache::ApacheWorker::boot_table(mode, table))
+            }
+            ServerKind::Sendmail => {
+                FarmProcess::Sendmail(sendmail::Sendmail::boot_table(mode, table))
+            }
             ServerKind::Pine => FarmProcess::Pine {
-                pine: pine::Pine::boot(mode, pine::Pine::standard_mailbox(PINE_SEED_MESSAGES)),
+                pine: pine::Pine::boot_table(
+                    mode,
+                    table,
+                    pine::Pine::standard_mailbox(PINE_SEED_MESSAGES),
+                ),
                 messages: PINE_SEED_MESSAGES as i64,
             },
-            ServerKind::Mutt => FarmProcess::Mutt(mutt::Mutt::boot(mode, MUTT_SEED_MESSAGES)),
+            ServerKind::Mutt => {
+                FarmProcess::Mutt(mutt::Mutt::boot_table(mode, table, MUTT_SEED_MESSAGES))
+            }
             ServerKind::Mc => FarmProcess::Mc {
-                mc: mc::Mc::boot(mode, &mc::clean_config()),
+                mc: mc::Mc::boot_table(mode, table, &mc::clean_config()),
                 files: 0,
             },
         }
@@ -308,20 +378,22 @@ impl FarmProcess {
 
     /// Replaces the dead process, preserving persistent environment (the
     /// Pine mailbox survives restarts — it is the mail file on disk).
-    fn restart(&mut self, kind: ServerKind, mode: Mode) {
+    fn restart(&mut self, kind: ServerKind, mode: Mode, table: TableKind) {
         match self {
             FarmProcess::Pine { pine, .. } => pine.restart(),
-            other => *other = FarmProcess::boot(kind, mode),
+            other => *other = FarmProcess::boot(kind, mode, table),
         }
     }
 
     /// Serves one generated request. All request content derives from
-    /// `rng`, which must be dedicated to this server's stream.
+    /// `rng`, which must be dedicated to this server's stream; request
+    /// strings are built in the process's recycled scratch buffers, so
+    /// steady-state serving performs no host allocation per request.
     fn serve(&mut self, rng: &mut StdRng, attack: bool) -> Measured {
         match self {
             FarmProcess::Apache(w) => {
                 if attack {
-                    return w.get(&apache::attack_url());
+                    return w.get(apache_attack());
                 }
                 match rng.gen_range(0u32..10) {
                     0..=5 => w.get(b"/index.html"),
@@ -332,20 +404,36 @@ impl FarmProcess {
             }
             FarmProcess::Sendmail(s) => {
                 if attack {
-                    let to = workload::sendmail_address(rng.next_u64());
-                    return s.receive(&sendmail::attack_address(40), &to, b"attack payload");
+                    let mut to = s.process_mut().scratch();
+                    workload::sendmail_address_into(&mut to, rng.next_u64());
+                    let r = s.receive(sendmail_attack(), &to, b"attack payload");
+                    s.process_mut().recycle(to);
+                    return r;
                 }
                 match rng.gen_range(0u32..10) {
                     0..=6 => {
-                        let from = workload::sendmail_address(rng.next_u64());
-                        let to = workload::sendmail_address(rng.next_u64());
-                        let body = workload::lorem(160, rng.next_u64());
-                        s.receive(&from, &to, &body)
+                        let mut from = s.process_mut().scratch();
+                        let mut to = s.process_mut().scratch();
+                        let mut body = s.process_mut().scratch();
+                        workload::sendmail_address_into(&mut from, rng.next_u64());
+                        workload::sendmail_address_into(&mut to, rng.next_u64());
+                        workload::lorem_into(&mut body, 160, rng.next_u64());
+                        let r = s.receive(&from, &to, &body);
+                        for buf in [from, to, body] {
+                            s.process_mut().recycle(buf);
+                        }
+                        r
                     }
                     7..=8 => {
-                        let to = workload::sendmail_address(rng.next_u64());
-                        let body = workload::lorem(200, rng.next_u64());
-                        s.send(&to, &body)
+                        let mut to = s.process_mut().scratch();
+                        let mut body = s.process_mut().scratch();
+                        workload::sendmail_address_into(&mut to, rng.next_u64());
+                        workload::lorem_into(&mut body, 200, rng.next_u64());
+                        let r = s.send(&to, &body);
+                        for buf in [to, body] {
+                            s.process_mut().recycle(buf);
+                        }
+                        r
                     }
                     _ => s.wakeup(),
                 }
@@ -354,7 +442,7 @@ impl FarmProcess {
                 if attack {
                     // The poisoned message persists in the mailbox: every
                     // restart replays it (§4.7).
-                    let r = pine.deliver(&pine::attack_from(40), b"pwn", b"payload");
+                    let r = pine.deliver(pine_attack(), b"pwn", b"payload");
                     if r.outcome.survived() {
                         *messages += 1;
                     }
@@ -362,9 +450,14 @@ impl FarmProcess {
                 }
                 match rng.gen_range(0u32..10) {
                     0..=2 => {
-                        let from = workload::from_field(rng.next_u64());
-                        let body = workload::lorem(300, rng.next_u64());
+                        let mut from = pine.process_mut().scratch();
+                        let mut body = pine.process_mut().scratch();
+                        workload::from_field_into(&mut from, rng.next_u64());
+                        workload::lorem_into(&mut body, 300, rng.next_u64());
                         let r = pine.deliver(&from, b"new mail", &body);
+                        for buf in [from, body] {
+                            pine.process_mut().recycle(buf);
+                        }
                         if r.outcome.survived() {
                             *messages += 1;
                         }
@@ -377,7 +470,7 @@ impl FarmProcess {
             }
             FarmProcess::Mutt(m) => {
                 if attack {
-                    return m.open_folder(&mutt::attack_folder_name(40));
+                    return m.open_folder(mutt_attack());
                 }
                 match rng.gen_range(0u32..10) {
                     0..=3 => m.open_folder(b"INBOX"),
@@ -386,24 +479,34 @@ impl FarmProcess {
                 }
             }
             FarmProcess::Mc { mc, files } => {
+                use std::io::Write as _;
                 if attack {
-                    return mc.open_archive(&mc::attack_links());
+                    return mc.open_archive(mc_attack());
                 }
                 match rng.gen_range(0u32..10) {
                     0..=3 => {
                         *files += 1;
-                        let dst = format!("/tmp/copy{files}");
-                        mc.copy(b"/home/user/data.bin", dst.as_bytes())
+                        let mut dst = mc.process_mut().scratch();
+                        let _ = write!(dst, "/tmp/copy{files}");
+                        let r = mc.copy(b"/home/user/data.bin", &dst);
+                        mc.process_mut().recycle(dst);
+                        r
                     }
                     4..=5 => {
                         *files += 1;
-                        let dir = format!("/tmp/dir{files}");
-                        mc.mkdir(dir.as_bytes())
+                        let mut dir = mc.process_mut().scratch();
+                        let _ = write!(dir, "/tmp/dir{files}");
+                        let r = mc.mkdir(&dir);
+                        mc.process_mut().recycle(dir);
+                        r
                     }
                     6..=7 => mc.component_end(b"usr/share/component/lib"),
                     _ => {
-                        let victim = format!("/tmp/copy{files}");
-                        mc.delete(victim.as_bytes())
+                        let mut victim = mc.process_mut().scratch();
+                        let _ = write!(victim, "/tmp/copy{files}");
+                        let r = mc.delete(&victim);
+                        mc.process_mut().recycle(victim);
+                        r
                     }
                 }
             }
@@ -428,16 +531,21 @@ fn server_seed(farm_seed: u64, index: usize) -> u64 {
 fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmConfig) {
     let remaining = u64::from(config.restart_budget).saturating_sub(stats.restarts);
     let budget = u32::try_from(remaining).unwrap_or(u32::MAX);
-    let (kind, mode) = (config.kind, config.mode);
+    let (kind, mode, table) = (config.kind, config.mode, config.table);
     let attempts = supervisor::restart_until_usable(
         process,
         budget,
         |p| p.usable(),
-        |p| p.restart(kind, mode),
+        |p| p.restart(kind, mode, table),
     );
     stats.restarts += u64::from(attempts);
     stats.total_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
     stats.restart_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
+    if attempts > 0 {
+        stats
+            .restart_bursts
+            .push(u64::from(attempts) * RESTART_COST_CYCLES);
+    }
 }
 
 /// One server's in-flight execution state: the unit the work-stealing
@@ -460,7 +568,7 @@ impl ServerRun {
     fn boot(config: &FarmConfig, index: usize) -> Box<ServerRun> {
         let rng = StdRng::seed_from_u64(server_seed(config.seed, index));
         let mut stats = ServerStats::default();
-        let mut process = FarmProcess::boot(config.kind, config.mode);
+        let mut process = FarmProcess::boot(config.kind, config.mode, config.table);
         supervise(&mut process, &mut stats, config);
         Box::new(ServerRun {
             index,
@@ -666,6 +774,7 @@ fn worker_loop(config: &FarmConfig, me: usize, slice: usize, sched: &Scheduler) 
 fn aggregate(per_server: &[ServerStats]) -> FarmStats {
     let mut agg = FarmStats::default();
     let mut latencies: Vec<u64> = Vec::new();
+    let mut bursts: Vec<u64> = Vec::new();
     for s in per_server {
         agg.requests += s.requests;
         agg.completed += s.completed;
@@ -677,16 +786,52 @@ fn aggregate(per_server: &[ServerStats]) -> FarmStats {
         agg.total_cycles += s.total_cycles;
         agg.restart_cycles += s.restart_cycles;
         latencies.extend_from_slice(&s.latencies);
+        bursts.extend_from_slice(&s.restart_bursts);
+        for &l in &s.latencies {
+            agg.service_hist.record(l);
+        }
+        for &b in &s.restart_bursts {
+            agg.restart_hist.record(b);
+        }
     }
     if !latencies.is_empty() {
         latencies.sort_unstable();
         let total: u64 = latencies.iter().sum();
         agg.latency_mean_millicycles = total * 1000 / latencies.len() as u64;
-        let pick = |p: usize| latencies[(latencies.len() - 1) * p / 100];
-        agg.latency_p50 = pick(50);
-        agg.latency_p90 = pick(90);
-        agg.latency_p99 = pick(99);
+        let pick = |num: usize, den: usize| latencies[(latencies.len() - 1) * num / den];
+        agg.latency_p50 = pick(50, 100);
+        agg.latency_p90 = pick(90, 100);
+        agg.latency_p99 = pick(99, 100);
+        agg.latency_p999 = pick(999, 1000);
         agg.latency_max = *latencies.last().unwrap();
+    }
+    // Tail attribution: treat completed-request latencies and restart
+    // bursts as one event population and split the cycle mass of its top
+    // ~1% *by position* (the events above the merged p99 rank) between
+    // owners. Positional, not value-threshold: the simulator's quantized
+    // virtual cycles produce big tied classes, and a `>= p99-value`
+    // filter would sweep a whole tied class — potentially most of the
+    // run — into the "tail". A backward two-pointer walk over the two
+    // sorted arrays takes exactly the top events, attributing each as it
+    // goes (ties prefer service events, deterministically). Under
+    // attack, the restarting modes' tails are restart-owned (§4.3.2's
+    // process-management overhead); failure-oblivious tails stay
+    // service-owned.
+    let total_events = latencies.len() + bursts.len();
+    if total_events > 0 {
+        bursts.sort_unstable();
+        let rank = (total_events - 1) * 99 / 100;
+        let tail_count = total_events - rank;
+        let (mut i, mut j) = (latencies.len(), bursts.len());
+        for _ in 0..tail_count {
+            if i > 0 && (j == 0 || latencies[i - 1] >= bursts[j - 1]) {
+                i -= 1;
+                agg.tail_service_cycles += latencies[i];
+            } else {
+                j -= 1;
+                agg.tail_restart_cycles += bursts[j];
+            }
+        }
     }
     agg
 }
@@ -789,6 +934,62 @@ mod tests {
         let one = run_farm(&c.clone().with_threads(1));
         let two = run_farm(&c.with_threads(2));
         assert_eq!(one, two);
+    }
+
+    #[test]
+    fn farm_report_is_table_backend_invariant() {
+        // The backend is a pure performance knob: reports (stats,
+        // per-server breakdowns, histograms) must compare equal across
+        // all three, in a mode with restarts in play.
+        let c = quick(ServerKind::Apache, Mode::BoundsCheck).with_attack_ratio(1, 4);
+        let splay = run_farm(&c.clone().with_table(TableKind::Splay));
+        let btree = run_farm(&c.clone().with_table(TableKind::BTree));
+        let flat = run_farm(&c.with_table(TableKind::Flat));
+        assert_eq!(splay, btree);
+        assert_eq!(splay, flat);
+    }
+
+    #[test]
+    fn tail_attribution_splits_restart_overhead_from_service() {
+        // Bounds Check Apache under heavy attack: every attack kills the
+        // child, so the histograms carry both populations.
+        let mut c = quick(ServerKind::Apache, Mode::BoundsCheck);
+        c.requests_per_server = 20;
+        c.attack_ratio = (1, 3);
+        let r = run_farm(&c);
+        assert!(r.stats.deaths > 0, "attacks must kill BC children");
+        assert!(r.stats.restart_hist.count() > 0);
+        assert_eq!(
+            r.stats.restart_hist.total(),
+            r.stats.restart_cycles,
+            "every restart cycle appears in the restart histogram"
+        );
+        assert_eq!(r.stats.service_hist.count(), r.stats.completed);
+        assert!(
+            r.stats.service_hist.total() + r.stats.restart_hist.total() <= r.stats.total_cycles,
+            "histogram mass stays within the cycle ledger",
+        );
+        // Bounds Check Sendmail is the §4.4.4 worst case: the farm never
+        // serves, every charged cycle is restart overhead, so the whole
+        // tail is restart-owned.
+        let dead = run_farm(&quick(ServerKind::Sendmail, Mode::BoundsCheck));
+        assert_eq!(dead.stats.service_hist.count(), 0);
+        assert_eq!(dead.stats.tail_service_cycles, 0);
+        assert!(
+            dead.stats.tail_restart_cycles > 0,
+            "a dead farm's tail is pure restart overhead"
+        );
+        // Failure-oblivious never restarts: its tail is pure service.
+        let fo = run_farm(&{
+            let mut c = c.clone();
+            c.mode = Mode::FailureOblivious;
+            c
+        });
+        assert_eq!(fo.stats.restart_hist.count(), 0);
+        assert_eq!(fo.stats.tail_restart_cycles, 0);
+        assert!(fo.stats.tail_service_cycles > 0);
+        assert!(fo.stats.latency_p999 >= fo.stats.latency_p99);
+        assert!(fo.stats.latency_max >= fo.stats.latency_p999);
     }
 
     #[test]

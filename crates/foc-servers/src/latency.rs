@@ -1,0 +1,190 @@
+//! Log-bucket latency histograms for farm-scale tail accounting.
+//!
+//! The farm keeps every per-request latency during a run (exact
+//! p50/p99/p99.9 in `FarmStats` come from those vectors), but the
+//! *recorded* artifact — `BENCH_farm.json` at 4096 servers — cannot
+//! carry tens of thousands of raw values per row, and the tail split
+//! between service time and restart overhead (the §4.3.2
+//! process-management cost) needs a shape, not a list. [`LatencyHist`]
+//! is the standard HdrHistogram-style compromise for that boundary:
+//! power-of-two buckets, O(1) recording, exact counts, quantiles
+//! resolved to bucket upper bounds — compact enough to serialize per
+//! row and to sanity-check the exact percentiles against. Everything is
+//! integer arithmetic, so histograms participate in the farm's
+//! determinism contract (`Eq`, thread- and slice-invariant).
+
+/// Number of power-of-two buckets: bucket `b` covers `[2^(b-1), 2^b)`
+/// virtual cycles (bucket 0 holds exact zeros), which spans the full
+/// `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A log-bucket histogram of virtual-cycle values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> LatencyHist {
+        LatencyHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist::default()
+    }
+
+    /// Bucket index of a value.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket (the value a quantile resolves
+    /// to).
+    #[inline]
+    fn bucket_top(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.total += v;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+
+    /// The `num/den` quantile, resolved to its bucket's upper bound
+    /// (e.g. `quantile(999, 1000)` for p99.9). Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile {num}/{den} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the quantile observation (1-based, ceiling), so
+        // quantile(1, 1) is the max and quantile(1, 2) the median's
+        // upper bucket.
+        let rank = ((self.count * num).div_ceil(den)).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_top(b);
+            }
+        }
+        Self::bucket_top(BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs — the compact
+    /// serialization the bench record stores.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (Self::bucket_top(b), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = LatencyHist::new();
+        for v in [0, 1, 2, 3, 4, 1000, 1024, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.total(), 1 + 2 + 3 + 4 + 1000 + 1024 + (1u64 << 40));
+        assert_eq!(h.nonzero_buckets().iter().map(|&(_, n)| n).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_tops() {
+        let mut h = LatencyHist::new();
+        // 99 fast requests (~100 cycles), one slow (~1M cycles).
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(1, 2), 127, "p50 in the [64,128) bucket");
+        assert_eq!(h.quantile(99, 100), 127, "p99 rank 99 is still fast");
+        assert_eq!(
+            h.quantile(999, 1000),
+            (1u64 << 20) - 1,
+            "p99.9 is the outlier"
+        );
+        assert_eq!(h.quantile(1, 1), (1u64 << 20) - 1, "max");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.quantile(1, 2), 0);
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for v in [5u64, 900, 33] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 12_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn zero_is_its_own_bucket() {
+        let mut h = LatencyHist::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1)]);
+    }
+}

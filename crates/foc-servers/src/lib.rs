@@ -18,6 +18,7 @@
 pub mod apache;
 pub mod farm;
 pub mod image;
+pub mod latency;
 pub mod mc;
 pub mod mutt;
 pub mod pine;
@@ -28,7 +29,7 @@ pub mod workload;
 pub use image::ServerKind;
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::{Machine, MachineConfig, VmFault};
 
 /// How one request ended.
@@ -113,27 +114,50 @@ impl GuestAddr {
     }
 }
 
+/// Cap on pooled scratch buffers per process (a driver never has more
+/// than a handful of request strings in flight at once).
+const SCRATCH_POOL: usize = 4;
+
 /// Shared plumbing: one guest process running a compiled server.
 pub struct Process {
     machine: Machine,
     mode: Mode,
+    table: TableKind,
     fuel: u64,
+    /// Reusable host-side byte buffers for building request content;
+    /// taken with [`Process::scratch`], returned with
+    /// [`Process::recycle`] so per-request `Vec` churn stays off the
+    /// host allocator at farm scale.
+    scratch: Vec<Vec<u8>>,
 }
 
 impl Process {
-    /// Boots a shared compiled image under `mode`. This is the farm's
-    /// hot path: no compilation, just globals/strings allocation —
-    /// restarts and pool respawns reuse the interned image.
+    /// Boots a shared compiled image under `mode` with the default
+    /// (splay) object-table backend. This is the farm's hot path: no
+    /// compilation, just globals/strings allocation — restarts and pool
+    /// respawns reuse the interned image.
     ///
     /// # Panics
     ///
     /// Panics when the image fails to load (global region exhaustion —
     /// a harness bug, since the server images are fixed).
     pub fn boot(image: &ProgramImage, mode: Mode, fuel: u64) -> Process {
+        Process::boot_table(image, mode, TableKind::default(), fuel)
+    }
+
+    /// Boots a shared compiled image with an explicit object-table
+    /// backend — the end of the `FarmConfig` → driver → machine →
+    /// `MemorySpace` configuration thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image fails to load, as [`Process::boot`].
+    pub fn boot_table(image: &ProgramImage, mode: Mode, table: TableKind, fuel: u64) -> Process {
         let config = MachineConfig {
             mem: foc_memory::MemConfig::with_mode(mode),
             fuel_per_call: fuel,
-        };
+        }
+        .with_table(table);
         let machine = match Machine::load(image.clone(), config) {
             Ok(m) => m,
             Err(e) => panic!("server image failed to load: {e}"),
@@ -141,7 +165,9 @@ impl Process {
         Process {
             machine,
             mode,
+            table,
             fuel,
+            scratch: Vec::new(),
         }
     }
 
@@ -163,6 +189,28 @@ impl Process {
     /// The policy this process runs under.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The object-table backend this process runs on.
+    pub fn table(&self) -> TableKind {
+        self.table
+    }
+
+    /// Takes a cleared reusable byte buffer from the process's scratch
+    /// pool (allocating only when the pool is dry). Pair with
+    /// [`Process::recycle`]; the take/return shape sidesteps borrow
+    /// conflicts with the `&mut self` request methods.
+    pub fn scratch(&mut self) -> Vec<u8> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool, keeping its capacity for
+    /// the next request.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.scratch.len() < SCRATCH_POOL {
+            buf.clear();
+            self.scratch.push(buf);
+        }
     }
 
     /// The fuel budget per call.

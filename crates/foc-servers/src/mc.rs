@@ -18,7 +18,7 @@
 //!   cycling sequence eventually produces `'/'` and the loop exits.
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
@@ -226,9 +226,24 @@ impl Mc {
         Mc::boot_image(&ServerKind::Mc.image(), mode, config)
     }
 
+    /// Boots MC with an explicit object-table backend.
+    pub fn boot_table(mode: Mode, table: TableKind, config: &[u8]) -> Mc {
+        Mc::boot_image_table(&ServerKind::Mc.image(), mode, table, config)
+    }
+
     /// Boots MC from an explicit compiled image.
     pub fn boot_image(image: &ProgramImage, mode: Mode, config: &[u8]) -> Mc {
-        let mut proc = Process::boot(image, mode, ServerKind::Mc.fuel());
+        Mc::boot_image_table(image, mode, TableKind::default(), config)
+    }
+
+    /// Boots MC from an explicit image and table backend.
+    pub fn boot_image_table(
+        image: &ProgramImage,
+        mode: Mode,
+        table: TableKind,
+        config: &[u8],
+    ) -> Mc {
+        let mut proc = Process::boot_table(image, mode, table, ServerKind::Mc.fuel());
         let cfg = proc.guest_str(config);
         let init_outcome = proc.request("mc_load_config", &[cfg.arg()]).outcome;
         if init_outcome.survived() {

@@ -23,7 +23,7 @@
 //!   user continues working with legitimate folders.
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
@@ -256,9 +256,24 @@ impl Mutt {
         Mutt::boot_image(&ServerKind::Mutt.image(), mode, seed_messages)
     }
 
+    /// Boots Mutt with an explicit object-table backend.
+    pub fn boot_table(mode: Mode, table: TableKind, seed_messages: usize) -> Mutt {
+        Mutt::boot_image_table(&ServerKind::Mutt.image(), mode, table, seed_messages)
+    }
+
     /// Boots Mutt from an explicit compiled image.
     pub fn boot_image(image: &ProgramImage, mode: Mode, seed_messages: usize) -> Mutt {
-        let mut proc = Process::boot(image, mode, ServerKind::Mutt.fuel());
+        Mutt::boot_image_table(image, mode, TableKind::default(), seed_messages)
+    }
+
+    /// Boots Mutt from an explicit image and table backend.
+    pub fn boot_image_table(
+        image: &ProgramImage,
+        mode: Mode,
+        table: TableKind,
+        seed_messages: usize,
+    ) -> Mutt {
+        let mut proc = Process::boot_table(image, mode, table, ServerKind::Mutt.fuel());
         let r = proc.request("mutt_init", &[]);
         assert!(
             r.outcome.survived(),

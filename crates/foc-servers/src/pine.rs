@@ -21,7 +21,7 @@
 //!   different, correct path that displays the complete From field.
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
@@ -230,13 +230,32 @@ impl Pine {
         Pine::boot_image(&ServerKind::Pine.image(), mode, mailbox)
     }
 
+    /// Boots Pine with an explicit object-table backend.
+    pub fn boot_table(
+        mode: Mode,
+        table: TableKind,
+        mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+    ) -> Pine {
+        Pine::boot_image_table(&ServerKind::Pine.image(), mode, table, mailbox)
+    }
+
     /// Boots Pine from an explicit compiled image.
     pub fn boot_image(
         image: &ProgramImage,
         mode: Mode,
         mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
     ) -> Pine {
-        let mut proc = Process::boot(image, mode, ServerKind::Pine.fuel());
+        Pine::boot_image_table(image, mode, TableKind::default(), mailbox)
+    }
+
+    /// Boots Pine from an explicit image and table backend.
+    pub fn boot_image_table(
+        image: &ProgramImage,
+        mode: Mode,
+        table: TableKind,
+        mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+    ) -> Pine {
+        let mut proc = Process::boot_table(image, mode, table, ServerKind::Pine.fuel());
         let r = proc.request("pine_init", &[]);
         assert!(r.outcome.survived(), "pine_init cannot fail");
         let mut pine = Pine {
@@ -369,7 +388,8 @@ impl Pine {
     /// again during initialization.
     pub fn restart(&mut self) {
         let mailbox = self.mailbox.clone();
-        *self = Pine::boot(self.mode, mailbox);
+        let table = self.proc.table();
+        *self = Pine::boot_table(self.mode, table, mailbox);
     }
 }
 

@@ -25,7 +25,7 @@
 //!   of memory errors during normal execution" of §4.4.4.
 
 use foc_compiler::ProgramImage;
-use foc_memory::Mode;
+use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
@@ -247,9 +247,19 @@ impl Sendmail {
         Sendmail::boot_image(&ServerKind::Sendmail.image(), mode)
     }
 
+    /// Boots the daemon with an explicit object-table backend.
+    pub fn boot_table(mode: Mode, table: TableKind) -> Sendmail {
+        Sendmail::boot_image_table(&ServerKind::Sendmail.image(), mode, table)
+    }
+
     /// Boots the daemon from an explicit compiled image.
     pub fn boot_image(image: &ProgramImage, mode: Mode) -> Sendmail {
-        let mut proc = Process::boot(image, mode, ServerKind::Sendmail.fuel());
+        Sendmail::boot_image_table(image, mode, TableKind::default())
+    }
+
+    /// Boots the daemon from an explicit image and table backend.
+    pub fn boot_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> Sendmail {
+        let mut proc = Process::boot_table(image, mode, table, ServerKind::Sendmail.fuel());
         let init_outcome = proc.request("sendmail_init", &[]).outcome;
         Sendmail { proc, init_outcome }
     }

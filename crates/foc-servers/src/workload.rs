@@ -41,8 +41,17 @@ const WORDS: &[&str] = &[
 /// byte, never longer than `len`), with occasional URLs and newlines so
 /// pager-style scanning loops have realistic work.
 pub fn lorem(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    lorem_into(&mut out, len, seed);
+    out
+}
+
+/// [`lorem`] into a caller-provided buffer — the farm's per-request path,
+/// which reuses one scratch buffer per server instead of allocating a
+/// fresh `Vec` per request.
+pub fn lorem_into(out: &mut Vec<u8>, len: usize, seed: u64) {
+    out.clear();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out: Vec<u8> = Vec::with_capacity(len);
     let mut col = 0usize;
     while out.len() < len.saturating_sub(12) {
         if rng.gen_ratio(1, 40) {
@@ -69,15 +78,23 @@ pub fn lorem(len: usize, seed: u64) -> Vec<u8> {
     while out.len() > 1 && (out.last() == Some(&b' ') || out.last() == Some(&b'\n')) {
         out.pop();
     }
-    out
 }
 
 /// A plausible e-mail From field (display name + address).
 pub fn from_field(seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    from_field_into(&mut out, seed);
+    out
+}
+
+/// [`from_field`] into a caller-provided buffer.
+pub fn from_field_into(out: &mut Vec<u8>, seed: u64) {
+    use std::io::Write as _;
+    out.clear();
     let mut rng = StdRng::seed_from_u64(seed);
     let first = WORDS[rng.gen_range(0..WORDS.len())];
     let last = WORDS[rng.gen_range(0..WORDS.len())];
-    format!("{first} {last} <{first}.{last}@example.org>").into_bytes()
+    let _ = write!(out, "{first} {last} <{first}.{last}@example.org>");
 }
 
 /// A From field dense with characters Pine must quote — the §4.2 attack
@@ -106,9 +123,18 @@ pub fn sendmail_attack_address(pairs: usize) -> Vec<u8> {
 
 /// A legitimate SMTP address.
 pub fn sendmail_address(seed: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    sendmail_address_into(&mut out, seed);
+    out
+}
+
+/// [`sendmail_address`] into a caller-provided buffer.
+pub fn sendmail_address_into(out: &mut Vec<u8>, seed: u64) {
+    use std::io::Write as _;
+    out.clear();
     let mut rng = StdRng::seed_from_u64(seed);
     let user = WORDS[rng.gen_range(0..WORDS.len())];
-    format!("{user}{}@example.org", rng.gen_range(0..100)).into_bytes()
+    let _ = write!(out, "{user}{}@example.org", rng.gen_range(0..100));
 }
 
 /// A rewrite-rule URL with the given number of capturable segments — more

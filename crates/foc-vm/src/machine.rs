@@ -36,6 +36,13 @@ impl MachineConfig {
             ..MachineConfig::default()
         }
     }
+
+    /// Same config with a different object-table backend — the knob the
+    /// farm and the server drivers thread down from their own configs.
+    pub fn with_table(mut self, table: foc_memory::TableKind) -> MachineConfig {
+        self.mem.table = table;
+        self
+    }
 }
 
 /// Execution counters (monotone across calls).

@@ -14,8 +14,8 @@
 use proptest::prelude::*;
 
 use failure_oblivious::memory::{
-    AccessCtx, AccessSize, BTreeTable, Manufacturer, MemConfig, MemorySpace, Mode, ObjectTable,
-    SplayTable, ValueSequence,
+    AccessCtx, AccessSize, BTreeTable, FlatTable, Manufacturer, MemConfig, MemorySpace, Mode,
+    ObjectTable, SplayTable, ValueSequence,
 };
 use failure_oblivious::{Machine, MachineConfig};
 
@@ -24,11 +24,12 @@ const CTX: AccessCtx = AccessCtx { func: 0, pc: 0 };
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Splay and B-tree object tables agree on arbitrary op sequences.
+    /// All three object-table backends agree on arbitrary op sequences.
     #[test]
     fn object_tables_agree(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..200)) {
         let mut splay = SplayTable::new();
         let mut btree = BTreeTable::new();
+        let mut flat = FlatTable::new();
         let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
         for (i, (op, slot)) in ops.into_iter().enumerate() {
             // Non-overlapping 16-byte ranges at 32-byte strides.
@@ -38,13 +39,16 @@ proptest! {
                     if !live.contains(&base) {
                         splay.insert(base, 16, failure_oblivious::memory::UnitId(i as u32));
                         btree.insert(base, 16, failure_oblivious::memory::UnitId(i as u32));
+                        flat.insert(base, 16, failure_oblivious::memory::UnitId(i as u32));
                         live.insert(base);
                     }
                 }
                 1 => {
                     let s = splay.remove(base);
                     let b = btree.remove(base);
+                    let f = flat.remove(base);
                     prop_assert_eq!(s.is_some(), b.is_some());
+                    prop_assert_eq!(s, f);
                     live.remove(&base);
                 }
                 _ => {
@@ -52,7 +56,9 @@ proptest! {
                     for probe in [base, base + 8, base + 15, base + 16, base + 24] {
                         let s = splay.lookup(probe);
                         let b = btree.lookup(probe);
+                        let f = flat.lookup(probe);
                         prop_assert_eq!(s, b, "probe {}", probe);
+                        prop_assert_eq!(s, f, "probe {}", probe);
                         if let Some(pl) = s {
                             prop_assert!(probe >= pl.base && probe < pl.base + pl.size);
                         }
@@ -61,6 +67,7 @@ proptest! {
             }
         }
         prop_assert_eq!(splay.len(), btree.len());
+        prop_assert_eq!(splay.len(), flat.len());
     }
 
     /// The allocator never hands out overlapping blocks, across arbitrary
