@@ -83,41 +83,51 @@ fn print_stress(stress: &[StressRow], churn: &UnitChurn) {
     );
 }
 
-fn run_check() {
+fn run_check() -> Result<(), String> {
     eprintln!("farm_scaling --check: miniature suite ...");
     let reports = farm_suite(4);
-    assert_eq!(
-        reports.len(),
-        5 * foc_memory::Mode::ALL.len(),
-        "suite must cover every server x mode cell"
-    );
-    // The sweep asserts report determinism across threads internally.
-    let scaling = thread_scaling(4, &[1, 2], 2);
+    if reports.len() != 5 * foc_memory::Mode::ALL.len() {
+        return Err(format!(
+            "suite covered {} cells, want every server x mode",
+            reports.len()
+        ));
+    }
+    // The sweep verifies report determinism across threads internally.
+    let scaling = thread_scaling(4, &[1, 2], 2)?;
     let boot = measure_boot_cost(4);
-    assert!(
-        boot.speedup() >= 2.0,
-        "interned images must beat cold compiles even on noisy hosts: {:.1}x",
-        boot.speedup()
-    );
-    let stress = stress_sweep(4, 3, 1);
+    if boot.speedup() < 2.0 {
+        return Err(format!(
+            "interned images must beat cold compiles even on noisy hosts: {:.1}x",
+            boot.speedup()
+        ));
+    }
+    let stress = stress_sweep(4, 3, 1, &foc_memory::TableKind::ALL)?;
     let churn = measure_unit_churn(16, 2);
-    let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn);
-    assert_eq!(
-        json.matches('{').count(),
-        json.matches('}').count(),
-        "rendered record must balance"
-    );
+    let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn, &[]);
+    if json.matches('{').count() != json.matches('}').count() {
+        return Err("rendered record does not balance".to_string());
+    }
     print_reports(&reports);
     print_scaling(&scaling);
     print_boot(&boot);
     print_stress(&stress, &churn);
     println!("farm_scaling --check OK ({} reports)", reports.len());
+    Ok(())
+}
+
+/// Prints the one-line diagnostic and exits nonzero — the `--check`
+/// contract: CI logs get a readable reason, not a panic backtrace.
+fn fail(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: FAIL: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
-        run_check();
+        if let Err(msg) = run_check() {
+            fail("farm_scaling --check", &msg);
+        }
         return;
     }
     let mut shape = RecordShape::default();
@@ -131,10 +141,14 @@ fn main() {
         }
     }
 
-    let record = measure_record(&shape);
+    let path = "BENCH_farm.json";
+    let previous = std::fs::read_to_string(path).ok();
+    let record = match measure_record(&shape, previous.as_deref()) {
+        Ok(record) => record,
+        Err(msg) => fail("farm_scaling", &msg),
+    };
     print_summary(&record);
 
-    let path = "BENCH_farm.json";
     std::fs::write(path, record.render()).expect("write BENCH_farm.json");
     println!("wrote {path} ({} reports)", record.reports.len());
 }

@@ -18,42 +18,52 @@
 //!   stays consistent with the suite sections.
 //! * `cargo run --release -p foc-bench --bin farm_stress -- --check` —
 //!   CI smoke mode: a miniature stress sweep (every backend, the
-//!   cross-backend equality assertion, churn measurement, JSON
-//!   rendering) without writing the record.
+//!   cross-backend equality check, churn measurement, JSON rendering)
+//!   without writing the record. A contract violation exits nonzero
+//!   with a one-line diagnostic.
+//! * `... --check --table <splay|btree|flat>` — same smoke restricted
+//!   to one backend (the CI `TableKind` job matrix runs one backend per
+//!   job; the cross-backend equality check needs ≥ 2 backends and is
+//!   skipped).
 
 use foc_bench::farm_report::{measure_record, measure_unit_churn, stress_sweep, RecordShape};
 use foc_memory::TableKind;
 
-fn run_check() {
-    eprintln!("farm_stress --check: miniature stress sweep ...");
-    let rows = stress_sweep(96, 3, 2);
-    assert_eq!(rows.len(), TableKind::ALL.len(), "one row per backend");
-    for pair in rows.windows(2) {
-        assert_eq!(
-            pair[0].report, pair[1].report,
-            "backends must agree on the deterministic farm results"
-        );
+fn run_check(backends: &[TableKind]) -> Result<(), String> {
+    eprintln!(
+        "farm_stress --check: miniature stress sweep ({} backend(s)) ...",
+        backends.len()
+    );
+    let rows = stress_sweep(96, 3, 2, backends)?;
+    if rows.len() != backends.len() {
+        return Err(format!(
+            "{} rows for {} backends",
+            rows.len(),
+            backends.len()
+        ));
     }
     for row in &rows {
-        assert!(row.wall_ms > 0.0, "{}: no wall time measured", row.backend);
-        assert!(
-            row.report.stats.completed > 0,
-            "{}: stress farm served nothing",
-            row.backend
-        );
+        if row.wall_ms <= 0.0 {
+            return Err(format!("{}: no wall time measured", row.backend));
+        }
+        if row.report.stats.completed == 0 {
+            return Err(format!("{}: stress farm served nothing", row.backend));
+        }
         // The serialized histogram must bound the exact percentiles it
         // summarizes (bucket tops round up, never down).
         let stats = &row.report.stats;
-        assert!(
-            stats.service_hist.quantile(999, 1000) >= stats.latency_p999,
-            "{}: histogram p99.9 fell below the exact value",
-            row.backend
-        );
-        assert!(
-            stats.service_hist.quantile(1, 2) >= stats.latency_p50,
-            "{}: histogram p50 fell below the exact value",
-            row.backend
-        );
+        if stats.service_hist.quantile(999, 1000) < stats.latency_p999 {
+            return Err(format!(
+                "{}: histogram p99.9 fell below the exact value",
+                row.backend
+            ));
+        }
+        if stats.service_hist.quantile(1, 2) < stats.latency_p50 {
+            return Err(format!(
+                "{}: histogram p50 fell below the exact value",
+                row.backend
+            ));
+        }
         eprintln!(
             "  {:<6} {:.1} ms ± {:.1} ({:.0} req/s host)",
             row.backend.name(),
@@ -63,7 +73,9 @@ fn run_check() {
         );
     }
     let churn = measure_unit_churn(96, 3);
-    assert!(churn.arena_ns > 0.0 && churn.boxed_ns > 0.0);
+    if churn.arena_ns <= 0.0 || churn.boxed_ns <= 0.0 {
+        return Err("unit churn measured nothing".to_string());
+    }
     eprintln!(
         "  unit churn: arena {:.0} ns vs seed boxed {:.0} ns ({:.2}x)",
         churn.arena_ns,
@@ -71,18 +83,52 @@ fn run_check() {
         churn.speedup()
     );
     println!("farm_stress --check OK ({} backends)", rows.len());
+    Ok(())
+}
+
+/// Prints the one-line diagnostic and exits nonzero — the `--check`
+/// contract: CI logs get a readable reason, not a panic backtrace.
+fn fail(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: FAIL: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--table <kind>` restricts the check to one backend (CI matrix).
+    let mut backends: Vec<TableKind> = TableKind::ALL.to_vec();
+    if let Some(at) = args.iter().position(|a| a == "--table") {
+        if at + 1 >= args.len() {
+            eprintln!("farm_stress: --table needs a backend name (splay|btree|flat)");
+            std::process::exit(2);
+        }
+        match args[at + 1].parse() {
+            Ok(kind) => backends = vec![kind],
+            Err(e) => {
+                eprintln!("farm_stress: {e}");
+                std::process::exit(2);
+            }
+        }
+        args.drain(at..at + 2);
+    }
     if args.iter().any(|a| a == "--check") {
-        run_check();
+        if let Err(msg) = run_check(&backends) {
+            fail("farm_stress --check", &msg);
+        }
         return;
+    }
+    if backends.len() != TableKind::ALL.len() {
+        // The full measurement always records every backend; a lone
+        // --table must not be silently ignored.
+        eprintln!(
+            "farm_stress: --table only applies to --check (the full run records all backends)"
+        );
+        std::process::exit(2);
     }
     if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
         // An unrecognized flag must not silently fall through to the
         // full (file-writing) measurement — `--chek` meant `--check`.
-        eprintln!("farm_stress: unknown flag {flag:?} (only --check is supported)");
+        eprintln!("farm_stress: unknown flag {flag:?} (only --check/--table are supported)");
         std::process::exit(2);
     }
     let mut shape = RecordShape::default();
@@ -106,7 +152,12 @@ fn main() {
         }
     }
 
-    let record = measure_record(&shape);
+    let path = "BENCH_farm.json";
+    let previous = std::fs::read_to_string(path).ok();
+    let record = match measure_record(&shape, previous.as_deref()) {
+        Ok(record) => record,
+        Err(msg) => fail("farm_stress", &msg),
+    };
     for row in &record.stress {
         let s = &row.report.stats;
         println!(
@@ -131,7 +182,6 @@ fn main() {
         record.churn.speedup()
     );
 
-    let path = "BENCH_farm.json";
     std::fs::write(path, record.render()).expect("write BENCH_farm.json");
     println!("wrote {path}");
 }

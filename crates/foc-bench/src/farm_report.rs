@@ -57,7 +57,11 @@ pub struct ScalingRow {
 /// request of the fast servers, so the sweep actually exposes parallel
 /// speedup. The deterministic stats are identical across every run
 /// (asserted), so the wall-time statistics isolate parallelism alone.
-pub fn thread_scaling(requests: usize, thread_counts: &[usize], reps: usize) -> Vec<ScalingRow> {
+pub fn thread_scaling(
+    requests: usize,
+    thread_counts: &[usize],
+    reps: usize,
+) -> Result<Vec<ScalingRow>, String> {
     let reps = reps.max(1);
     let base = {
         let mut c = suite_config(ServerKind::Pine, Mode::FailureOblivious, requests);
@@ -71,10 +75,16 @@ pub fn thread_scaling(requests: usize, thread_counts: &[usize], reps: usize) -> 
         let mut completed = 0u64;
         for _ in 0..reps {
             let report = run_farm(&base.clone().with_threads(threads));
-            if let Some(r) = &reference {
-                assert_eq!(*r, report, "thread scaling must not change results");
-            } else {
-                reference = Some(report.clone());
+            match &reference {
+                Some(r) if *r != report => {
+                    return Err(format!(
+                        "thread scaling changed results at {threads} threads \
+                         (completed {} vs {})",
+                        report.stats.completed, r.stats.completed
+                    ));
+                }
+                Some(_) => {}
+                None => reference = Some(report.clone()),
             }
             completed = report.stats.completed;
             walls.push(report.host_wall_ms);
@@ -93,7 +103,7 @@ pub fn thread_scaling(requests: usize, thread_counts: &[usize], reps: usize) -> 
             reps,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// The measured cost split the shared-image layer exists to win: what a
@@ -196,28 +206,40 @@ pub fn stress_config(servers: usize, requests: usize) -> FarmConfig {
     config
 }
 
-/// Runs the stress farm once per object-table backend, `reps` times
-/// each, asserting the determinism contract across backends: every
+/// Runs the stress farm once per requested object-table backend, `reps`
+/// times each, verifying the determinism contract across them: every
 /// backend must produce the *same* [`FarmReport`], so the wall-time
-/// spread between rows is attributable to lookup cost alone.
-pub fn stress_sweep(servers: usize, requests: usize, reps: usize) -> Vec<StressRow> {
+/// spread between rows is attributable to lookup cost alone. A contract
+/// violation is returned as a one-line diagnostic (the `--check` bins
+/// exit nonzero with it instead of dumping a panic backtrace into CI
+/// logs). Pass [`TableKind::ALL`] for the recorded sweep or a single
+/// backend for a CI matrix job.
+pub fn stress_sweep(
+    servers: usize,
+    requests: usize,
+    reps: usize,
+    backends: &[TableKind],
+) -> Result<Vec<StressRow>, String> {
     let reps = reps.max(1);
     let base = stress_config(servers, requests);
     let mut reference: Option<FarmReport> = None;
     let mut rows = Vec::new();
-    for backend in TableKind::ALL {
+    for &backend in backends {
         let config = base.clone().with_table(backend);
         let mut walls = Vec::with_capacity(reps);
         let mut last: Option<FarmReport> = None;
         for _ in 0..reps {
             let report = run_farm(&config);
-            if let Some(r) = &reference {
-                assert_eq!(
-                    *r, report,
-                    "table backend {backend} broke the determinism contract"
-                );
-            } else {
-                reference = Some(report.clone());
+            match &reference {
+                Some(r) if *r != report => {
+                    return Err(format!(
+                        "table backend {backend} broke the determinism contract \
+                         (completed {} vs {})",
+                        report.stats.completed, r.stats.completed
+                    ));
+                }
+                Some(_) => {}
+                None => reference = Some(report.clone()),
             }
             walls.push(report.host_wall_ms);
             last = Some(report);
@@ -238,7 +260,7 @@ pub fn stress_sweep(servers: usize, requests: usize, reps: usize) -> Vec<StressR
             report,
         });
     }
-    rows
+    Ok(rows)
 }
 
 // ----------------------------------------------------------------------
@@ -427,6 +449,11 @@ pub struct FarmRecord {
     pub stress: Vec<StressRow>,
     /// Arena-vs-seed unit-store churn.
     pub churn: UnitChurn,
+    /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
+    /// objects, one per recorded full-grid sweep). Regenerating bins
+    /// carry these forward from the previous record so the sweep's own
+    /// cost trajectory survives re-measurement.
+    pub mode_sweep_runs: Vec<String>,
 }
 
 impl FarmRecord {
@@ -438,19 +465,25 @@ impl FarmRecord {
             &self.boot,
             &self.stress,
             &self.churn,
+            &self.mode_sweep_runs,
         )
     }
 }
 
-/// Runs every measurement of the record at the given shape.
-pub fn measure_record(shape: &RecordShape) -> FarmRecord {
+/// Runs every measurement of the record at the given shape, carrying
+/// forward any `mode_sweep` rows from `previous_json` (the old record's
+/// contents, when the caller has one).
+pub fn measure_record(
+    shape: &RecordShape,
+    previous_json: Option<&str>,
+) -> Result<FarmRecord, String> {
     eprintln!(
         "running farm suite: 5 servers x 5 modes, {} requests/server ...",
         shape.requests
     );
     let reports = farm_suite(shape.requests);
     eprintln!("running thread-scaling sweep (Pine, failure-oblivious) ...");
-    let scaling = thread_scaling(shape.requests, &shape.scaling_threads, shape.scaling_reps);
+    let scaling = thread_scaling(shape.requests, &shape.scaling_threads, shape.scaling_reps)?;
     eprintln!("measuring boot cost (cold compile vs cached image) ...");
     let boot = measure_boot_cost(shape.boot_reps);
     eprintln!(
@@ -463,16 +496,95 @@ pub fn measure_record(shape: &RecordShape) -> FarmRecord {
         shape.stress_servers,
         shape.stress_requests,
         shape.stress_reps,
-    );
+        &TableKind::ALL,
+    )?;
     eprintln!("measuring unit-store churn (arena vs seed boxed baseline) ...");
     let churn = measure_unit_churn(shape.stress_servers, shape.churn_reps);
-    FarmRecord {
+    Ok(FarmRecord {
         reports,
         scaling,
         boot,
         stress,
         churn,
+        mode_sweep_runs: previous_json
+            .map(extract_mode_sweep_rows)
+            .unwrap_or_default(),
+    })
+}
+
+// ----------------------------------------------------------------------
+// The mode_sweep cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Renders one `mode_sweep` wall-time row: how much the full-grid sweep
+/// itself cost, so the sweep's price is tracked over time next to the
+/// measurements it gates.
+pub fn mode_sweep_row_json(
+    cells: usize,
+    resumed: usize,
+    inputs: usize,
+    threads: usize,
+    wall_ms: f64,
+) -> String {
+    format!(
+        concat!(
+            "{{\"cells\": {}, \"resumed_cells\": {}, \"inputs\": {}, ",
+            "\"threads\": {}, \"wall_ms\": {:.1}}}"
+        ),
+        cells, resumed, inputs, threads, wall_ms
+    )
+}
+
+/// Extracts the pre-rendered `mode_sweep_runs` rows from an existing
+/// `BENCH_farm.json` document (empty when the file predates the
+/// section or has none).
+pub fn extract_mode_sweep_rows(json: &str) -> Vec<String> {
+    let Some(start) = json.find("\"mode_sweep_runs\": [") else {
+        return Vec::new();
+    };
+    let body = &json[start + "\"mode_sweep_runs\": [".len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..end]
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{'))
+        .collect()
+}
+
+/// Returns `json` with `row` appended to its `mode_sweep_runs` array
+/// (rewriting the section in place). Errors when the document has no
+/// such section — regenerate the record with `farm_scaling` first.
+pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
+    let Some(start) = json.find("\"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section; regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let body_at = start + "\"mode_sweep_runs\": [".len();
+    let Some(end) = json[body_at..].find(']') else {
+        return Err("BENCH_farm.json mode_sweep_runs section is unterminated".to_string());
+    };
+    let mut rows = extract_mode_sweep_rows(json);
+    rows.push(row.to_string());
+    let mut section = String::from("\n");
+    for (i, r) in rows.iter().enumerate() {
+        section.push_str("    ");
+        section.push_str(r);
+        if i + 1 < rows.len() {
+            section.push(',');
+        }
+        section.push('\n');
     }
+    section.push_str("  ");
+    Ok(format!(
+        "{}{}{}",
+        &json[..body_at],
+        section,
+        &json[body_at + end..]
+    ))
 }
 
 fn json_escape(s: &str) -> String {
@@ -564,6 +676,7 @@ pub fn render_farm_json(
     boot: &BootCost,
     stress: &[StressRow],
     churn: &UnitChurn,
+    mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -600,6 +713,23 @@ pub fn render_farm_json(
         boot.speedup(),
         boot.reps,
     ));
+    // The mode_sweep cost trajectory: one row per recorded full-grid
+    // sweep, appended by the mode_sweep bin and carried forward by the
+    // regenerating bins.
+    if mode_sweep_runs.is_empty() {
+        out.push_str("  \"mode_sweep_runs\": [],\n");
+    } else {
+        out.push_str("  \"mode_sweep_runs\": [\n");
+        for (i, row) in mode_sweep_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < mode_sweep_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
     // The scale-out stress point: per-backend rows plus the arena-vs-seed
     // unit-store churn measurement.
     if let Some(first) = stress.first() {
@@ -676,9 +806,10 @@ mod tests {
             cached_ci95_ns: 500.0,
             reps: 10,
         };
-        let stress = stress_sweep(3, 3, 1);
+        let stress = stress_sweep(3, 3, 1, &TableKind::ALL).expect("contract");
         let churn = measure_unit_churn(4, 2);
-        let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn);
+        let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5)];
+        let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn, &rows);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -696,6 +827,18 @@ mod tests {
         assert!(json.contains("\"boot_cost\""));
         assert!(json.contains("\"speedup\": 20.0"));
         assert!(json.contains("\"farm_stress\""));
+        assert!(json.contains("\"mode_sweep_runs\""));
+        assert!(json.contains("\"resumed_cells\": 0"));
+        // Round trip: extract the rows back and append another.
+        assert_eq!(extract_mode_sweep_rows(&json), rows);
+        let appended = append_mode_sweep_row(&json, &mode_sweep_row_json(150, 120, 17, 4, 99.0))
+            .expect("append");
+        assert_eq!(extract_mode_sweep_rows(&appended).len(), 2);
+        assert_eq!(
+            appended.matches('{').count(),
+            appended.matches('}').count(),
+            "appended record must stay balanced"
+        );
         for backend in foc_memory::TableKind::ALL {
             assert!(
                 json.contains(&format!("\"backend\": \"{}\"", backend.name())),
@@ -709,7 +852,7 @@ mod tests {
 
     #[test]
     fn stress_sweep_rows_agree_across_backends() {
-        let rows = stress_sweep(4, 5, 2);
+        let rows = stress_sweep(4, 5, 2, &TableKind::ALL).expect("contract");
         assert_eq!(rows.len(), TableKind::ALL.len());
         for pair in rows.windows(2) {
             assert_eq!(
@@ -752,7 +895,7 @@ mod tests {
 
     #[test]
     fn thread_scaling_rows_carry_confidence_intervals() {
-        let rows = thread_scaling(4, &[1, 2], 3);
+        let rows = thread_scaling(4, &[1, 2], 3).expect("determinism");
         assert_eq!(rows.len(), 2);
         for row in rows {
             assert_eq!(row.reps, 3);

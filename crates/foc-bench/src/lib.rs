@@ -15,6 +15,7 @@
 //! versions scale identically (verified by `scaling_invariance` below).
 
 pub mod farm_report;
+pub mod sweep_report;
 
 use foc_memory::Mode;
 use foc_servers::{apache, mc, mutt, pine, sendmail, workload, Measured};

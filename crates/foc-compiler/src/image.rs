@@ -106,14 +106,25 @@ impl Eq for ProgramImage {}
 /// `write_usize`/`write_length_prefix` (platform-width). This hasher
 /// folds every write into the FNV state as little-endian `u64`s, so the
 /// resulting [`ProgramId`] is identical on every platform and toolchain.
-struct Fnv1a(u64);
+///
+/// Public because it is the workspace's one stable content-hash
+/// primitive: the sweep engine keys transcripts and cell fingerprints
+/// with it too.
+pub struct Fnv1a(u64);
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Fnv1a {
-    fn new() -> Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
         Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
     }
 }
 

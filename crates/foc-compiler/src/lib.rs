@@ -26,7 +26,7 @@ pub mod image;
 pub mod lower;
 
 pub use bytecode::{CompiledFunc, CompiledProgram, FrameLayout, GlobalImage, Instr};
-pub use image::{ProgramId, ProgramImage};
+pub use image::{Fnv1a, ProgramId, ProgramImage};
 pub use lower::{compile, CompileError};
 
 /// Convenience: front end plus lowering in one call.

@@ -20,7 +20,7 @@
 //! (a loop scanning for `'/'` never sees one).
 
 /// Strategy for generating the values returned by invalid reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueSequence {
     /// The paper's sequence: groups of `0, 1, k` for `k = 2, 3, …, wrap`.
     Cycling {
@@ -37,6 +37,51 @@ pub enum ValueSequence {
 impl Default for ValueSequence {
     fn default() -> ValueSequence {
         ValueSequence::Cycling { wrap: 256 }
+    }
+}
+
+impl ValueSequence {
+    /// Stable, parseable label for sweep axes and report files:
+    /// `zero`, `constant<v>`, `cycling<wrap>`.
+    pub fn label(self) -> String {
+        match self {
+            ValueSequence::Zero => "zero".to_string(),
+            ValueSequence::Constant(v) => format!("constant{v}"),
+            ValueSequence::Cycling { wrap } => format!("cycling{wrap}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ValueSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for ValueSequence {
+    type Err = String;
+
+    /// Parses the [`ValueSequence::label`] format back into a strategy.
+    fn from_str(s: &str) -> Result<ValueSequence, String> {
+        let s = s.trim().to_ascii_lowercase();
+        if s == "zero" {
+            return Ok(ValueSequence::Zero);
+        }
+        if let Some(v) = s.strip_prefix("constant") {
+            return v
+                .parse()
+                .map(ValueSequence::Constant)
+                .map_err(|_| format!("bad constant value in {s:?}"));
+        }
+        if let Some(w) = s.strip_prefix("cycling") {
+            return w
+                .parse()
+                .map(|wrap| ValueSequence::Cycling { wrap })
+                .map_err(|_| format!("bad cycling wrap in {s:?}"));
+        }
+        Err(format!(
+            "unknown value sequence {s:?} (want zero, constant<v>, or cycling<wrap>)"
+        ))
     }
 }
 
@@ -174,6 +219,27 @@ mod tests {
             assert_eq!(c.next_value(), 42);
         }
         assert_eq!(z.produced(), 10);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        let cases = [
+            ValueSequence::Zero,
+            ValueSequence::Constant(0),
+            ValueSequence::Constant(47),
+            ValueSequence::Cycling { wrap: 4 },
+            ValueSequence::Cycling { wrap: 256 },
+        ];
+        for seq in cases {
+            let label = seq.label();
+            assert_eq!(label.parse::<ValueSequence>().unwrap(), seq, "{label}");
+        }
+        assert_eq!(
+            "ZERO".parse::<ValueSequence>().unwrap(),
+            ValueSequence::Zero
+        );
+        assert!("sawtooth".parse::<ValueSequence>().is_err());
+        assert!("constantx".parse::<ValueSequence>().is_err());
     }
 
     #[test]

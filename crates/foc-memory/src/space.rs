@@ -58,6 +58,20 @@ impl MemConfig {
             ..MemConfig::default()
         }
     }
+
+    /// Same configuration with a different manufactured-value strategy —
+    /// a first-class sweep axis: the mode search-space grid varies it
+    /// alongside the mode and the table backend.
+    pub fn with_sequence(mut self, sequence: ValueSequence) -> MemConfig {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Same configuration on a different object-table backend.
+    pub fn with_table(mut self, table: TableKind) -> MemConfig {
+        self.table = table;
+        self
+    }
 }
 
 impl Default for MemConfig {

@@ -28,7 +28,7 @@ use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
-use crate::{Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process};
 
 /// MiniC source of the Apache worker.
 pub const APACHE_SOURCE: &str = r#"
@@ -259,7 +259,20 @@ impl ApacheWorker {
 
     /// Boots one worker from an explicit image and table backend.
     pub fn from_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> ApacheWorker {
-        let mut proc = Process::boot_table(image, mode, table, ServerKind::Apache.fuel());
+        ApacheWorker::from_image_spec(
+            image,
+            &BootSpec::new(ServerKind::Apache, mode).with_table(table),
+        )
+    }
+
+    /// Boots one worker from a full [`BootSpec`] (interned image).
+    pub fn boot_spec(spec: &BootSpec) -> ApacheWorker {
+        ApacheWorker::from_image_spec(&ServerKind::Apache.image(), spec)
+    }
+
+    /// Boots one worker from an explicit image and a full [`BootSpec`].
+    pub fn from_image_spec(image: &ProgramImage, spec: &BootSpec) -> ApacheWorker {
+        let mut proc = Process::boot_spec(image, spec);
         init_worker(&mut proc);
         ApacheWorker { proc }
     }

@@ -35,20 +35,18 @@
 //! wall time). The property tests assert this; the scaling bins rely on
 //! it to attribute wall-time differences to parallelism alone.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
-use std::thread;
+use std::sync::OnceLock;
 use std::time::Instant;
 
-use foc_memory::{Mode, TableKind};
+use foc_memory::{Mode, TableKind, ValueSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 pub use crate::image::ServerKind;
 
 use crate::latency::LatencyHist;
-use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload, Measured, Outcome};
+use crate::steal::{run_stealing, Slice};
+use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload, BootSpec, Measured, Outcome};
 
 /// Virtual cycles charged for forking and re-initialising a replacement
 /// process (shared with the Apache pool's accounting).
@@ -67,6 +65,15 @@ pub struct FarmConfig {
     /// fast the bounds lookups run — so, like `threads`, it is excluded
     /// from [`FarmReport`] equality.
     pub table: TableKind,
+    /// Manufactured-value strategy for every process in the farm.
+    /// Unlike `table`, this *does* change the measured data (different
+    /// manufactured reads steer different guest paths), so it is part
+    /// of [`FarmReport`] equality.
+    pub sequence: ValueSequence,
+    /// Per-call instruction budget override; `None` uses each kind's
+    /// standard budget. Part of [`FarmReport`] equality (a tight budget
+    /// turns long requests into fuel-out crashes).
+    pub fuel: Option<u64>,
     /// Number of independent server processes.
     pub servers: usize,
     /// Number of OS threads driving them (clamped to `servers`).
@@ -96,6 +103,8 @@ impl FarmConfig {
             kind,
             mode,
             table: TableKind::default(),
+            sequence: ValueSequence::default(),
+            fuel: None,
             servers: 4,
             threads: 4,
             requests_per_server: 100,
@@ -122,6 +131,26 @@ impl FarmConfig {
     pub fn with_table(mut self, table: TableKind) -> FarmConfig {
         self.table = table;
         self
+    }
+
+    /// Same farm with a different manufactured-value strategy.
+    pub fn with_sequence(mut self, sequence: ValueSequence) -> FarmConfig {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Same farm with an explicit per-call fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> FarmConfig {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// The full boot spec a process of this farm runs under.
+    pub fn boot_spec(&self) -> BootSpec {
+        BootSpec::new(self.kind, self.mode)
+            .with_table(self.table)
+            .with_sequence(self.sequence)
+            .with_fuel(self.fuel.unwrap_or_else(|| self.kind.fuel()))
     }
 
     /// Same farm with a different attack ratio.
@@ -263,6 +292,8 @@ impl PartialEq for FarmReport {
         // the cross-backend transcript-equivalence tests).
         a.kind == b.kind
             && a.mode == b.mode
+            && a.sequence == b.sequence
+            && a.fuel == b.fuel
             && a.servers == b.servers
             && a.requests_per_server == b.requests_per_server
             && a.seed == b.seed
@@ -339,27 +370,17 @@ impl FarmProcess {
     /// compiler runs at most once per kind per host process, no matter
     /// how many farm servers boot or how often the supervisor restarts
     /// them.
-    fn boot(kind: ServerKind, mode: Mode, table: TableKind) -> FarmProcess {
+    fn boot(kind: ServerKind, spec: &BootSpec) -> FarmProcess {
         match kind {
-            ServerKind::Apache => {
-                FarmProcess::Apache(apache::ApacheWorker::boot_table(mode, table))
-            }
-            ServerKind::Sendmail => {
-                FarmProcess::Sendmail(sendmail::Sendmail::boot_table(mode, table))
-            }
+            ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot_spec(spec)),
+            ServerKind::Sendmail => FarmProcess::Sendmail(sendmail::Sendmail::boot_spec(spec)),
             ServerKind::Pine => FarmProcess::Pine {
-                pine: pine::Pine::boot_table(
-                    mode,
-                    table,
-                    pine::Pine::standard_mailbox(PINE_SEED_MESSAGES),
-                ),
+                pine: pine::Pine::boot_spec(spec, pine::Pine::standard_mailbox(PINE_SEED_MESSAGES)),
                 messages: PINE_SEED_MESSAGES as i64,
             },
-            ServerKind::Mutt => {
-                FarmProcess::Mutt(mutt::Mutt::boot_table(mode, table, MUTT_SEED_MESSAGES))
-            }
+            ServerKind::Mutt => FarmProcess::Mutt(mutt::Mutt::boot_spec(spec, MUTT_SEED_MESSAGES)),
             ServerKind::Mc => FarmProcess::Mc {
-                mc: mc::Mc::boot_table(mode, table, &mc::clean_config()),
+                mc: mc::Mc::boot_spec(spec, &mc::clean_config()),
                 files: 0,
             },
         }
@@ -378,10 +399,10 @@ impl FarmProcess {
 
     /// Replaces the dead process, preserving persistent environment (the
     /// Pine mailbox survives restarts — it is the mail file on disk).
-    fn restart(&mut self, kind: ServerKind, mode: Mode, table: TableKind) {
+    fn restart(&mut self, kind: ServerKind, spec: &BootSpec) {
         match self {
             FarmProcess::Pine { pine, .. } => pine.restart(),
-            other => *other = FarmProcess::boot(kind, mode, table),
+            other => *other = FarmProcess::boot(kind, spec),
         }
     }
 
@@ -531,12 +552,12 @@ fn server_seed(farm_seed: u64, index: usize) -> u64 {
 fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmConfig) {
     let remaining = u64::from(config.restart_budget).saturating_sub(stats.restarts);
     let budget = u32::try_from(remaining).unwrap_or(u32::MAX);
-    let (kind, mode, table) = (config.kind, config.mode, config.table);
+    let (kind, spec) = (config.kind, config.boot_spec());
     let attempts = supervisor::restart_until_usable(
         process,
         budget,
         |p| p.usable(),
-        |p| p.restart(kind, mode, table),
+        |p| p.restart(kind, &spec),
     );
     stats.restarts += u64::from(attempts);
     stats.total_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
@@ -568,7 +589,7 @@ impl ServerRun {
     fn boot(config: &FarmConfig, index: usize) -> Box<ServerRun> {
         let rng = StdRng::seed_from_u64(server_seed(config.seed, index));
         let mut stats = ServerStats::default();
-        let mut process = FarmProcess::boot(config.kind, config.mode, config.table);
+        let mut process = FarmProcess::boot(config.kind, &config.boot_spec());
         supervise(&mut process, &mut stats, config);
         Box::new(ServerRun {
             index,
@@ -662,113 +683,6 @@ fn run_slice(config: &FarmConfig, task: Task, slice: usize) -> SliceOutcome {
     }
 }
 
-/// Shared scheduler state for one farm run.
-struct Scheduler {
-    /// One deque per worker thread.
-    deques: Vec<Mutex<VecDeque<Task>>>,
-    /// Servers whose stats have not been published yet.
-    unfinished: AtomicUsize,
-    /// Per-server results, filled in as streams finish.
-    slots: Mutex<Vec<Option<ServerStats>>>,
-    /// Set when a worker unwinds mid-task: its server will never finish,
-    /// so idle siblings must stop waiting for the count to drain and let
-    /// the scope re-throw the panic instead of hanging the farm.
-    aborted: AtomicBool,
-    /// Idle workers park here instead of burning CPU; signalled when a
-    /// task is requeued and when the farm drains or aborts.
-    idle_lock: Mutex<()>,
-    idle: Condvar,
-}
-
-impl Scheduler {
-    fn new(servers: usize, threads: usize) -> Scheduler {
-        Scheduler {
-            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            unfinished: AtomicUsize::new(servers),
-            slots: Mutex::new(vec![None; servers]),
-            aborted: AtomicBool::new(false),
-            idle_lock: Mutex::new(()),
-            idle: Condvar::new(),
-        }
-    }
-}
-
-/// Pops the next task for worker `me`: own deque first (front — the
-/// worker round-robins its servers), then steal from the back of the
-/// other workers' deques.
-fn pop_task(me: usize, deques: &[Mutex<VecDeque<Task>>]) -> Option<Task> {
-    if let Some(task) = deques[me].lock().expect("farm deque lock").pop_front() {
-        return Some(task);
-    }
-    let n = deques.len();
-    for d in 1..n {
-        let victim = (me + d) % n;
-        if let Some(task) = deques[victim].lock().expect("farm deque lock").pop_back() {
-            return Some(task);
-        }
-    }
-    None
-}
-
-/// Flags the scheduler as aborted when dropped armed (i.e. when the
-/// owning worker unwinds instead of exiting its loop normally).
-struct AbortSentinel<'a> {
-    sched: &'a Scheduler,
-    armed: bool,
-}
-
-impl Drop for AbortSentinel<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.sched.aborted.store(true, Ordering::Release);
-            self.sched.idle.notify_all();
-        }
-    }
-}
-
-/// How long an idle worker parks before re-checking for stealable work
-/// (bounds the window where a wakeup raced its last pop attempt).
-const IDLE_PARK: std::time::Duration = std::time::Duration::from_micros(200);
-
-/// One worker thread's scheduling loop.
-fn worker_loop(config: &FarmConfig, me: usize, slice: usize, sched: &Scheduler) {
-    let mut sentinel = AbortSentinel { sched, armed: true };
-    loop {
-        if sched.aborted.load(Ordering::Acquire) {
-            break;
-        }
-        let Some(task) = pop_task(me, &sched.deques) else {
-            if sched.unfinished.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            // Every remaining task is live on some other worker; park
-            // until one yields or finishes rather than spinning.
-            let guard = sched.idle_lock.lock().expect("farm idle lock");
-            let _ = sched
-                .idle
-                .wait_timeout(guard, IDLE_PARK)
-                .expect("farm idle lock");
-            continue;
-        };
-        match run_slice(config, task, slice) {
-            SliceOutcome::Yield(run) => {
-                sched.deques[me]
-                    .lock()
-                    .expect("farm deque lock")
-                    .push_back(Task::Resume(run));
-                sched.idle.notify_one();
-            }
-            SliceOutcome::Finished(index, stats) => {
-                sched.slots.lock().expect("farm result lock")[index] = Some(stats);
-                if sched.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    sched.idle.notify_all();
-                }
-            }
-        }
-    }
-    sentinel.armed = false;
-}
-
 /// Aggregates per-server stats in server-index order (making the result
 /// independent of which thread ran which server).
 fn aggregate(per_server: &[ServerStats]) -> FarmStats {
@@ -855,28 +769,13 @@ pub fn run_farm(config: &FarmConfig) -> FarmReport {
     let slice = config.slice_requests.max(1);
     let started = Instant::now();
 
-    let sched = Scheduler::new(config.servers, threads);
-    for index in 0..config.servers {
-        sched.deques[index % threads]
-            .lock()
-            .expect("farm deque lock")
-            .push_back(Task::Fresh(index));
-    }
-
-    thread::scope(|scope| {
-        for me in 0..threads {
-            let sched = &sched;
-            scope.spawn(move || worker_loop(config, me, slice, sched));
+    let tasks: Vec<Task> = (0..config.servers).map(Task::Fresh).collect();
+    let per_server: Vec<ServerStats> = run_stealing(threads, tasks, |task| {
+        match run_slice(config, task, slice) {
+            SliceOutcome::Yield(run) => Slice::Yield(Task::Resume(run)),
+            SliceOutcome::Finished(index, stats) => Slice::Done(index, stats),
         }
     });
-
-    let per_server: Vec<ServerStats> = sched
-        .slots
-        .into_inner()
-        .expect("farm result lock")
-        .into_iter()
-        .map(|s| s.expect("every server slot filled"))
-        .collect();
     let stats = aggregate(&per_server);
 
     FarmReport {

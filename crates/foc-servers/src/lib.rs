@@ -23,13 +23,15 @@ pub mod mc;
 pub mod mutt;
 pub mod pine;
 pub mod sendmail;
+pub mod steal;
 pub mod supervisor;
+pub mod sweep;
 pub mod workload;
 
 pub use image::ServerKind;
 
 use foc_compiler::ProgramImage;
-use foc_memory::{Mode, TableKind};
+use foc_memory::{Mode, TableKind, ValueSequence};
 use foc_vm::{Machine, MachineConfig, VmFault};
 
 /// How one request ended.
@@ -114,6 +116,55 @@ impl GuestAddr {
     }
 }
 
+/// Everything that decides how one guest server process is built: the
+/// four axes of the mode search-space sweep in one place. `boot_table`
+/// and friends remain as conveniences over the two-axis subset; the
+/// sweep constructs full specs and hands them to the drivers'
+/// `boot_spec` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootSpec {
+    /// Access policy.
+    pub mode: Mode,
+    /// Object-table backend.
+    pub table: TableKind,
+    /// Manufactured-value strategy for invalid reads.
+    pub sequence: ValueSequence,
+    /// Per-call instruction budget.
+    pub fuel: u64,
+}
+
+impl BootSpec {
+    /// A spec for `kind` under `mode` with the remaining axes at their
+    /// defaults (splay table, the paper's cycling sequence, the kind's
+    /// standard fuel budget).
+    pub fn new(kind: ServerKind, mode: Mode) -> BootSpec {
+        BootSpec {
+            mode,
+            table: TableKind::default(),
+            sequence: ValueSequence::default(),
+            fuel: kind.fuel(),
+        }
+    }
+
+    /// Same spec on a different object-table backend.
+    pub fn with_table(mut self, table: TableKind) -> BootSpec {
+        self.table = table;
+        self
+    }
+
+    /// Same spec with a different manufactured-value strategy.
+    pub fn with_sequence(mut self, sequence: ValueSequence) -> BootSpec {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Same spec with a different per-call instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> BootSpec {
+        self.fuel = fuel;
+        self
+    }
+}
+
 /// Cap on pooled scratch buffers per process (a driver never has more
 /// than a handful of request strings in flight at once).
 const SCRATCH_POOL: usize = 4;
@@ -121,9 +172,7 @@ const SCRATCH_POOL: usize = 4;
 /// Shared plumbing: one guest process running a compiled server.
 pub struct Process {
     machine: Machine,
-    mode: Mode,
-    table: TableKind,
-    fuel: u64,
+    spec: BootSpec,
     /// Reusable host-side byte buffers for building request content;
     /// taken with [`Process::scratch`], returned with
     /// [`Process::recycle`] so per-request `Vec` churn stays off the
@@ -153,20 +202,38 @@ impl Process {
     ///
     /// Panics when the image fails to load, as [`Process::boot`].
     pub fn boot_table(image: &ProgramImage, mode: Mode, table: TableKind, fuel: u64) -> Process {
+        Process::boot_spec(
+            image,
+            &BootSpec {
+                mode,
+                table,
+                sequence: ValueSequence::default(),
+                fuel,
+            },
+        )
+    }
+
+    /// Boots a shared compiled image from a full [`BootSpec`] — all four
+    /// sweep axes (mode, table backend, value sequence, fuel budget)
+    /// decided by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image fails to load, as [`Process::boot`].
+    pub fn boot_spec(image: &ProgramImage, spec: &BootSpec) -> Process {
         let config = MachineConfig {
-            mem: foc_memory::MemConfig::with_mode(mode),
-            fuel_per_call: fuel,
-        }
-        .with_table(table);
+            mem: foc_memory::MemConfig::with_mode(spec.mode)
+                .with_table(spec.table)
+                .with_sequence(spec.sequence),
+            fuel_per_call: spec.fuel,
+        };
         let machine = match Machine::load(image.clone(), config) {
             Ok(m) => m,
             Err(e) => panic!("server image failed to load: {e}"),
         };
         Process {
             machine,
-            mode,
-            table,
-            fuel,
+            spec: *spec,
             scratch: Vec::new(),
         }
     }
@@ -188,12 +255,17 @@ impl Process {
 
     /// The policy this process runs under.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.spec.mode
     }
 
     /// The object-table backend this process runs on.
     pub fn table(&self) -> TableKind {
-        self.table
+        self.spec.table
+    }
+
+    /// The full boot spec this process was built from.
+    pub fn spec(&self) -> &BootSpec {
+        &self.spec
     }
 
     /// Takes a cleared reusable byte buffer from the process's scratch
@@ -215,7 +287,7 @@ impl Process {
 
     /// The fuel budget per call.
     pub fn fuel(&self) -> u64 {
-        self.fuel
+        self.spec.fuel
     }
 
     /// The underlying machine.

@@ -22,7 +22,7 @@ use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
-use crate::{Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process};
 
 /// MiniC source of the Midnight Commander model.
 pub const MC_SOURCE: &str = r#"
@@ -243,7 +243,21 @@ impl Mc {
         table: TableKind,
         config: &[u8],
     ) -> Mc {
-        let mut proc = Process::boot_table(image, mode, table, ServerKind::Mc.fuel());
+        Mc::boot_image_spec(
+            image,
+            &BootSpec::new(ServerKind::Mc, mode).with_table(table),
+            config,
+        )
+    }
+
+    /// Boots MC from a full [`BootSpec`] (interned image).
+    pub fn boot_spec(spec: &BootSpec, config: &[u8]) -> Mc {
+        Mc::boot_image_spec(&ServerKind::Mc.image(), spec, config)
+    }
+
+    /// Boots MC from an explicit image and a full [`BootSpec`].
+    pub fn boot_image_spec(image: &ProgramImage, spec: &BootSpec, config: &[u8]) -> Mc {
+        let mut proc = Process::boot_spec(image, spec);
         let cfg = proc.guest_str(config);
         let init_outcome = proc.request("mc_load_config", &[cfg.arg()]).outcome;
         if init_outcome.survived() {

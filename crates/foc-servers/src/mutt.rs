@@ -27,7 +27,7 @@ use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
 use crate::image::ServerKind;
-use crate::{Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process};
 
 /// MiniC source of the Mutt model.
 pub const MUTT_SOURCE: &str = r#"
@@ -273,7 +273,21 @@ impl Mutt {
         table: TableKind,
         seed_messages: usize,
     ) -> Mutt {
-        let mut proc = Process::boot_table(image, mode, table, ServerKind::Mutt.fuel());
+        Mutt::boot_image_spec(
+            image,
+            &BootSpec::new(ServerKind::Mutt, mode).with_table(table),
+            seed_messages,
+        )
+    }
+
+    /// Boots Mutt from a full [`BootSpec`] (interned image).
+    pub fn boot_spec(spec: &BootSpec, seed_messages: usize) -> Mutt {
+        Mutt::boot_image_spec(&ServerKind::Mutt.image(), spec, seed_messages)
+    }
+
+    /// Boots Mutt from an explicit image and a full [`BootSpec`].
+    pub fn boot_image_spec(image: &ProgramImage, spec: &BootSpec, seed_messages: usize) -> Mutt {
+        let mut proc = Process::boot_spec(image, spec);
         let r = proc.request("mutt_init", &[]);
         assert!(
             r.outcome.survived(),

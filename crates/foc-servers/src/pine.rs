@@ -26,7 +26,7 @@ use foc_vm::VmFault;
 
 use crate::image::ServerKind;
 use crate::workload;
-use crate::{Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process};
 
 /// MiniC source of the Pine model.
 pub const PINE_SOURCE: &str = r#"
@@ -212,7 +212,6 @@ pub struct Pine {
     /// The mail file: replayed into any restarted process (the mailbox
     /// persists on disk even when the reader crashes).
     mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
-    mode: Mode,
     /// Outcome of the initial index build (the init-time vulnerability).
     init_outcome: Outcome,
 }
@@ -255,13 +254,30 @@ impl Pine {
         table: TableKind,
         mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
     ) -> Pine {
-        let mut proc = Process::boot_table(image, mode, table, ServerKind::Pine.fuel());
+        Pine::boot_image_spec(
+            image,
+            &BootSpec::new(ServerKind::Pine, mode).with_table(table),
+            mailbox,
+        )
+    }
+
+    /// Boots Pine from a full [`BootSpec`] (interned image).
+    pub fn boot_spec(spec: &BootSpec, mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Pine {
+        Pine::boot_image_spec(&ServerKind::Pine.image(), spec, mailbox)
+    }
+
+    /// Boots Pine from an explicit image and a full [`BootSpec`].
+    pub fn boot_image_spec(
+        image: &ProgramImage,
+        spec: &BootSpec,
+        mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+    ) -> Pine {
+        let mut proc = Process::boot_spec(image, spec);
         let r = proc.request("pine_init", &[]);
         assert!(r.outcome.survived(), "pine_init cannot fail");
         let mut pine = Pine {
             proc,
             mailbox,
-            mode,
             init_outcome: Outcome::Done {
                 ret: -99,
                 output: Vec::new(),
@@ -388,8 +404,8 @@ impl Pine {
     /// again during initialization.
     pub fn restart(&mut self) {
         let mailbox = self.mailbox.clone();
-        let table = self.proc.table();
-        *self = Pine::boot_table(self.mode, table, mailbox);
+        let spec = *self.proc.spec();
+        *self = Pine::boot_spec(&spec, mailbox);
     }
 }
 

@@ -30,7 +30,7 @@ use foc_vm::VmFault;
 
 use crate::image::ServerKind;
 use crate::workload;
-use crate::{Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process};
 
 /// MiniC source of the Sendmail model.
 pub const SENDMAIL_SOURCE: &str = r#"
@@ -259,7 +259,20 @@ impl Sendmail {
 
     /// Boots the daemon from an explicit image and table backend.
     pub fn boot_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> Sendmail {
-        let mut proc = Process::boot_table(image, mode, table, ServerKind::Sendmail.fuel());
+        Sendmail::boot_image_spec(
+            image,
+            &BootSpec::new(ServerKind::Sendmail, mode).with_table(table),
+        )
+    }
+
+    /// Boots the daemon from a full [`BootSpec`] (interned image).
+    pub fn boot_spec(spec: &BootSpec) -> Sendmail {
+        Sendmail::boot_image_spec(&ServerKind::Sendmail.image(), spec)
+    }
+
+    /// Boots the daemon from an explicit image and a full [`BootSpec`].
+    pub fn boot_image_spec(image: &ProgramImage, spec: &BootSpec) -> Sendmail {
+        let mut proc = Process::boot_spec(image, spec);
         let init_outcome = proc.request("sendmail_init", &[]).outcome;
         Sendmail { proc, init_outcome }
     }

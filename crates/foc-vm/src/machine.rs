@@ -43,6 +43,21 @@ impl MachineConfig {
         self.mem.table = table;
         self
     }
+
+    /// Same config with a different manufactured-value strategy (the §3
+    /// ablation knob, and a first-class axis of the mode sweep).
+    pub fn with_sequence(mut self, sequence: foc_memory::ValueSequence) -> MachineConfig {
+        self.mem.sequence = sequence;
+        self
+    }
+
+    /// Same config with a different per-call instruction budget (the
+    /// sweep's fuel axis: a tight budget converts manufactured-value
+    /// non-termination into a prompt, classifiable fuel-out).
+    pub fn with_fuel(mut self, fuel_per_call: u64) -> MachineConfig {
+        self.fuel_per_call = fuel_per_call;
+        self
+    }
 }
 
 /// Execution counters (monotone across calls).
