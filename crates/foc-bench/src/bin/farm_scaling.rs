@@ -16,16 +16,30 @@
 //!   (The stress point has its own smoke bin: `farm_stress --check`.)
 
 use foc_bench::farm_report::{
-    farm_suite, measure_boot_cost, measure_record, measure_unit_churn, render_farm_json,
-    stress_sweep, thread_scaling, BootCost, FarmRecord, RecordShape, ScalingRow, StressRow,
-    UnitChurn,
+    farm_suite, measure_boot_cost, measure_record, measure_restart_cost, measure_unit_churn,
+    measure_violation_throughput, render_farm_json, restart_cost_row_json, stress_sweep,
+    thread_scaling, BootCost, FarmRecord, RecordShape, RestartCost, ScalingRow, StressRow,
+    UnitChurn, ViolationThroughput,
 };
 
 fn print_summary(record: &FarmRecord) {
     print_reports(&record.reports);
     print_scaling(&record.scaling);
     print_boot(&record.boot);
+    if let Some(row) = record.restart_cost_runs.last() {
+        eprintln!("  restart cost (latest row): {row}");
+    }
     print_stress(&record.stress, &record.churn);
+}
+
+fn print_restart(cost: &RestartCost, violation: &ViolationThroughput) {
+    eprintln!(
+        "  restart cost: cold boot+replay {:.0} ns, checkpoint restore {:.0} ns ({:.1}x);          manufactured loop {:.1} Minstr/s",
+        cost.cold_ns,
+        cost.restore_ns,
+        cost.speedup(),
+        violation.minstr_per_s,
+    );
 }
 
 fn print_reports(reports: &[foc_servers::farm::FarmReport]) {
@@ -101,15 +115,33 @@ fn run_check() -> Result<(), String> {
             boot.speedup()
         ));
     }
+    let restart = measure_restart_cost(6);
+    if restart.speedup() < 2.0 {
+        return Err(format!(
+            "checkpoint restores must beat cold boot+replay even on noisy hosts: {:.1}x",
+            restart.speedup()
+        ));
+    }
+    let violation = measure_violation_throughput(2);
     let stress = stress_sweep(4, 3, 1, &foc_memory::TableKind::ALL)?;
     let churn = measure_unit_churn(16, 2);
-    let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn, &[]);
+    let restart_rows = vec![restart_cost_row_json(&restart, &violation)];
+    let json = render_farm_json(
+        &reports,
+        &scaling,
+        &boot,
+        &stress,
+        &churn,
+        &restart_rows,
+        &[],
+    );
     if json.matches('{').count() != json.matches('}').count() {
         return Err("rendered record does not balance".to_string());
     }
     print_reports(&reports);
     print_scaling(&scaling);
     print_boot(&boot);
+    print_restart(&restart, &violation);
     print_stress(&stress, &churn);
     println!("farm_scaling --check OK ({} reports)", reports.len());
     Ok(())

@@ -50,7 +50,12 @@ fn run_check(threads: usize) -> Result<(), String> {
         .map_err(|e| format!("cannot read committed {MATRIX_PATH}: {e}"))?;
     let committed = parse_matrix_json(&committed)?;
     let grid = SweepGrid::pinned();
-    let cells = grid.cells();
+    let mut cells = grid.cells();
+    // Plus the pinned manufactured-loop fuel-out cell: a constant-1
+    // sequence MC scan exercises the batched violation path at full
+    // storm intensity, and its transcript must still match the
+    // committed matrix byte for byte.
+    cells.extend(SweepGrid::pinned_extra_cells());
     eprintln!(
         "mode_sweep --check: pinned sub-grid, {} cells x {} inputs ...",
         cells.len(),

@@ -1,0 +1,105 @@
+//! The restart-cost bench: checkpoint restore versus cold boot +
+//! environment replay, plus the manufactured-loop violation throughput
+//! the batched fast path governs.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p foc-bench --bin restart_cost [reps]` —
+//!   full measurement (default 24 reps per flavour); appends one row to
+//!   `BENCH_farm.json`'s `restart_cost_runs` trajectory (creating the
+//!   section in records that predate it).
+//! * `cargo run --release -p foc-bench --bin restart_cost -- --check` —
+//!   CI smoke gate (mirroring the PR 2 boot-cost gate): asserts that a
+//!   checkpoint restore beats a cold boot + replay by at least 5×, and
+//!   that the manufactured-loop measurement runs at all. Exits nonzero
+//!   with a one-line diagnostic otherwise.
+
+use foc_bench::farm_report::{
+    append_restart_cost_row, measure_restart_cost, measure_violation_throughput,
+    restart_cost_row_json, RestartCost, ViolationThroughput,
+};
+
+fn print_measurement(cost: &RestartCost, violation: &ViolationThroughput) {
+    eprintln!(
+        "  cold boot+replay   {:>10.0} ns ± {:.0} ({} reps)",
+        cost.cold_ns, cost.cold_ci95_ns, cost.reps
+    );
+    eprintln!(
+        "  checkpoint restore {:>10.0} ns ± {:.0}  ({:.1}x faster)",
+        cost.restore_ns,
+        cost.restore_ci95_ns,
+        cost.speedup()
+    );
+    eprintln!(
+        "  manufactured loop  {:>10.1} Minstr/s ± {:.1} ({} instrs/run)",
+        violation.minstr_per_s, violation.minstr_ci95, violation.instrs
+    );
+}
+
+fn run_check() -> Result<(), String> {
+    eprintln!("restart_cost --check: checkpoint restore vs cold boot+replay ...");
+    let cost = measure_restart_cost(8);
+    let violation = measure_violation_throughput(2);
+    print_measurement(&cost, &violation);
+    if cost.speedup() < 5.0 {
+        return Err(format!(
+            "checkpoint restore must be ≥5× faster than cold boot+replay: \
+             cold {:.0}ns vs restore {:.0}ns ({:.1}x)",
+            cost.cold_ns,
+            cost.restore_ns,
+            cost.speedup()
+        ));
+    }
+    if violation.minstr_per_s <= 0.0 {
+        return Err("violation-throughput measurement produced no rate".to_string());
+    }
+    println!(
+        "restart_cost --check OK ({:.1}x restore speedup, {:.1} Minstr/s manufactured loop)",
+        cost.speedup(),
+        violation.minstr_per_s
+    );
+    Ok(())
+}
+
+/// Prints the one-line diagnostic and exits nonzero — the `--check`
+/// contract: CI logs get a readable reason, not a panic backtrace.
+fn fail(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        if let Err(msg) = run_check() {
+            fail("restart_cost --check", &msg);
+        }
+        return;
+    }
+    let mut reps = 24usize;
+    if let Some(arg) = args.first() {
+        match arg.parse() {
+            Ok(n) if n > 0 => reps = n,
+            _ => {
+                eprintln!("restart_cost: invalid rep count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cost = measure_restart_cost(reps);
+    let violation = measure_violation_throughput(reps.clamp(3, 8));
+    print_measurement(&cost, &violation);
+
+    let path = "BENCH_farm.json";
+    let row = restart_cost_row_json(&cost, &violation);
+    match std::fs::read_to_string(path) {
+        Ok(json) => match append_restart_cost_row(&json, &row) {
+            Ok(updated) => {
+                std::fs::write(path, updated).expect("write BENCH_farm.json");
+                println!("appended restart_cost row to {path}");
+            }
+            Err(e) => fail("restart_cost", &e),
+        },
+        Err(e) => fail("restart_cost", &format!("cannot read {path}: {e}")),
+    }
+}

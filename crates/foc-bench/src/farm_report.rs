@@ -175,6 +175,147 @@ pub fn measure_boot_cost(reps: usize) -> BootCost {
 }
 
 // ----------------------------------------------------------------------
+// Restart cost: checkpoint restore versus cold boot + environment replay.
+// ----------------------------------------------------------------------
+
+/// The measured cost split the boot-checkpoint layer exists to win:
+/// what a supervised restart costs when it re-runs boot plus the
+/// standard environment replay (cold) versus when it restores the
+/// frozen boot snapshot (checkpoint).
+#[derive(Debug, Clone, Copy)]
+pub struct RestartCost {
+    /// Robust mean nanoseconds for a cold boot + environment replay.
+    pub cold_ns: f64,
+    /// 95% CI half-width on `cold_ns`.
+    pub cold_ci95_ns: f64,
+    /// Robust mean nanoseconds for a checkpoint restore.
+    pub restore_ns: f64,
+    /// 95% CI half-width on `restore_ns`.
+    pub restore_ci95_ns: f64,
+    /// Repetitions measured per flavour.
+    pub reps: usize,
+}
+
+impl RestartCost {
+    /// How many checkpoint restores fit in one cold boot + replay.
+    pub fn speedup(&self) -> f64 {
+        if self.restore_ns <= 0.0 {
+            return 0.0;
+        }
+        self.cold_ns / self.restore_ns
+    }
+}
+
+/// Measures [`RestartCost`] on Pine — the server with the heaviest
+/// per-restart environment replay (mail-file load plus index build),
+/// i.e. exactly the §4.7 cost the checkpoint layer removes. "Cold" is
+/// the uncached full boot (interned image, `pine_init`, standard
+/// mailbox adds, index build); "restore" is what every farm restart now
+/// executes: a snapshot restore from the per-spec checkpoint cache.
+pub fn measure_restart_cost(reps: usize) -> RestartCost {
+    use foc_servers::image::{standard_pine_mailbox, ServerKind};
+    use foc_servers::BootSpec;
+
+    let reps = reps.max(1);
+    let spec = BootSpec::new(ServerKind::Pine, Mode::FailureOblivious);
+    let image = ServerKind::Pine.image();
+    // Warm both layers so the measurement sees the steady state.
+    black_box(foc_servers::pine::Pine::boot_spec(
+        &spec,
+        standard_pine_mailbox().clone(),
+    ));
+
+    let mut cold = Vec::with_capacity(reps);
+    let mut restore = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mailbox = standard_pine_mailbox().clone();
+        let t = Instant::now();
+        black_box(foc_servers::pine::Pine::boot_image_spec(
+            &image, &spec, mailbox,
+        ));
+        cold.push(t.elapsed().as_nanos() as f64);
+
+        let mailbox = standard_pine_mailbox().clone();
+        let t = Instant::now();
+        black_box(foc_servers::pine::Pine::boot_spec(&spec, mailbox));
+        restore.push(t.elapsed().as_nanos() as f64);
+    }
+    let c = robust_summary(&cold);
+    let r = robust_summary(&restore);
+    RestartCost {
+        cold_ns: c.mean,
+        cold_ci95_ns: c.ci95,
+        restore_ns: r.mean,
+        restore_ci95_ns: r.ci95,
+        reps,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Violation throughput: the batched continuation path under a storm.
+// ----------------------------------------------------------------------
+
+/// Manufactured-loop interpretation rate: how many guest instructions
+/// per host second a loop that violates on every iteration sustains.
+/// The PR 4 sweep measured ~3M instr/s on the eager violation path
+/// (each iteration paid an O(capacity) eviction memmove once the log
+/// filled); this row tracks the batched path.
+#[derive(Debug, Clone, Copy)]
+pub struct ViolationThroughput {
+    /// Robust mean million guest instructions per host second.
+    pub minstr_per_s: f64,
+    /// 95% CI half-width on `minstr_per_s`.
+    pub minstr_ci95: f64,
+    /// Guest instructions interpreted per measured run.
+    pub instrs: u64,
+    /// Repetitions measured.
+    pub reps: usize,
+}
+
+/// The manufactured-value storm: every iteration reads past the end of
+/// a 2-element array, paying the full violation path (table miss via an
+/// out-of-bounds descriptor, log append, manufactured value).
+const VIOLATION_LOOP_SOURCE: &str = "long spin(long n) {\n\
+     int xs[2];\n\
+     long i;\n\
+     long acc = 0;\n\
+     for (i = 0; i < n; i++) acc += xs[5];\n\
+     return acc;\n\
+ }";
+
+/// Iterations per measured run (about a million guest instructions).
+const VIOLATION_LOOP_ITERS: i64 = 100_000;
+
+/// Measures [`ViolationThroughput`], `reps` runs on fresh machines.
+pub fn measure_violation_throughput(reps: usize) -> ViolationThroughput {
+    use foc_vm::{Machine, MachineConfig};
+
+    let reps = reps.max(1);
+    let image = foc_compiler::compile_image(VIOLATION_LOOP_SOURCE).expect("violation loop builds");
+    let mut rates = Vec::with_capacity(reps);
+    let mut instrs = 0;
+    for _ in 0..reps {
+        // A fresh machine per run keeps the error log in its steady
+        // retention regime from a deterministic start.
+        let config = MachineConfig::with_mode(Mode::FailureOblivious);
+        let mut m = Machine::load(image.clone(), config).expect("load");
+        let before = m.stats().instrs;
+        let t = Instant::now();
+        black_box(m.call("spin", &[VIOLATION_LOOP_ITERS]).expect("spin"));
+        let secs = t.elapsed().as_secs_f64();
+        instrs = m.stats().instrs - before;
+        rates.push(instrs as f64 / secs / 1e6);
+    }
+    let r = robust_summary(&rates);
+    ViolationThroughput {
+        minstr_per_s: r.mean,
+        minstr_ci95: r.ci95,
+        instrs,
+        reps,
+    }
+}
+
+// ----------------------------------------------------------------------
 // The farm_stress scale-out point: thousands of servers, per-backend.
 // ----------------------------------------------------------------------
 
@@ -420,6 +561,9 @@ pub struct RecordShape {
     pub stress_reps: usize,
     /// Unit-churn repetitions (machine count follows `stress_servers`).
     pub churn_reps: usize,
+    /// Restart-cost repetitions (violation throughput runs a capped
+    /// share of them).
+    pub restart_reps: usize,
 }
 
 impl Default for RecordShape {
@@ -433,6 +577,7 @@ impl Default for RecordShape {
             stress_requests: 4,
             stress_reps: 3,
             churn_reps: 5,
+            restart_reps: 24,
         }
     }
 }
@@ -449,6 +594,11 @@ pub struct FarmRecord {
     pub stress: Vec<StressRow>,
     /// Arena-vs-seed unit-store churn.
     pub churn: UnitChurn,
+    /// Accumulated `restart_cost` rows (checkpoint-restore vs cold
+    /// boot+replay, plus the manufactured-loop violation throughput).
+    /// Regeneration carries the old rows forward and appends a fresh
+    /// measurement, so the trajectory never loses history.
+    pub restart_cost_runs: Vec<String>,
     /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
     /// objects, one per recorded full-grid sweep). Regenerating bins
     /// carry these forward from the previous record so the sweep's own
@@ -465,14 +615,16 @@ impl FarmRecord {
             &self.boot,
             &self.stress,
             &self.churn,
+            &self.restart_cost_runs,
             &self.mode_sweep_runs,
         )
     }
 }
 
 /// Runs every measurement of the record at the given shape, carrying
-/// forward any `mode_sweep` rows from `previous_json` (the old record's
-/// contents, when the caller has one).
+/// forward any `restart_cost` and `mode_sweep` rows from
+/// `previous_json` (the old record's contents, when the caller has
+/// one) so regeneration never drops trajectory history.
 pub fn measure_record(
     shape: &RecordShape,
     previous_json: Option<&str>,
@@ -486,6 +638,9 @@ pub fn measure_record(
     let scaling = thread_scaling(shape.requests, &shape.scaling_threads, shape.scaling_reps)?;
     eprintln!("measuring boot cost (cold compile vs cached image) ...");
     let boot = measure_boot_cost(shape.boot_reps);
+    eprintln!("measuring restart cost (checkpoint restore vs cold boot+replay) ...");
+    let restart = measure_restart_cost(shape.restart_reps);
+    let violation = measure_violation_throughput(shape.restart_reps.clamp(3, 8));
     eprintln!(
         "running farm_stress: {} Apache servers x {} requests, {} backends ...",
         shape.stress_servers,
@@ -500,12 +655,17 @@ pub fn measure_record(
     )?;
     eprintln!("measuring unit-store churn (arena vs seed boxed baseline) ...");
     let churn = measure_unit_churn(shape.stress_servers, shape.churn_reps);
+    let mut restart_cost_runs = previous_json
+        .map(extract_restart_cost_rows)
+        .unwrap_or_default();
+    restart_cost_runs.push(restart_cost_row_json(&restart, &violation));
     Ok(FarmRecord {
         reports,
         scaling,
         boot,
         stress,
         churn,
+        restart_cost_runs,
         mode_sweep_runs: previous_json
             .map(extract_mode_sweep_rows)
             .unwrap_or_default(),
@@ -535,14 +695,15 @@ pub fn mode_sweep_row_json(
     )
 }
 
-/// Extracts the pre-rendered `mode_sweep_runs` rows from an existing
-/// `BENCH_farm.json` document (empty when the file predates the
-/// section or has none).
-pub fn extract_mode_sweep_rows(json: &str) -> Vec<String> {
-    let Some(start) = json.find("\"mode_sweep_runs\": [") else {
+/// Extracts the pre-rendered rows of the trajectory array named `key`
+/// from an existing `BENCH_farm.json` document (empty when the file
+/// predates the section or has none).
+fn extract_rows_section(json: &str, key: &str) -> Vec<String> {
+    let marker = format!("\"{key}\": [");
+    let Some(start) = json.find(&marker) else {
         return Vec::new();
     };
-    let body = &json[start + "\"mode_sweep_runs\": [".len()..];
+    let body = &json[start + marker.len()..];
     let Some(end) = body.find(']') else {
         return Vec::new();
     };
@@ -553,22 +714,19 @@ pub fn extract_mode_sweep_rows(json: &str) -> Vec<String> {
         .collect()
 }
 
-/// Returns `json` with `row` appended to its `mode_sweep_runs` array
-/// (rewriting the section in place). Errors when the document has no
-/// such section — regenerate the record with `farm_scaling` first.
-pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
-    let Some(start) = json.find("\"mode_sweep_runs\": [") else {
-        return Err(
-            "BENCH_farm.json has no mode_sweep_runs section; regenerate it with farm_scaling"
-                .to_string(),
-        );
+/// Rewrites the trajectory array named `key` in place with `rows`.
+/// Errors when the document has no such section.
+fn replace_rows_section(json: &str, key: &str, rows: &[String]) -> Result<String, String> {
+    let marker = format!("\"{key}\": [");
+    let Some(start) = json.find(&marker) else {
+        return Err(format!(
+            "BENCH_farm.json has no {key} section; regenerate it with farm_scaling"
+        ));
     };
-    let body_at = start + "\"mode_sweep_runs\": [".len();
+    let body_at = start + marker.len();
     let Some(end) = json[body_at..].find(']') else {
-        return Err("BENCH_farm.json mode_sweep_runs section is unterminated".to_string());
+        return Err(format!("BENCH_farm.json {key} section is unterminated"));
     };
-    let mut rows = extract_mode_sweep_rows(json);
-    rows.push(row.to_string());
     let mut section = String::from("\n");
     for (i, r) in rows.iter().enumerate() {
         section.push_str("    ");
@@ -585,6 +743,78 @@ pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
         section,
         &json[body_at + end..]
     ))
+}
+
+/// Extracts the pre-rendered `mode_sweep_runs` rows from an existing
+/// `BENCH_farm.json` document (empty when the file predates the
+/// section or has none).
+pub fn extract_mode_sweep_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "mode_sweep_runs")
+}
+
+/// Returns `json` with `row` appended to its `mode_sweep_runs` array
+/// (rewriting the section in place). Errors when the document has no
+/// such section — regenerate the record with `farm_scaling` first.
+pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
+    let mut rows = extract_mode_sweep_rows(json);
+    rows.push(row.to_string());
+    replace_rows_section(json, "mode_sweep_runs", &rows)
+}
+
+// ----------------------------------------------------------------------
+// The restart_cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Renders one `restart_cost` trajectory row: the checkpoint-restore
+/// versus cold boot+replay split plus the manufactured-loop violation
+/// throughput measured alongside it.
+pub fn restart_cost_row_json(restart: &RestartCost, violation: &ViolationThroughput) -> String {
+    format!(
+        concat!(
+            "{{\"cold_boot_replay_ns\": {:.0}, \"cold_ci95_ns\": {:.0}, ",
+            "\"checkpoint_restore_ns\": {:.0}, \"restore_ci95_ns\": {:.0}, ",
+            "\"speedup\": {:.1}, \"reps\": {}, ",
+            "\"violation_minstr_per_s\": {:.1}, \"violation_minstr_ci95\": {:.1}, ",
+            "\"violation_instrs\": {}}}"
+        ),
+        restart.cold_ns,
+        restart.cold_ci95_ns,
+        restart.restore_ns,
+        restart.restore_ci95_ns,
+        restart.speedup(),
+        restart.reps,
+        violation.minstr_per_s,
+        violation.minstr_ci95,
+        violation.instrs,
+    )
+}
+
+/// Extracts the `restart_cost_runs` rows from an existing record
+/// (empty when the record predates the section).
+pub fn extract_restart_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "restart_cost_runs")
+}
+
+/// Returns `json` with `row` appended to its `restart_cost_runs` array.
+/// A record that predates the section (rendered before the checkpoint
+/// layer existed) gains one, inserted just before `mode_sweep_runs`, so
+/// the `restart_cost` bin can record into an old file without a full
+/// regeneration.
+pub fn append_restart_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"restart_cost_runs\": [") {
+        let mut rows = extract_restart_cost_rows(json);
+        rows.push(row.to_string());
+        return replace_rows_section(json, "restart_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor restart_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"restart_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
 fn json_escape(s: &str) -> String {
@@ -676,6 +906,7 @@ pub fn render_farm_json(
     boot: &BootCost,
     stress: &[StressRow],
     churn: &UnitChurn,
+    restart_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
@@ -713,6 +944,23 @@ pub fn render_farm_json(
         boot.speedup(),
         boot.reps,
     ));
+    // The restart-cost trajectory: checkpoint-restore vs cold
+    // boot+replay plus the manufactured-loop violation throughput, one
+    // row per recorded measurement (regeneration appends, never drops).
+    if restart_cost_runs.is_empty() {
+        out.push_str("  \"restart_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"restart_cost_runs\": [\n");
+        for (i, row) in restart_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < restart_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
     // The mode_sweep cost trajectory: one row per recorded full-grid
     // sweep, appended by the mode_sweep bin and carried forward by the
     // regenerating bins.
@@ -808,8 +1056,30 @@ mod tests {
         };
         let stress = stress_sweep(3, 3, 1, &TableKind::ALL).expect("contract");
         let churn = measure_unit_churn(4, 2);
+        let restart = RestartCost {
+            cold_ns: 500_000.0,
+            cold_ci95_ns: 2_000.0,
+            restore_ns: 50_000.0,
+            restore_ci95_ns: 500.0,
+            reps: 8,
+        };
+        let violation = ViolationThroughput {
+            minstr_per_s: 30.0,
+            minstr_ci95: 1.0,
+            instrs: 1_000_000,
+            reps: 3,
+        };
+        let restart_rows = vec![restart_cost_row_json(&restart, &violation)];
         let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5)];
-        let json = render_farm_json(&reports, &scaling, &boot, &stress, &churn, &rows);
+        let json = render_farm_json(
+            &reports,
+            &scaling,
+            &boot,
+            &stress,
+            &churn,
+            &restart_rows,
+            &rows,
+        );
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -829,7 +1099,19 @@ mod tests {
         assert!(json.contains("\"farm_stress\""));
         assert!(json.contains("\"mode_sweep_runs\""));
         assert!(json.contains("\"resumed_cells\": 0"));
+        assert!(json.contains("\"restart_cost_runs\""));
+        assert!(json.contains("\"checkpoint_restore_ns\""));
+        assert!(json.contains("\"violation_minstr_per_s\""));
         // Round trip: extract the rows back and append another.
+        assert_eq!(extract_restart_cost_rows(&json), restart_rows);
+        let grown = append_restart_cost_row(&json, &restart_cost_row_json(&restart, &violation))
+            .expect("append restart row");
+        assert_eq!(extract_restart_cost_rows(&grown).len(), 2);
+        assert_eq!(
+            extract_mode_sweep_rows(&grown),
+            rows,
+            "growing one trajectory must not disturb the other"
+        );
         assert_eq!(extract_mode_sweep_rows(&json), rows);
         let appended = append_mode_sweep_row(&json, &mode_sweep_row_json(150, 120, 17, 4, 99.0))
             .expect("append");
@@ -891,6 +1173,63 @@ mod tests {
             boot.cached_ns,
             boot.speedup()
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_is_at_least_5x_faster_than_cold_boot_replay() {
+        // The acceptance bar of the boot-checkpoint layer, mirroring
+        // the PR 2 boot-cost gate: restoring the frozen Pine snapshot
+        // must beat re-running boot plus mailbox replay by 5x with
+        // room to spare even on noisy CI hosts.
+        let cost = measure_restart_cost(12);
+        assert!(
+            cost.speedup() >= 5.0,
+            "checkpoint restore must be ≥5× faster: cold {:.0}ns vs restore {:.0}ns ({:.1}×)",
+            cost.cold_ns,
+            cost.restore_ns,
+            cost.speedup()
+        );
+    }
+
+    #[test]
+    fn violation_throughput_measures_a_manufactured_storm() {
+        let v = measure_violation_throughput(2);
+        assert!(v.minstr_per_s > 0.0);
+        // Every loop iteration must actually violate: the fuel-side
+        // instruction count confirms the loop ran end to end.
+        assert!(v.instrs > VIOLATION_LOOP_ITERS as u64);
+    }
+
+    #[test]
+    fn restart_cost_section_is_created_in_old_records() {
+        // A record rendered before the checkpoint layer (no
+        // restart_cost_runs section) gains one on append.
+        let old = concat!(
+            "{\n  \"benchmark\": \"farm\",\n",
+            "  \"mode_sweep_runs\": [\n",
+            "    {\"cells\": 150}\n",
+            "  ],\n}\n"
+        );
+        let restart = RestartCost {
+            cold_ns: 10.0,
+            cold_ci95_ns: 0.0,
+            restore_ns: 1.0,
+            restore_ci95_ns: 0.0,
+            reps: 1,
+        };
+        let violation = ViolationThroughput {
+            minstr_per_s: 1.0,
+            minstr_ci95: 0.0,
+            instrs: 1,
+            reps: 1,
+        };
+        let row = restart_cost_row_json(&restart, &violation);
+        let grown = append_restart_cost_row(old, &row).expect("create section");
+        assert_eq!(extract_restart_cost_rows(&grown), vec![row.clone()]);
+        assert_eq!(extract_mode_sweep_rows(&grown).len(), 1);
+        // A second append extends the now-existing section.
+        let grown2 = append_restart_cost_row(&grown, &row).expect("append");
+        assert_eq!(extract_restart_cost_rows(&grown2).len(), 2);
     }
 
     #[test]

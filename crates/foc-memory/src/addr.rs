@@ -105,8 +105,9 @@ impl AccessSize {
 /// makes booting a machine cheap — a fresh space costs three empty
 /// `Vec`s instead of ~76 MB of eager zeroing — which in turn is what
 /// makes farm restarts cheap (§4.7's availability argument prices every
-/// restart).
-#[derive(Debug)]
+/// restart). `Clone` snapshots the committed window — the region half
+/// of a boot checkpoint.
+#[derive(Debug, Clone)]
 pub struct Region {
     kind: RegionKind,
     base: u64,

@@ -68,7 +68,7 @@ impl fmt::Display for HeapError {
 }
 
 /// First-fit free-list allocator over a [`Region`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HeapAllocator {
     /// Payload address of the first free block, or 0 when the list is
     /// empty. Free blocks store the next free payload address in their

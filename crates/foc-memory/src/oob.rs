@@ -56,7 +56,7 @@ impl OobEntry {
 /// memory error, and the policy layer treats it as such either way. (CRED
 /// leaks its out-of-bounds objects instead; recycling keeps multi-day
 /// stability runs in bounded memory.)
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OobRegistry {
     entries: Vec<Option<OobEntry>>,
     dedup: HashMap<(UnitId, u64), OobId>,

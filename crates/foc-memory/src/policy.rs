@@ -76,7 +76,7 @@ impl Mode {
 /// back to value manufacturing (the write never happened, so there is
 /// nothing to return — this matches the conceptual model of an infinitely
 /// extended block whose untouched bytes are undefined).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BoundlessStore {
     bytes: HashMap<(UnitId, i64), u8>,
 }

@@ -203,20 +203,8 @@ pub struct SpaceStats {
     pub frames: u64,
 }
 
-/// How a checked access resolved.
-enum Resolution {
-    /// In bounds of a live unit: perform the raw access at this address.
-    Ok(u64),
-    /// Violation with the given classification and best-known provenance.
-    Violation {
-        kind: ErrorKind,
-        intended: u64,
-        referent: Option<(UnitId, u64, u64)>,
-    },
-}
-
 /// A pushed frame's bookkeeping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FrameRec {
     prev_sp: u64,
     units_start: usize,
@@ -224,6 +212,13 @@ struct FrameRec {
 }
 
 /// The simulated address space and its access policy.
+///
+/// `Clone` snapshots the entire space — committed region bytes, the
+/// unit store, the object table, out-of-bounds descriptors, allocator
+/// and manufacturer state, and the error log. A clone of a freshly
+/// booted space is the memory half of a boot checkpoint: restoring it
+/// is a memcpy of the committed windows instead of a re-run of boot and
+/// environment replay, which is what makes supervised restarts O(1).
 #[derive(Debug)]
 pub struct MemorySpace {
     mode: Mode,
@@ -242,6 +237,29 @@ pub struct MemorySpace {
     sp: u64,
     frames: Vec<FrameRec>,
     frame_units: Vec<u32>,
+}
+
+impl Clone for MemorySpace {
+    fn clone(&self) -> MemorySpace {
+        MemorySpace {
+            mode: self.mode,
+            globals: self.globals.clone(),
+            heap: self.heap.clone(),
+            stack: self.stack.clone(),
+            store: self.store.clone(),
+            table: self.table.boxed_clone(),
+            oob: self.oob.clone(),
+            allocator: self.allocator.clone(),
+            boundless: self.boundless.clone(),
+            manufacturer: self.manufacturer.clone(),
+            log: self.log.clone(),
+            stats: self.stats,
+            global_brk: self.global_brk,
+            sp: self.sp,
+            frames: self.frames.clone(),
+            frame_units: self.frame_units.clone(),
+        }
+    }
 }
 
 impl MemorySpace {
@@ -680,6 +698,12 @@ impl MemorySpace {
     // ------------------------------------------------------------------
 
     /// Guest load of `size` bytes at `a` (zero-extended raw value).
+    ///
+    /// The in-bounds hit is a straight-line fast path: one table lookup,
+    /// one bounds compare, one region read. Everything else — the whole
+    /// continuation machinery — lives in the cold [`Self::load_violation`]
+    /// so a violation-free request stream never pays for it.
+    #[inline]
     pub fn load(
         &mut self,
         a: u64,
@@ -697,74 +721,97 @@ impl MemorySpace {
             };
         }
         self.stats.checked_accesses += 1;
-        match self.resolve(a, size) {
-            Resolution::Ok(at) => {
-                let value = self
-                    .region(at)
-                    .and_then(|r| r.read(at, size))
-                    .expect("resolved access must be mapped");
+        if !addr::is_oob_zone(a) {
+            if let Some(pl) = self.table.lookup(a) {
+                if a + size.bytes() <= pl.base + pl.size {
+                    let value = self
+                        .region(a)
+                        .and_then(|r| r.read(a, size))
+                        .expect("resolved access must be mapped");
+                    return Ok(ReadOutcome {
+                        value,
+                        violation: false,
+                    });
+                }
+                // Straddles the end of the unit: the canonical overrun.
+                return self.load_violation(
+                    ErrorKind::InvalidRead,
+                    a,
+                    Some((pl.unit, pl.base, pl.size)),
+                    size,
+                    ctx,
+                );
+            }
+            return self.load_violation(ErrorKind::InvalidRead, a, None, size, ctx);
+        }
+        let (kind, intended, referent) = self.resolve_oob(a);
+        self.load_violation(kind, intended, referent, size, ctx)
+    }
+
+    /// Continuation code for an invalid read: log, then discard /
+    /// manufacture / redirect / terminate per the mode.
+    #[cold]
+    fn load_violation(
+        &mut self,
+        kind: ErrorKind,
+        intended: u64,
+        referent: Option<(UnitId, u64, u64)>,
+        size: AccessSize,
+        ctx: AccessCtx,
+    ) -> Result<ReadOutcome, MemFault> {
+        self.stats.invalid_reads += 1;
+        let kind = kind_for_read(kind);
+        self.log_violation(kind, intended, size, referent, ctx);
+        match self.mode {
+            Mode::BoundsCheck => Err(MemFault::MemoryError {
+                kind,
+                addr: intended,
+                referent: referent.map(|r| r.0),
+                func: ctx.func,
+                pc: ctx.pc,
+            }),
+            Mode::Boundless => {
+                if let Some((unit, base, _)) = referent {
+                    let off = intended.wrapping_sub(base) as i64;
+                    if let Some(v) = self.boundless.load(unit, off, size.bytes()) {
+                        return Ok(ReadOutcome {
+                            value: v,
+                            violation: true,
+                        });
+                    }
+                }
                 Ok(ReadOutcome {
-                    value,
-                    violation: false,
+                    value: self.manufacture(size),
+                    violation: true,
                 })
             }
-            Resolution::Violation {
-                kind,
-                intended,
-                referent,
-            } => {
-                self.stats.invalid_reads += 1;
-                let kind = kind_for_read(kind);
-                self.log_violation(kind, intended, size, referent, ctx);
-                match self.mode {
-                    Mode::BoundsCheck => Err(MemFault::MemoryError {
-                        kind,
-                        addr: intended,
-                        referent: referent.map(|r| r.0),
-                        func: ctx.func,
-                        pc: ctx.pc,
-                    }),
-                    Mode::Boundless => {
-                        if let Some((unit, base, _)) = referent {
-                            let off = intended.wrapping_sub(base) as i64;
-                            if let Some(v) = self.boundless.load(unit, off, size.bytes()) {
-                                return Ok(ReadOutcome {
-                                    value: v,
-                                    violation: true,
-                                });
-                            }
-                        }
-                        Ok(ReadOutcome {
-                            value: self.manufacture(size),
-                            violation: true,
-                        })
-                    }
-                    Mode::Redirect => {
-                        if let Some(at) = self.redirect_target(referent, intended, size) {
-                            let value = self
-                                .region(at)
-                                .and_then(|r| r.read(at, size))
-                                .expect("redirect target must be mapped");
-                            return Ok(ReadOutcome {
-                                value,
-                                violation: true,
-                            });
-                        }
-                        Ok(ReadOutcome {
-                            value: self.manufacture(size),
-                            violation: true,
-                        })
-                    }
-                    _ => Ok(ReadOutcome {
-                        value: self.manufacture(size),
+            Mode::Redirect => {
+                if let Some(at) = self.redirect_target(referent, intended, size) {
+                    let value = self
+                        .region(at)
+                        .and_then(|r| r.read(at, size))
+                        .expect("redirect target must be mapped");
+                    return Ok(ReadOutcome {
+                        value,
                         violation: true,
-                    }),
+                    });
                 }
+                Ok(ReadOutcome {
+                    value: self.manufacture(size),
+                    violation: true,
+                })
             }
+            _ => Ok(ReadOutcome {
+                value: self.manufacture(size),
+                violation: true,
+            }),
         }
     }
 
     /// Guest store of the low `size` bytes of `value` at `a`.
+    ///
+    /// Fast/cold split as in [`Self::load`].
+    #[inline]
     pub fn store(
         &mut self,
         a: u64,
@@ -785,52 +832,72 @@ impl MemorySpace {
             };
         }
         self.stats.checked_accesses += 1;
-        match self.resolve(a, size) {
-            Resolution::Ok(at) => {
-                let ok = self
-                    .region_mut(at)
-                    .map(|r| r.write(at, size, value))
-                    .unwrap_or(false);
-                debug_assert!(ok, "resolved access must be mapped");
-                Ok(WriteOutcome { violation: false })
-            }
-            Resolution::Violation {
-                kind,
-                intended,
-                referent,
-            } => {
-                self.stats.invalid_writes += 1;
-                let kind = kind_for_write(kind);
-                self.log_violation(kind, intended, size, referent, ctx);
-                match self.mode {
-                    Mode::BoundsCheck => Err(MemFault::MemoryError {
-                        kind,
-                        addr: intended,
-                        referent: referent.map(|r| r.0),
-                        func: ctx.func,
-                        pc: ctx.pc,
-                    }),
-                    Mode::Boundless => {
-                        if let Some((unit, base, _)) = referent {
-                            let off = intended.wrapping_sub(base) as i64;
-                            self.boundless.store(unit, off, size.bytes(), value);
-                        }
-                        Ok(WriteOutcome { violation: true })
-                    }
-                    Mode::Redirect => {
-                        if let Some(at) = self.redirect_target(referent, intended, size) {
-                            let ok = self
-                                .region_mut(at)
-                                .map(|r| r.write(at, size, value))
-                                .unwrap_or(false);
-                            debug_assert!(ok);
-                        }
-                        Ok(WriteOutcome { violation: true })
-                    }
-                    // Failure-oblivious: discard the write.
-                    _ => Ok(WriteOutcome { violation: true }),
+        if !addr::is_oob_zone(a) {
+            if let Some(pl) = self.table.lookup(a) {
+                if a + size.bytes() <= pl.base + pl.size {
+                    let ok = self
+                        .region_mut(a)
+                        .map(|r| r.write(a, size, value))
+                        .unwrap_or(false);
+                    debug_assert!(ok, "resolved access must be mapped");
+                    return Ok(WriteOutcome { violation: false });
                 }
+                return self.store_violation(
+                    ErrorKind::InvalidRead,
+                    a,
+                    Some((pl.unit, pl.base, pl.size)),
+                    size,
+                    value,
+                    ctx,
+                );
             }
+            return self.store_violation(ErrorKind::InvalidRead, a, None, size, value, ctx);
+        }
+        let (kind, intended, referent) = self.resolve_oob(a);
+        self.store_violation(kind, intended, referent, size, value, ctx)
+    }
+
+    /// Continuation code for an invalid write.
+    #[cold]
+    fn store_violation(
+        &mut self,
+        kind: ErrorKind,
+        intended: u64,
+        referent: Option<(UnitId, u64, u64)>,
+        size: AccessSize,
+        value: u64,
+        ctx: AccessCtx,
+    ) -> Result<WriteOutcome, MemFault> {
+        self.stats.invalid_writes += 1;
+        let kind = kind_for_write(kind);
+        self.log_violation(kind, intended, size, referent, ctx);
+        match self.mode {
+            Mode::BoundsCheck => Err(MemFault::MemoryError {
+                kind,
+                addr: intended,
+                referent: referent.map(|r| r.0),
+                func: ctx.func,
+                pc: ctx.pc,
+            }),
+            Mode::Boundless => {
+                if let Some((unit, base, _)) = referent {
+                    let off = intended.wrapping_sub(base) as i64;
+                    self.boundless.store(unit, off, size.bytes(), value);
+                }
+                Ok(WriteOutcome { violation: true })
+            }
+            Mode::Redirect => {
+                if let Some(at) = self.redirect_target(referent, intended, size) {
+                    let ok = self
+                        .region_mut(at)
+                        .map(|r| r.write(at, size, value))
+                        .unwrap_or(false);
+                    debug_assert!(ok);
+                }
+                Ok(WriteOutcome { violation: true })
+            }
+            // Failure-oblivious: discard the write.
+            _ => Ok(WriteOutcome { violation: true }),
         }
     }
 
@@ -838,44 +905,26 @@ impl MemorySpace {
     // Internals.
     // ------------------------------------------------------------------
 
-    /// Resolves a checked access to either a raw address or a violation.
-    fn resolve(&mut self, a: u64, size: AccessSize) -> Resolution {
-        let len = size.bytes();
-        if addr::is_oob_zone(a) {
-            return match self.oob.decode(a) {
-                Some(entry) => {
-                    // A recycled referent slot (stale generation) means the
-                    // unit died long ago: classify as dangling.
-                    let kind = match self.store.get(entry.referent) {
-                        Some(u) if u.live => ErrorKind::InvalidRead,
-                        _ => ErrorKind::DanglingRead,
-                    };
-                    Resolution::Violation {
-                        kind,
-                        intended: entry.intended,
-                        referent: Some((entry.referent, entry.referent_base, entry.referent_size)),
-                    }
-                }
-                None => Resolution::Violation {
-                    kind: ErrorKind::InvalidRead,
-                    intended: a,
-                    referent: None,
-                },
-            };
-        }
-        match self.table.lookup(a) {
-            Some(pl) if a + len <= pl.base + pl.size => Resolution::Ok(a),
-            Some(pl) => Resolution::Violation {
-                // Straddles the end of the unit: the canonical overrun.
-                kind: ErrorKind::InvalidRead,
-                intended: a,
-                referent: Some((pl.unit, pl.base, pl.size)),
-            },
-            None => Resolution::Violation {
-                kind: ErrorKind::InvalidRead,
-                intended: a,
-                referent: None,
-            },
+    /// Classifies an access through an out-of-bounds descriptor address:
+    /// the violation kind, the intended address, and the best-known
+    /// referent.
+    #[cold]
+    fn resolve_oob(&self, a: u64) -> (ErrorKind, u64, Option<(UnitId, u64, u64)>) {
+        match self.oob.decode(a) {
+            Some(entry) => {
+                // A recycled referent slot (stale generation) means the
+                // unit died long ago: classify as dangling.
+                let kind = match self.store.get(entry.referent) {
+                    Some(u) if u.live => ErrorKind::InvalidRead,
+                    _ => ErrorKind::DanglingRead,
+                };
+                (
+                    kind,
+                    entry.intended,
+                    Some((entry.referent, entry.referent_base, entry.referent_size)),
+                )
+            }
+            None => (ErrorKind::InvalidRead, a, None),
         }
     }
 

@@ -44,7 +44,8 @@ struct Slot {
 }
 
 /// Generational slab of data units with arena-allocated labels.
-#[derive(Debug)]
+/// `Clone` snapshots the whole slab (boot checkpoints).
+#[derive(Debug, Clone)]
 pub struct UnitStore {
     slots: Vec<Slot>,
     /// Head of the intrusive free list (`NONE` when full).

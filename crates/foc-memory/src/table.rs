@@ -107,8 +107,13 @@ impl std::str::FromStr for TableKind {
 /// Lookup takes `&mut self` because self-adjusting implementations (the
 /// splay tree, the flat table's memo) reorganise on every query. `Send`
 /// and `Debug` are supertraits so boxed tables travel with their
-/// machines across farm worker threads.
-pub trait ObjectTable: fmt::Debug + Send {
+/// machines across farm worker threads; `Sync` so frozen boot
+/// checkpoints holding a table can be shared (`Arc`) across them.
+pub trait ObjectTable: fmt::Debug + Send + Sync {
+    /// Clones the table behind fresh storage — the object-table half of
+    /// a [`crate::MemorySpace`] checkpoint.
+    fn boxed_clone(&self) -> Box<dyn ObjectTable>;
+
     /// Registers a live unit. The caller guarantees the range does not
     /// overlap any registered range.
     fn insert(&mut self, base: u64, size: u64, unit: UnitId);
@@ -132,7 +137,7 @@ pub trait ObjectTable: fmt::Debug + Send {
 }
 
 /// Object table backed by the standard library B-tree.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BTreeTable {
     map: BTreeMap<u64, (u64, UnitId)>,
 }
@@ -145,6 +150,10 @@ impl BTreeTable {
 }
 
 impl ObjectTable for BTreeTable {
+    fn boxed_clone(&self) -> Box<dyn ObjectTable> {
+        Box::new(self.clone())
+    }
+
     fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
         self.map.insert(base, (size, unit));
     }
@@ -182,7 +191,7 @@ impl ObjectTable for BTreeTable {
 /// O(1) and with no structural writes. Inserts and removes shift the
 /// tail (`memmove`), which is exactly the right trade for server-shaped
 /// tables — a few hundred mostly-stable entries hammered by lookups.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FlatTable {
     entries: Vec<Placement>,
     /// Index of the most recent lookup hit (memo; may be stale).
@@ -203,6 +212,10 @@ impl FlatTable {
 }
 
 impl ObjectTable for FlatTable {
+    fn boxed_clone(&self) -> Box<dyn ObjectTable> {
+        Box::new(self.clone())
+    }
+
     fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
         let at = self.upper_bound(base);
         self.entries.insert(at, Placement { base, size, unit });
@@ -266,7 +279,7 @@ struct SplayNode {
 /// recycled through a free list. Every lookup splays the closest entry to
 /// the root, so repeated accesses to the same data unit are O(1) after the
 /// first — the common case for server request processing.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SplayTable {
     nodes: Vec<SplayNode>,
     root: NodeIdx,
@@ -420,6 +433,10 @@ impl SplayTable {
 }
 
 impl ObjectTable for SplayTable {
+    fn boxed_clone(&self) -> Box<dyn ObjectTable> {
+        Box::new(self.clone())
+    }
+
     fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
         let fresh = self.alloc_node(base, size, unit);
         if self.root == NONE {

@@ -27,8 +27,8 @@ use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
-use crate::image::ServerKind;
-use crate::{BootSpec, Measured, Outcome, Process};
+use crate::image::{self, ServerKind};
+use crate::{BootSpec, Measured, Outcome, Process, ProcessCheckpoint};
 
 /// MiniC source of the Apache worker.
 pub const APACHE_SOURCE: &str = r#"
@@ -190,12 +190,6 @@ long apache_requests_served() {
 }
 "#;
 
-/// The interned Apache worker image (compiled at most once per process,
-/// shared by pools, farms, and standalone workers).
-pub fn worker_image() -> ProgramImage {
-    ServerKind::Apache.image()
-}
-
 /// Default documents: the 5 KB home page and the 830 KB large file of
 /// Figure 3.
 pub const SMALL_PAGE: (&str, i64) = ("/index.html", 5 * 1024);
@@ -240,15 +234,21 @@ pub struct ApacheWorker {
     proc: Process,
 }
 
+/// A frozen standard boot of one Apache worker (see
+/// [`crate::image::boot_checkpoint`]).
+pub struct ApacheCheckpoint {
+    proc: ProcessCheckpoint,
+}
+
 impl ApacheWorker {
     /// Boots one worker from the interned image.
     pub fn boot(mode: Mode) -> ApacheWorker {
-        ApacheWorker::from_image(&ServerKind::Apache.image(), mode)
+        ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode))
     }
 
     /// Boots one worker with an explicit object-table backend.
     pub fn boot_table(mode: Mode, table: TableKind) -> ApacheWorker {
-        ApacheWorker::from_image_table(&ServerKind::Apache.image(), mode, table)
+        ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode).with_table(table))
     }
 
     /// Boots one worker from an explicit image (pools hold their own
@@ -265,16 +265,39 @@ impl ApacheWorker {
         )
     }
 
-    /// Boots one worker from a full [`BootSpec`] (interned image).
+    /// Boots one worker from a full [`BootSpec`]: restored from the
+    /// per-spec boot checkpoint, so farm boots, pool respawns, and
+    /// supervised restarts cost a snapshot restore instead of the
+    /// document/rewrite-rule replay.
     pub fn boot_spec(spec: &BootSpec) -> ApacheWorker {
-        ApacheWorker::from_image_spec(&ServerKind::Apache.image(), spec)
+        let ckpt = image::boot_checkpoint(ServerKind::Apache, spec);
+        let image::ServerCheckpoint::Apache(worker) = ckpt.as_ref() else {
+            unreachable!("Apache cache slot holds an Apache checkpoint");
+        };
+        ApacheWorker::restore(worker)
     }
 
-    /// Boots one worker from an explicit image and a full [`BootSpec`].
+    /// Boots one worker from an explicit image and a full [`BootSpec`],
+    /// bypassing the checkpoint cache (the cache's own fill path, and
+    /// the differential baseline of the equivalence tests).
     pub fn from_image_spec(image: &ProgramImage, spec: &BootSpec) -> ApacheWorker {
         let mut proc = Process::boot_spec(image, spec);
         init_worker(&mut proc);
         ApacheWorker { proc }
+    }
+
+    /// Freezes this worker's state.
+    pub fn checkpoint(&self) -> ApacheCheckpoint {
+        ApacheCheckpoint {
+            proc: self.proc.checkpoint(),
+        }
+    }
+
+    /// Materialises a worker in exactly the captured state.
+    pub fn restore(ckpt: &ApacheCheckpoint) -> ApacheWorker {
+        ApacheWorker {
+            proc: Process::restore(&ckpt.proc),
+        }
     }
 
     /// The underlying process.
@@ -323,7 +346,6 @@ pub const RESTART_COST_CYCLES: u64 = 220_000;
 
 /// The regenerating process pool (the paper's Apache architecture).
 pub struct ApachePool {
-    image: ProgramImage,
     mode: Mode,
     table: TableKind,
     workers: Vec<ApacheWorker>,
@@ -343,13 +365,12 @@ impl ApachePool {
     }
 
     /// Creates a pool whose children all run the given table backend.
+    /// Children boot (and later respawn) from the interned boot
+    /// checkpoint, so pool regeneration never replays worker init.
     pub fn new_table(mode: Mode, table: TableKind, n: usize) -> ApachePool {
-        let image = worker_image();
-        let workers = (0..n)
-            .map(|_| ApacheWorker::from_image_table(&image, mode, table))
-            .collect();
+        let spec = BootSpec::new(ServerKind::Apache, mode).with_table(table);
+        let workers = (0..n).map(|_| ApacheWorker::boot_spec(&spec)).collect();
         ApachePool {
-            image,
             mode,
             table,
             workers,
@@ -375,8 +396,9 @@ impl ApachePool {
             Outcome::Crashed(_) => {
                 self.child_deaths += 1;
                 self.total_cycles += RESTART_COST_CYCLES;
-                self.workers[idx] =
-                    ApacheWorker::from_image_table(&self.image, self.mode, self.table);
+                self.workers[idx] = ApacheWorker::boot_spec(
+                    &BootSpec::new(ServerKind::Apache, self.mode).with_table(self.table),
+                );
             }
         }
         r.outcome

@@ -332,10 +332,11 @@ enum FarmProcess {
     },
 }
 
-/// Messages every Pine farm process starts with.
-const PINE_SEED_MESSAGES: usize = 3;
+/// Messages every Pine farm process starts with (the standard seed
+/// mailbox the boot-checkpoint cache captures).
+const PINE_SEED_MESSAGES: usize = crate::image::PINE_SEED_MESSAGES;
 /// Messages every Mutt farm process starts with.
-const MUTT_SEED_MESSAGES: usize = 2;
+const MUTT_SEED_MESSAGES: usize = crate::image::MUTT_SEED_MESSAGES;
 
 /// The farm's fixed attack payloads, interned once per host process —
 /// at thousands of servers, regenerating a constant attack string per
@@ -366,10 +367,12 @@ fn mc_attack() -> &'static [Vec<u8>] {
 }
 
 impl FarmProcess {
-    /// Boots one process of `kind` from the interned image — the
-    /// compiler runs at most once per kind per host process, no matter
-    /// how many farm servers boot or how often the supervisor restarts
-    /// them.
+    /// Boots one process of `kind` from the interned boot checkpoint —
+    /// the compiler runs at most once per kind per host process, and
+    /// boot plus standard environment replay run at most once per
+    /// `(kind, spec)`: every farm boot and supervised restart after the
+    /// first restores the frozen snapshot (the drivers' `boot_spec`
+    /// constructors route through [`crate::image::boot_checkpoint`]).
     fn boot(kind: ServerKind, spec: &BootSpec) -> FarmProcess {
         match kind {
             ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot_spec(spec)),
@@ -399,6 +402,9 @@ impl FarmProcess {
 
     /// Replaces the dead process, preserving persistent environment (the
     /// Pine mailbox survives restarts — it is the mail file on disk).
+    /// Both arms are checkpoint restores: Pine restores its pre-index
+    /// restart base and replays only the delivered delta; the others
+    /// restore the standard boot snapshot.
     fn restart(&mut self, kind: ServerKind, spec: &BootSpec) {
         match self {
             FarmProcess::Pine { pine, .. } => pine.restart(),

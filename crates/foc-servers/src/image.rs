@@ -14,11 +14,12 @@
 //! property tests use it to prove cached boots behave byte-identically
 //! to from-source boots.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use foc_compiler::ProgramImage;
 
-use crate::{apache, mc, mutt, pine, sendmail};
+use crate::{apache, mc, mutt, pine, sendmail, BootSpec};
 
 /// Which of the paper's five servers is meant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +127,118 @@ impl ServerKind {
     }
 }
 
+// ---------------------------------------------------------------------
+// Boot checkpoints: the restart layer above the image cache.
+// ---------------------------------------------------------------------
+
+/// Messages every standard Pine boot seeds its mailbox with (the farm's
+/// and the sweep's benign Pine environment).
+pub const PINE_SEED_MESSAGES: usize = 3;
+
+/// Messages every standard Mutt boot seeds its mailbox with.
+pub const MUTT_SEED_MESSAGES: usize = 2;
+
+/// A mail file: `(from, subject, body)` triples.
+pub type Mailbox = Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>;
+
+/// The standard Pine seed mailbox, interned so cache-eligibility checks
+/// compare against it without regenerating the workload text per boot.
+pub fn standard_pine_mailbox() -> &'static Mailbox {
+    static MAILBOX: OnceLock<Mailbox> = OnceLock::new();
+    MAILBOX.get_or_init(|| pine::Pine::standard_mailbox(PINE_SEED_MESSAGES))
+}
+
+/// The standard MC configuration, interned like the Pine mailbox.
+pub fn standard_mc_config() -> &'static Vec<u8> {
+    static CONFIG: OnceLock<Vec<u8>> = OnceLock::new();
+    CONFIG.get_or_init(mc::clean_config)
+}
+
+/// A frozen *standard boot* of one server kind under one [`BootSpec`]:
+/// the fully initialised driver state (machine image, init outcome,
+/// driver bookkeeping) captured immediately after boot plus standard
+/// environment replay. Restoring one is byte-identical to re-running
+/// the boot — boots are pure functions of `(image, spec, environment)`
+/// — so the farm, the sweep, and the supervisor restart by restoring
+/// instead of re-interpreting initialization.
+///
+/// A checkpoint of a boot that *dies* (Bounds Check Sendmail's wake-up,
+/// §4.4.4) is cached and restored just the same: the restored process
+/// is dead in exactly the way a fresh boot would be, which is what the
+/// persistent-trigger semantics require.
+pub enum ServerCheckpoint {
+    /// A booted Apache worker.
+    Apache(apache::ApacheCheckpoint),
+    /// A booted (or dead-at-init) Sendmail daemon.
+    Sendmail(sendmail::SendmailCheckpoint),
+    /// A booted Pine reader over the standard mailbox.
+    Pine(pine::PineCheckpoint),
+    /// A booted Mutt reader with the standard seed messages.
+    Mutt(mutt::MuttCheckpoint),
+    /// A booted MC over the clean configuration.
+    Mc(mc::McCheckpoint),
+}
+
+/// Cap on cached checkpoints. A full mode sweep visits hundreds of
+/// distinct specs and each entry holds a whole machine image, so the
+/// cache clears (rather than grows without bound) when it fills; a
+/// cleared entry is rebuilt on the next boot of its cell.
+const CHECKPOINT_CACHE_CAP: usize = 64;
+
+/// The checkpoint cache's storage: one frozen boot per `(kind, spec)`.
+type CheckpointMap = HashMap<(ServerKind, BootSpec), Arc<ServerCheckpoint>>;
+
+fn checkpoint_cache() -> &'static Mutex<CheckpointMap> {
+    static CACHE: OnceLock<Mutex<CheckpointMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The interned standard-boot checkpoint for `(kind, spec)`: performed
+/// at most once per cache generation, then restored by every farm boot,
+/// pool respawn, and supervised restart of that configuration. Sits
+/// directly above [`ServerKind::image`] in the boot stack:
+/// compile → image → **checkpoint** → machine.
+pub fn boot_checkpoint(kind: ServerKind, spec: &BootSpec) -> Arc<ServerCheckpoint> {
+    let key = (kind, *spec);
+    if let Some(hit) = checkpoint_cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    // Boot outside the lock: first boots interpret guest code, and
+    // concurrent first callers of *different* cells must not serialize.
+    // Racing first callers of the same cell build identical snapshots;
+    // `or_insert` publishes one winner.
+    let built = Arc::new(standard_boot(kind, spec));
+    let mut map = checkpoint_cache().lock().unwrap();
+    if map.len() >= CHECKPOINT_CACHE_CAP && !map.contains_key(&key) {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(built))
+}
+
+/// Runs the uncached standard boot for `kind` and freezes it. The
+/// environments here define "standard": they must match what the
+/// drivers' cached `boot_spec` constructors compare against.
+fn standard_boot(kind: ServerKind, spec: &BootSpec) -> ServerCheckpoint {
+    let image = kind.image();
+    match kind {
+        ServerKind::Apache => ServerCheckpoint::Apache(
+            apache::ApacheWorker::from_image_spec(&image, spec).checkpoint(),
+        ),
+        ServerKind::Sendmail => ServerCheckpoint::Sendmail(
+            sendmail::Sendmail::boot_image_spec(&image, spec).checkpoint(),
+        ),
+        ServerKind::Pine => ServerCheckpoint::Pine(
+            pine::Pine::boot_image_spec(&image, spec, standard_pine_mailbox().clone()).checkpoint(),
+        ),
+        ServerKind::Mutt => ServerCheckpoint::Mutt(
+            mutt::Mutt::boot_image_spec(&image, spec, MUTT_SEED_MESSAGES).checkpoint(),
+        ),
+        ServerKind::Mc => ServerCheckpoint::Mc(
+            mc::Mc::boot_image_spec(&image, spec, standard_mc_config()).checkpoint(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +284,34 @@ mod tests {
         for (pos, kind) in ServerKind::ALL.iter().enumerate() {
             assert_eq!(kind.index(), pos);
         }
+    }
+
+    #[test]
+    fn checkpoint_cache_hands_out_one_snapshot_per_cell() {
+        let spec = BootSpec::new(ServerKind::Apache, foc_memory::Mode::FailureOblivious);
+        let a = boot_checkpoint(ServerKind::Apache, &spec);
+        let b = boot_checkpoint(ServerKind::Apache, &spec);
+        assert!(Arc::ptr_eq(&a, &b), "same cell must share one snapshot");
+        // A different axis is a different cell.
+        let c = boot_checkpoint(
+            ServerKind::Apache,
+            &spec.with_table(foc_memory::TableKind::Flat),
+        );
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn dead_standard_boots_are_cached_dead() {
+        // §4.4.4: the Bounds Check Sendmail daemon dies during init;
+        // its checkpoint must capture (and every restore reproduce)
+        // exactly that dead state.
+        let spec = BootSpec::new(ServerKind::Sendmail, foc_memory::Mode::BoundsCheck);
+        let first = sendmail::Sendmail::boot_spec(&spec);
+        let second = sendmail::Sendmail::boot_spec(&spec);
+        assert!(!first.usable() && !second.usable());
+        assert_eq!(
+            first.process().machine().dead_reason(),
+            second.process().machine().dead_reason()
+        );
     }
 }

@@ -120,8 +120,9 @@ impl GuestAddr {
 /// four axes of the mode search-space sweep in one place. `boot_table`
 /// and friends remain as conveniences over the two-axis subset; the
 /// sweep constructs full specs and hands them to the drivers'
-/// `boot_spec` constructors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `boot_spec` constructors. `Hash` because the spec is half of the
+/// boot-checkpoint cache key (see [`image::boot_checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BootSpec {
     /// Access policy.
     pub mode: Mode,
@@ -168,6 +169,23 @@ impl BootSpec {
 /// Cap on pooled scratch buffers per process (a driver never has more
 /// than a handful of request strings in flight at once).
 const SCRATCH_POOL: usize = 4;
+
+/// A frozen [`Process`]: a machine checkpoint plus the boot spec it was
+/// built from. Restoring one yields a process byte-identical to the one
+/// captured — the unit the per-server boot-checkpoint cache stores and
+/// the restart paths restore from.
+#[derive(Clone)]
+pub struct ProcessCheckpoint {
+    machine: foc_vm::Checkpoint,
+    spec: BootSpec,
+}
+
+impl ProcessCheckpoint {
+    /// The boot spec of the captured process.
+    pub fn spec(&self) -> &BootSpec {
+        &self.spec
+    }
+}
 
 /// Shared plumbing: one guest process running a compiled server.
 pub struct Process {
@@ -251,6 +269,28 @@ impl Process {
             Err(e) => panic!("server source failed to build: {e}"),
         };
         Process::boot(&image, mode, fuel)
+    }
+
+    /// Freezes this process's current state (machine plus spec) for
+    /// later restoration. Captured once after a standard boot, a
+    /// checkpoint turns every subsequent supervised restart into a
+    /// memcpy instead of a boot-plus-environment replay.
+    pub fn checkpoint(&self) -> ProcessCheckpoint {
+        ProcessCheckpoint {
+            machine: self.machine.checkpoint(),
+            spec: self.spec,
+        }
+    }
+
+    /// Materialises a fresh process in exactly the captured state (the
+    /// host-side scratch pool starts empty — it never affects guest
+    /// state).
+    pub fn restore(ckpt: &ProcessCheckpoint) -> Process {
+        Process {
+            machine: ckpt.machine.restore(),
+            spec: ckpt.spec,
+            scratch: Vec::new(),
+        }
     }
 
     /// The policy this process runs under.

@@ -21,8 +21,8 @@ use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
-use crate::image::ServerKind;
-use crate::{BootSpec, Measured, Outcome, Process};
+use crate::image::{self, ServerKind};
+use crate::{BootSpec, Measured, Outcome, Process, ProcessCheckpoint};
 
 /// MiniC source of the Midnight Commander model.
 pub const MC_SOURCE: &str = r#"
@@ -202,6 +202,13 @@ pub struct Mc {
     init_outcome: Outcome,
 }
 
+/// A frozen standard (clean-config) boot of MC (see
+/// [`crate::image::boot_checkpoint`]).
+pub struct McCheckpoint {
+    proc: ProcessCheckpoint,
+    init_outcome: Outcome,
+}
+
 /// A config with only well-formed lines.
 pub fn clean_config() -> Vec<u8> {
     b"use_internal_edit=1\nshow_backups=0\npause_after_run=1".to_vec()
@@ -223,12 +230,15 @@ impl Mc {
     /// Boots MC: loads the configuration (which may itself fault) and
     /// populates a working directory.
     pub fn boot(mode: Mode, config: &[u8]) -> Mc {
-        Mc::boot_image(&ServerKind::Mc.image(), mode, config)
+        Mc::boot_spec(&BootSpec::new(ServerKind::Mc, mode), config)
     }
 
     /// Boots MC with an explicit object-table backend.
     pub fn boot_table(mode: Mode, table: TableKind, config: &[u8]) -> Mc {
-        Mc::boot_image_table(&ServerKind::Mc.image(), mode, table, config)
+        Mc::boot_spec(
+            &BootSpec::new(ServerKind::Mc, mode).with_table(table),
+            config,
+        )
     }
 
     /// Boots MC from an explicit compiled image.
@@ -250,9 +260,35 @@ impl Mc {
         )
     }
 
-    /// Boots MC from a full [`BootSpec`] (interned image).
+    /// Boots MC from a full [`BootSpec`] (interned image). The clean
+    /// standard configuration restores from the per-spec boot
+    /// checkpoint; hostile configurations (the §4.5.4 blank line) boot
+    /// fresh — their replay *is* the persistent trigger under study.
     pub fn boot_spec(spec: &BootSpec, config: &[u8]) -> Mc {
+        if config == image::standard_mc_config().as_slice() {
+            let ckpt = image::boot_checkpoint(ServerKind::Mc, spec);
+            let image::ServerCheckpoint::Mc(mc) = ckpt.as_ref() else {
+                unreachable!("MC cache slot holds an MC checkpoint");
+            };
+            return Mc::restore(mc);
+        }
         Mc::boot_image_spec(&ServerKind::Mc.image(), spec, config)
+    }
+
+    /// Freezes this process's state.
+    pub fn checkpoint(&self) -> McCheckpoint {
+        McCheckpoint {
+            proc: self.proc.checkpoint(),
+            init_outcome: self.init_outcome.clone(),
+        }
+    }
+
+    /// Materialises an MC in exactly the captured state.
+    pub fn restore(ckpt: &McCheckpoint) -> Mc {
+        Mc {
+            proc: Process::restore(&ckpt.proc),
+            init_outcome: ckpt.init_outcome.clone(),
+        }
     }
 
     /// Boots MC from an explicit image and a full [`BootSpec`].

@@ -26,8 +26,8 @@ use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
-use crate::image::ServerKind;
-use crate::{BootSpec, Measured, Outcome, Process};
+use crate::image::{self, ServerKind};
+use crate::{BootSpec, Measured, Outcome, Process, ProcessCheckpoint};
 
 /// MiniC source of the Mutt model.
 pub const MUTT_SOURCE: &str = r#"
@@ -237,6 +237,12 @@ pub struct Mutt {
     proc: Process,
 }
 
+/// A frozen standard boot of Mutt (see
+/// [`crate::image::boot_checkpoint`]).
+pub struct MuttCheckpoint {
+    proc: ProcessCheckpoint,
+}
+
 /// A folder name that triggers the Figure 1 overflow: `pairs` repetitions
 /// of a control character followed by a printable one (3× expansion; the
 /// buffer only allows 2×).
@@ -253,12 +259,15 @@ impl Mutt {
     /// Boots Mutt (IMAP folder list, startup allocations) and seeds the
     /// mailbox with `seed_messages` ordinary messages.
     pub fn boot(mode: Mode, seed_messages: usize) -> Mutt {
-        Mutt::boot_image(&ServerKind::Mutt.image(), mode, seed_messages)
+        Mutt::boot_spec(&BootSpec::new(ServerKind::Mutt, mode), seed_messages)
     }
 
     /// Boots Mutt with an explicit object-table backend.
     pub fn boot_table(mode: Mode, table: TableKind, seed_messages: usize) -> Mutt {
-        Mutt::boot_image_table(&ServerKind::Mutt.image(), mode, table, seed_messages)
+        Mutt::boot_spec(
+            &BootSpec::new(ServerKind::Mutt, mode).with_table(table),
+            seed_messages,
+        )
     }
 
     /// Boots Mutt from an explicit compiled image.
@@ -280,9 +289,31 @@ impl Mutt {
         )
     }
 
-    /// Boots Mutt from a full [`BootSpec`] (interned image).
+    /// Boots Mutt from a full [`BootSpec`] (interned image). The
+    /// standard seed count restores from the per-spec boot checkpoint.
     pub fn boot_spec(spec: &BootSpec, seed_messages: usize) -> Mutt {
+        if seed_messages == image::MUTT_SEED_MESSAGES {
+            let ckpt = image::boot_checkpoint(ServerKind::Mutt, spec);
+            let image::ServerCheckpoint::Mutt(mutt) = ckpt.as_ref() else {
+                unreachable!("Mutt cache slot holds a Mutt checkpoint");
+            };
+            return Mutt::restore(mutt);
+        }
         Mutt::boot_image_spec(&ServerKind::Mutt.image(), spec, seed_messages)
+    }
+
+    /// Freezes this reader's state.
+    pub fn checkpoint(&self) -> MuttCheckpoint {
+        MuttCheckpoint {
+            proc: self.proc.checkpoint(),
+        }
+    }
+
+    /// Materialises a reader in exactly the captured state.
+    pub fn restore(ckpt: &MuttCheckpoint) -> Mutt {
+        Mutt {
+            proc: Process::restore(&ckpt.proc),
+        }
     }
 
     /// Boots Mutt from an explicit image and a full [`BootSpec`].

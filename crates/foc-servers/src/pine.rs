@@ -20,13 +20,15 @@
 //!   shows only an initial segment); selecting the message takes a
 //!   different, correct path that displays the complete From field.
 
+use std::sync::Arc;
+
 use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
-use crate::image::ServerKind;
+use crate::image::{self, ServerKind};
 use crate::workload;
-use crate::{BootSpec, Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process, ProcessCheckpoint};
 
 /// MiniC source of the Pine model.
 pub const PINE_SOURCE: &str = r#"
@@ -214,6 +216,25 @@ pub struct Pine {
     mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
     /// Outcome of the initial index build (the init-time vulnerability).
     init_outcome: Outcome,
+    /// Snapshot of the process after `pine_init` plus the boot-time
+    /// mailbox adds, taken *before* the index build: the restart base.
+    /// A restart restores it and replays only the messages delivered
+    /// since boot plus the index build — the exact call sequence a
+    /// from-scratch boot performs, so the restarted reader is
+    /// byte-identical to one that re-read the whole mail file, at
+    /// O(delta) instead of O(mailbox) cost.
+    restart_base: Option<Arc<ProcessCheckpoint>>,
+    /// Messages of `mailbox` already loaded in `restart_base`.
+    base_messages: usize,
+}
+
+/// A frozen standard boot of Pine (see [`crate::image::boot_checkpoint`]).
+pub struct PineCheckpoint {
+    booted: ProcessCheckpoint,
+    init_outcome: Outcome,
+    mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
+    restart_base: Option<Arc<ProcessCheckpoint>>,
+    base_messages: usize,
 }
 
 /// A From field that triggers the quoting overflow: `quoted` characters
@@ -224,9 +245,10 @@ pub fn attack_from(quoted: usize) -> Vec<u8> {
 
 impl Pine {
     /// Boots Pine from the interned image over the given mail file
-    /// contents.
+    /// contents (checkpoint-cached when the mail file is the standard
+    /// seed mailbox).
     pub fn boot(mode: Mode, mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Pine {
-        Pine::boot_image(&ServerKind::Pine.image(), mode, mailbox)
+        Pine::boot_spec(&BootSpec::new(ServerKind::Pine, mode), mailbox)
     }
 
     /// Boots Pine with an explicit object-table backend.
@@ -235,7 +257,10 @@ impl Pine {
         table: TableKind,
         mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
     ) -> Pine {
-        Pine::boot_image_table(&ServerKind::Pine.image(), mode, table, mailbox)
+        Pine::boot_spec(
+            &BootSpec::new(ServerKind::Pine, mode).with_table(table),
+            mailbox,
+        )
     }
 
     /// Boots Pine from an explicit compiled image.
@@ -261,12 +286,23 @@ impl Pine {
         )
     }
 
-    /// Boots Pine from a full [`BootSpec`] (interned image).
+    /// Boots Pine from a full [`BootSpec`] (interned image). The
+    /// standard seed mailbox restores from the per-spec boot-checkpoint
+    /// cache instead of replaying initialization.
     pub fn boot_spec(spec: &BootSpec, mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Pine {
+        if &mailbox == image::standard_pine_mailbox() {
+            let ckpt = image::boot_checkpoint(ServerKind::Pine, spec);
+            let image::ServerCheckpoint::Pine(pine) = ckpt.as_ref() else {
+                unreachable!("Pine cache slot holds a Pine checkpoint");
+            };
+            return Pine::restore(pine);
+        }
         Pine::boot_image_spec(&ServerKind::Pine.image(), spec, mailbox)
     }
 
-    /// Boots Pine from an explicit image and a full [`BootSpec`].
+    /// Boots Pine from an explicit image and a full [`BootSpec`],
+    /// bypassing the checkpoint cache (the cache's own fill path, and
+    /// the differential baseline the equivalence tests compare against).
     pub fn boot_image_spec(
         image: &ProgramImage,
         spec: &BootSpec,
@@ -282,9 +318,34 @@ impl Pine {
                 ret: -99,
                 output: Vec::new(),
             },
+            restart_base: None,
+            base_messages: 0,
         };
         pine.load_mailbox();
         pine
+    }
+
+    /// Freezes this reader's full state (see
+    /// [`crate::image::boot_checkpoint`]).
+    pub fn checkpoint(&self) -> PineCheckpoint {
+        PineCheckpoint {
+            booted: self.proc.checkpoint(),
+            init_outcome: self.init_outcome.clone(),
+            mailbox: self.mailbox.clone(),
+            restart_base: self.restart_base.clone(),
+            base_messages: self.base_messages,
+        }
+    }
+
+    /// Materialises a reader in exactly the captured state.
+    pub fn restore(ckpt: &PineCheckpoint) -> Pine {
+        Pine {
+            proc: Process::restore(&ckpt.booted),
+            mailbox: ckpt.mailbox.clone(),
+            init_outcome: ckpt.init_outcome.clone(),
+            restart_base: ckpt.restart_base.clone(),
+            base_messages: ckpt.base_messages,
+        }
     }
 
     /// A standard mailbox of `n` ordinary messages.
@@ -301,22 +362,43 @@ impl Pine {
     }
 
     fn load_mailbox(&mut self) {
-        for (from, subject, body) in self.mailbox.clone() {
-            if self.proc.is_dead() {
+        self.add_messages(0);
+        // Freeze the pre-index state: `pine_init` plus every boot-time
+        // add is captured here, so restarts restore this base and replay
+        // only the delta (messages delivered after boot) before the
+        // index build — the same call sequence as a fresh boot.
+        if !self.proc.is_dead() {
+            self.restart_base = Some(Arc::new(self.proc.checkpoint()));
+            self.base_messages = self.mailbox.len();
+        }
+        self.finish_index();
+    }
+
+    /// Feeds `mailbox[from..]` to the running process in order,
+    /// stopping early if the process dies mid-replay.
+    fn add_messages(&mut self, from: usize) {
+        // Split borrows: the mail file is read-only while the process
+        // consumes it, so no clone of the message bodies is needed.
+        let Pine { proc, mailbox, .. } = self;
+        for (from_f, subject, body) in &mailbox[from..] {
+            if proc.is_dead() {
                 break;
             }
-            let f = self.proc.guest_str(&from);
-            let s = self.proc.guest_str(&subject);
-            let b = self.proc.guest_str(&body);
-            let r = self
-                .proc
-                .request("pine_add_message", &[f.arg(), s.arg(), b.arg()]);
+            let f = proc.guest_str(from_f);
+            let s = proc.guest_str(subject);
+            let b = proc.guest_str(body);
+            let r = proc.request("pine_add_message", &[f.arg(), s.arg(), b.arg()]);
             if r.outcome.survived() {
                 for p in [f, s, b] {
-                    self.proc.free_guest_str(p);
+                    proc.free_guest_str(p);
                 }
             }
         }
+    }
+
+    /// Runs the index build (the init-time vulnerability) and records
+    /// how initialization went.
+    fn finish_index(&mut self) {
         self.init_outcome = if self.proc.is_dead() {
             Outcome::Crashed(
                 self.proc
@@ -402,7 +484,21 @@ impl Pine {
     /// Restarts the process and replays the mail file — the §4.7 point:
     /// when the bad message is *in the mailbox*, restarting just dies
     /// again during initialization.
+    ///
+    /// The replay restores the pre-index restart base (init plus the
+    /// boot-time mailbox, frozen at boot) and re-runs only the messages
+    /// delivered since, then the index build — byte-identical to a
+    /// from-scratch boot over the current mail file, but O(1) in the
+    /// boot-time environment.
     pub fn restart(&mut self) {
+        if let Some(base) = self.restart_base.clone() {
+            self.proc = Process::restore(&base);
+            self.add_messages(self.base_messages);
+            self.finish_index();
+            return;
+        }
+        // No base (the boot itself died mid-replay): a full reboot is
+        // the only faithful replay.
         let mailbox = self.mailbox.clone();
         let spec = *self.proc.spec();
         *self = Pine::boot_spec(&spec, mailbox);

@@ -28,9 +28,9 @@ use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind};
 use foc_vm::VmFault;
 
-use crate::image::ServerKind;
+use crate::image::{self, ServerKind};
 use crate::workload;
-use crate::{BootSpec, Measured, Outcome, Process};
+use crate::{BootSpec, Measured, Outcome, Process, ProcessCheckpoint};
 
 /// MiniC source of the Sendmail model.
 pub const SENDMAIL_SOURCE: &str = r#"
@@ -235,6 +235,14 @@ pub struct Sendmail {
     init_outcome: Outcome,
 }
 
+/// A frozen standard boot of the Sendmail daemon (see
+/// [`crate::image::boot_checkpoint`]). Dead-at-init boots (the §4.4.4
+/// Bounds Check daemon) checkpoint and restore faithfully dead.
+pub struct SendmailCheckpoint {
+    proc: ProcessCheckpoint,
+    init_outcome: Outcome,
+}
+
 /// The §4.4 attack address: alternating `\` and `0xFF` bytes.
 pub fn attack_address(pairs: usize) -> Vec<u8> {
     workload::sendmail_attack_address(pairs)
@@ -244,12 +252,12 @@ impl Sendmail {
     /// Boots the daemon from the interned image: the first wake-up
     /// happens during init.
     pub fn boot(mode: Mode) -> Sendmail {
-        Sendmail::boot_image(&ServerKind::Sendmail.image(), mode)
+        Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode))
     }
 
     /// Boots the daemon with an explicit object-table backend.
     pub fn boot_table(mode: Mode, table: TableKind) -> Sendmail {
-        Sendmail::boot_image_table(&ServerKind::Sendmail.image(), mode, table)
+        Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode).with_table(table))
     }
 
     /// Boots the daemon from an explicit compiled image.
@@ -265,9 +273,31 @@ impl Sendmail {
         )
     }
 
-    /// Boots the daemon from a full [`BootSpec`] (interned image).
+    /// Boots the daemon from a full [`BootSpec`]: restored from the
+    /// per-spec boot checkpoint, so supervised restarts of the daemon
+    /// never re-interpret the wake-up path.
     pub fn boot_spec(spec: &BootSpec) -> Sendmail {
-        Sendmail::boot_image_spec(&ServerKind::Sendmail.image(), spec)
+        let ckpt = image::boot_checkpoint(ServerKind::Sendmail, spec);
+        let image::ServerCheckpoint::Sendmail(daemon) = ckpt.as_ref() else {
+            unreachable!("Sendmail cache slot holds a Sendmail checkpoint");
+        };
+        Sendmail::restore(daemon)
+    }
+
+    /// Freezes this daemon's state.
+    pub fn checkpoint(&self) -> SendmailCheckpoint {
+        SendmailCheckpoint {
+            proc: self.proc.checkpoint(),
+            init_outcome: self.init_outcome.clone(),
+        }
+    }
+
+    /// Materialises a daemon in exactly the captured state.
+    pub fn restore(ckpt: &SendmailCheckpoint) -> Sendmail {
+        Sendmail {
+            proc: Process::restore(&ckpt.proc),
+            init_outcome: ckpt.init_outcome.clone(),
+        }
     }
 
     /// Boots the daemon from an explicit image and a full [`BootSpec`].

@@ -246,6 +246,21 @@ impl SweepGrid {
         }
     }
 
+    /// Extra pinned cells the CI gate runs beyond [`SweepGrid::pinned`]:
+    /// the constant-1 failure-oblivious cell, whose MC `'/'`-scan is the
+    /// §3 manufactured-value loop that runs to fuel-out — it drives the
+    /// batched violation path (log append + manufacture per iteration)
+    /// hundreds of thousands of times, so the gate proves the fast path
+    /// is transcript-invisible under exactly the storm it accelerates.
+    pub fn pinned_extra_cells() -> Vec<CellSpec> {
+        vec![CellSpec {
+            mode: Mode::FailureOblivious,
+            sequence: ValueSequence::Constant(1),
+            fuel: FuelBudget::Tight,
+            table: TableKind::Splay,
+        }]
+    }
+
     /// All cells of the grid, in canonical order.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
@@ -990,6 +1005,13 @@ mod tests {
         let full = SweepGrid::full().cells();
         for cell in SweepGrid::pinned().cells() {
             assert!(full.contains(&cell), "{} not in full grid", cell.label());
+        }
+        // The extra gate cells must also exist in the committed matrix
+        // (i.e. the full grid) and not duplicate the pinned sub-grid.
+        let pinned = SweepGrid::pinned().cells();
+        for cell in SweepGrid::pinned_extra_cells() {
+            assert!(full.contains(&cell), "{} not in full grid", cell.label());
+            assert!(!pinned.contains(&cell), "{} already pinned", cell.label());
         }
     }
 

@@ -22,9 +22,11 @@
 //!   hanging the host.
 
 pub mod builtins;
+pub mod checkpoint;
 pub mod cost;
 pub mod fault;
 pub mod machine;
 
+pub use checkpoint::Checkpoint;
 pub use fault::VmFault;
 pub use machine::{Machine, MachineConfig, RunStats};

@@ -74,7 +74,7 @@ pub struct RunStats {
 }
 
 /// An active call frame.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     func: u32,
     pc: u32,
@@ -88,6 +88,12 @@ struct Frame {
 /// further call fails with [`VmFault::MachineDead`] — restarting means
 /// building a fresh machine, losing all in-memory state, exactly like the
 /// process restarts discussed in §4.7 of the paper.
+///
+/// `Clone` snapshots the whole process image (memory space, evaluation
+/// stack, I/O queues, counters); [`crate::Checkpoint`] freezes such a
+/// snapshot so supervised restarts can restore a booted machine instead
+/// of re-running boot and environment replay.
+#[derive(Clone)]
 pub struct Machine {
     program: ProgramImage,
     space: MemorySpace,
@@ -261,18 +267,97 @@ impl Machine {
 
     fn run_call(&mut self, fid: u32, args: &[i64]) -> Result<i64, VmFault> {
         self.enter(fid, args)?;
-        loop {
-            let depth = self.frames.len();
-            let frame = self.frames.last().expect("active frame");
-            let func = frame.func;
-            let pc = frame.pc;
-            let instr = self.program.funcs[func as usize].code[pc as usize];
-            self.frames.last_mut().expect("active frame").pc = pc + 1;
+        // Dispatch tightening: the hot interpreter state — current
+        // function, program counter, code slice, frame base, and fuel —
+        // lives in locals for the whole loop instead of being re-read
+        // from (and written back to) `self.frames.last()` on every
+        // instruction. The image handle is `Arc`-backed, so cloning it
+        // pins a borrowable copy of the code independent of `&mut self`.
+        // The frame's architectural `pc` (and `self.fuel`) are synced at
+        // exactly the points where anything can observe them: guest
+        // memory ops receive the context directly, builtin dispatch and
+        // calls write the frame back, and every fault return syncs
+        // before unwinding. Observable accounting (fuel, instruction and
+        // cycle counts, log contexts) is bit-identical to per-step
+        // bookkeeping.
+        let program = self.program.clone();
+        let mut func = fid;
+        let mut code: &[Instr] = &program.funcs[func as usize].code;
+        let mut base = self.frames.last().expect("active frame").frame_base;
+        let mut pc: u32 = 0;
+        let mut fuel = self.fuel;
 
-            if self.fuel == 0 {
-                return Err(VmFault::FuelExhausted);
+        // Writes the cached `pc`/`fuel` back to the architectural state.
+        macro_rules! sync {
+            () => {{
+                self.fuel = fuel;
+                self.frames.last_mut().expect("active frame").pc = pc;
+            }};
+        }
+        // Syncs and returns the fault.
+        macro_rules! fail {
+            ($e:expr) => {{
+                sync!();
+                return Err($e);
+            }};
+        }
+        // `?` with the cached state written back on the error path.
+        macro_rules! try_vm {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => fail!(e.into()),
+                }
+            };
+        }
+        // Compare handler with a fused conditional-branch peephole: a
+        // comparison followed by `JumpIfZero`/`JumpIfNotZero` — the
+        // loop-condition pair every scan loop executes per iteration —
+        // branches directly on the flag instead of pushing, re-popping,
+        // and re-dispatching. The fused path charges the second
+        // instruction exactly as a separate dispatch would (one fuel,
+        // one instruction, one base cycle), and falls back to the plain
+        // push when the next instruction is not a branch or fuel is
+        // exhausted (so fuel-out still lands *on* the branch, as it
+        // does unfused).
+        macro_rules! cmp_arm {
+            ($cond:expr) => {{
+                let b = self.pop();
+                let a = self.pop();
+                #[allow(clippy::redundant_closure_call)]
+                let cond: bool = $cond(a, b);
+                match code[pc as usize] {
+                    Instr::JumpIfZero(t) if fuel > 0 => {
+                        pc += 1;
+                        fuel -= 1;
+                        self.stats.instrs += 1;
+                        self.stats.cycles += cost::BASE;
+                        if !cond {
+                            pc = t;
+                        }
+                    }
+                    Instr::JumpIfNotZero(t) if fuel > 0 => {
+                        pc += 1;
+                        fuel -= 1;
+                        self.stats.instrs += 1;
+                        self.stats.cycles += cost::BASE;
+                        if cond {
+                            pc = t;
+                        }
+                    }
+                    _ => self.stack.push(cond as i64),
+                }
+            }};
+        }
+
+        loop {
+            let instr = code[pc as usize];
+            pc += 1;
+
+            if fuel == 0 {
+                fail!(VmFault::FuelExhausted);
             }
-            self.fuel -= 1;
+            fuel -= 1;
             self.stats.instrs += 1;
             self.stats.cycles += cost::BASE;
 
@@ -298,7 +383,6 @@ impl Machine {
                     self.stack[n - 1] = a;
                 }
                 Instr::LocalAddr(off) => {
-                    let base = self.frames.last().expect("frame").frame_base;
                     self.stack.push((base + off as u64) as i64);
                 }
                 Instr::GlobalAddr(i) => {
@@ -309,16 +393,17 @@ impl Machine {
                 }
                 Instr::Load(size, signed) => {
                     let addr = self.pop() as u64;
-                    let raw = self.g_load(addr, size)?;
+                    let ctx = AccessCtx { func, pc };
+                    let raw = try_vm!(self.g_load_at(addr, size, ctx));
                     self.stack.push(extend(raw, size, signed));
                 }
                 Instr::Store(size) => {
                     let addr = self.pop() as u64;
                     let value = self.pop();
-                    self.g_store(addr, size, value as u64)?;
+                    let ctx = AccessCtx { func, pc };
+                    try_vm!(self.g_store_at(addr, size, value as u64, ctx));
                 }
                 Instr::LoadLocal(off, size, signed) => {
-                    let base = self.frames.last().expect("frame").frame_base;
                     let raw = self
                         .space
                         .read_raw(base + off as u64, size)
@@ -327,7 +412,6 @@ impl Machine {
                 }
                 Instr::StoreLocal(off, size) => {
                     let value = self.pop();
-                    let base = self.frames.last().expect("frame").frame_base;
                     let ok = self.space.write_raw(base + off as u64, size, value as u64);
                     debug_assert!(ok, "local slot is mapped");
                 }
@@ -338,7 +422,7 @@ impl Machine {
                     let b = self.pop();
                     let a = self.pop();
                     if b == 0 {
-                        return Err(VmFault::DivideByZero);
+                        fail!(VmFault::DivideByZero);
                     }
                     self.stack.push(a.overflowing_div(b).0);
                 }
@@ -346,7 +430,7 @@ impl Machine {
                     let b = self.pop() as u64;
                     let a = self.pop() as u64;
                     if b == 0 {
-                        return Err(VmFault::DivideByZero);
+                        fail!(VmFault::DivideByZero);
                     }
                     self.stack.push((a / b) as i64);
                 }
@@ -354,7 +438,7 @@ impl Machine {
                     let b = self.pop();
                     let a = self.pop();
                     if b == 0 {
-                        return Err(VmFault::DivideByZero);
+                        fail!(VmFault::DivideByZero);
                     }
                     self.stack.push(a.overflowing_rem(b).0);
                 }
@@ -362,7 +446,7 @@ impl Machine {
                     let b = self.pop() as u64;
                     let a = self.pop() as u64;
                     if b == 0 {
-                        return Err(VmFault::DivideByZero);
+                        fail!(VmFault::DivideByZero);
                     }
                     self.stack.push((a % b) as i64);
                 }
@@ -372,16 +456,16 @@ impl Machine {
                 Instr::Shl => self.bin(|a, b| a.wrapping_shl(b as u32 & 63)),
                 Instr::ShrS => self.bin(|a, b| a.wrapping_shr(b as u32 & 63)),
                 Instr::ShrU => self.bin(|a, b| ((a as u64).wrapping_shr(b as u32 & 63)) as i64),
-                Instr::Eq => self.bin(|a, b| (a == b) as i64),
-                Instr::Ne => self.bin(|a, b| (a != b) as i64),
-                Instr::LtS => self.bin(|a, b| (a < b) as i64),
-                Instr::LeS => self.bin(|a, b| (a <= b) as i64),
-                Instr::GtS => self.bin(|a, b| (a > b) as i64),
-                Instr::GeS => self.bin(|a, b| (a >= b) as i64),
-                Instr::LtU => self.bin(|a, b| ((a as u64) < b as u64) as i64),
-                Instr::LeU => self.bin(|a, b| (a as u64 <= b as u64) as i64),
-                Instr::GtU => self.bin(|a, b| (a as u64 > b as u64) as i64),
-                Instr::GeU => self.bin(|a, b| (a as u64 >= b as u64) as i64),
+                Instr::Eq => cmp_arm!(|a: i64, b: i64| a == b),
+                Instr::Ne => cmp_arm!(|a: i64, b: i64| a != b),
+                Instr::LtS => cmp_arm!(|a: i64, b: i64| a < b),
+                Instr::LeS => cmp_arm!(|a: i64, b: i64| a <= b),
+                Instr::GtS => cmp_arm!(|a: i64, b: i64| a > b),
+                Instr::GeS => cmp_arm!(|a: i64, b: i64| a >= b),
+                Instr::LtU => cmp_arm!(|a: i64, b: i64| (a as u64) < b as u64),
+                Instr::LeU => cmp_arm!(|a: i64, b: i64| a as u64 <= b as u64),
+                Instr::GtU => cmp_arm!(|a: i64, b: i64| a as u64 > b as u64),
+                Instr::GeU => cmp_arm!(|a: i64, b: i64| a as u64 >= b as u64),
                 Instr::Neg => {
                     let v = self.pop();
                     self.stack.push(v.wrapping_neg());
@@ -420,37 +504,52 @@ impl Machine {
                     self.stack.push(l.wrapping_sub(r) / esz.max(1) as i64);
                 }
                 Instr::Jump(t) => {
-                    self.frames.last_mut().expect("frame").pc = t;
+                    pc = t;
                 }
                 Instr::JumpIfZero(t) => {
                     if self.pop() == 0 {
-                        self.frames.last_mut().expect("frame").pc = t;
+                        pc = t;
                     }
                 }
                 Instr::JumpIfNotZero(t) => {
                     if self.pop() != 0 {
-                        self.frames.last_mut().expect("frame").pc = t;
+                        pc = t;
                     }
                 }
                 Instr::Call(callee) => {
-                    let arity = self.program.funcs[callee as usize].param_count;
+                    let arity = program.funcs[callee as usize].param_count;
                     let split = self.stack.len() - arity;
                     let args: Vec<i64> = self.stack.split_off(split);
-                    self.enter(callee, &args)?;
+                    sync!();
+                    try_vm!(self.enter(callee, &args));
+                    func = callee;
+                    code = &program.funcs[func as usize].code;
+                    base = self.frames.last().expect("active frame").frame_base;
+                    pc = 0;
                 }
                 Instr::CallBuiltin(b) => {
-                    let result = builtins::dispatch(self, b)?;
+                    // Builtins observe and charge the architectural
+                    // state (fuel via `charge`, context via `ctx`).
+                    sync!();
+                    let result = try_vm!(builtins::dispatch(self, b));
+                    fuel = self.fuel;
                     self.stack.push(result);
                 }
                 Instr::Ret => {
                     let ret = self.pop();
-                    self.space.pop_frame()?;
-                    let fr = self.frames.pop().expect("frame");
+                    try_vm!(self.space.pop_frame());
+                    let fr = self.frames.pop().expect("active frame");
                     self.stack.truncate(fr.stack_floor);
-                    if depth == 1 {
+                    if self.frames.is_empty() {
+                        self.fuel = fuel;
                         return Ok(ret);
                     }
                     self.stack.push(ret);
+                    let caller = self.frames.last().expect("active frame");
+                    func = caller.func;
+                    pc = caller.pc;
+                    base = caller.frame_base;
+                    code = &program.funcs[func as usize].code;
                 }
             }
         }
@@ -525,12 +624,26 @@ impl Machine {
     // Guest-semantic accesses (shared with builtins).
     // ------------------------------------------------------------------
 
-    /// Checked guest load (policy applies), charging cycles.
+    /// Checked guest load (policy applies), charging cycles. Context
+    /// comes from the architectural frame — the builtins' entry point;
+    /// the dispatch loop passes its cached context to
+    /// [`Machine::g_load_at`] directly.
     pub(crate) fn g_load(&mut self, addr: u64, size: AccessSize) -> Result<u64, VmFault> {
+        let ctx = self.ctx();
+        self.g_load_at(addr, size, ctx)
+    }
+
+    /// Checked guest load with an explicit access context.
+    #[inline]
+    pub(crate) fn g_load_at(
+        &mut self,
+        addr: u64,
+        size: AccessSize,
+        ctx: AccessCtx,
+    ) -> Result<u64, VmFault> {
         if self.checked {
             self.stats.cycles += cost::MEM_CHECK_EXTRA;
         }
-        let ctx = self.ctx();
         let out = self.space.load(addr, size, ctx)?;
         if out.violation {
             self.stats.cycles += cost::VIOLATION_EXTRA;
@@ -538,17 +651,30 @@ impl Machine {
         Ok(out.value)
     }
 
-    /// Checked guest store (policy applies), charging cycles.
+    /// Checked guest store (policy applies), charging cycles. See
+    /// [`Machine::g_load`] for the context split.
     pub(crate) fn g_store(
         &mut self,
         addr: u64,
         size: AccessSize,
         value: u64,
     ) -> Result<(), VmFault> {
+        let ctx = self.ctx();
+        self.g_store_at(addr, size, value, ctx)
+    }
+
+    /// Checked guest store with an explicit access context.
+    #[inline]
+    pub(crate) fn g_store_at(
+        &mut self,
+        addr: u64,
+        size: AccessSize,
+        value: u64,
+        ctx: AccessCtx,
+    ) -> Result<(), VmFault> {
         if self.checked {
             self.stats.cycles += cost::MEM_CHECK_EXTRA;
         }
-        let ctx = self.ctx();
         let out = self.space.store(addr, size, value, ctx)?;
         if out.violation {
             self.stats.cycles += cost::VIOLATION_EXTRA;

@@ -1,0 +1,284 @@
+//! The batched violation path against the seed's eager path.
+//!
+//! The violation fast path batches memory-error-log bookkeeping: the
+//! log buffer is append-only scratch that reclaims its logically
+//! evicted prefix in capacity-sized drains instead of paying one
+//! `remove(0)` memmove per violation. The contract under test is that
+//! the batching is **observation-invisible**:
+//!
+//! 1. an [`EagerLog`] — the seed implementation, kept here verbatim as
+//!    the reference — fed the same storm reports the exact same
+//!    retained records, totals, and drop counts at every interleaved
+//!    read point;
+//! 2. a [`MemorySpace`] driven through an interleaved load/store/free
+//!    violation storm produces the same [`SpaceStats`], the same
+//!    manufactured values (the `ValueSequence` position never shifts),
+//!    and a retained log window equal to the tail of the
+//!    unbounded-capacity ground truth, whatever the retention capacity;
+//! 3. properties 1–2 hold across sequence kinds and log capacities
+//!    (proptest).
+
+use proptest::prelude::*;
+
+use failure_oblivious::memory::{
+    AccessCtx, AccessSize, ErrorKind, MemConfig, MemoryErrorLog, MemoryErrorRecord, MemorySpace,
+    Mode, UnitId, ValueSequence,
+};
+
+const CTX: AccessCtx = AccessCtx { func: 3, pc: 17 };
+
+// ---------------------------------------------------------------------
+// The eager reference: the seed's log, one eviction per append.
+// ---------------------------------------------------------------------
+
+/// The seed tree's `MemoryErrorLog`, preserved as the differential
+/// reference: eager eviction (`Vec::remove(0)`) on every append once
+/// the retention capacity is reached.
+struct EagerLog {
+    records: Vec<MemoryErrorRecord>,
+    capacity: usize,
+    dropped: u64,
+    next_seq: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl EagerLog {
+    fn new(capacity: usize) -> EagerLog {
+        EagerLog {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+            next_seq: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        kind: ErrorKind,
+        addr: u64,
+        size: AccessSize,
+        referent: Option<UnitId>,
+        offset: Option<i64>,
+        func: u32,
+        pc: u32,
+    ) {
+        if kind.is_read() {
+            self.reads += 1;
+        } else {
+            self.writes += 1;
+        }
+        let rec = MemoryErrorRecord {
+            seq: self.next_seq,
+            kind,
+            addr,
+            size,
+            referent,
+            offset,
+            func,
+            pc,
+        };
+        self.next_seq += 1;
+        if self.records.len() == self.capacity {
+            if self.capacity == 0 {
+                self.dropped += 1;
+                return;
+            }
+            self.records.remove(0);
+            self.dropped += 1;
+        }
+        self.records.push(rec);
+    }
+}
+
+/// Asserts every observable of the batched log equals the eager
+/// reference's.
+fn assert_logs_agree(batched: &MemoryErrorLog, eager: &EagerLog, at: &str) {
+    assert_eq!(batched.total(), eager.next_seq, "{at}: total");
+    assert_eq!(batched.total_reads(), eager.reads, "{at}: reads");
+    assert_eq!(batched.total_writes(), eager.writes, "{at}: writes");
+    assert_eq!(batched.dropped(), eager.dropped, "{at}: dropped");
+    assert_eq!(batched.records(), &eager.records[..], "{at}: records");
+}
+
+/// One synthetic storm op, derived from a seed stream.
+fn storm_op(i: u64, seed: u64) -> (ErrorKind, u64, AccessSize) {
+    let x = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let kind = match x % 5 {
+        0 => ErrorKind::InvalidRead,
+        1 => ErrorKind::InvalidWrite,
+        2 => ErrorKind::DanglingRead,
+        3 => ErrorKind::DanglingWrite,
+        _ => ErrorKind::InvalidFree,
+    };
+    let size = match (x >> 8) % 4 {
+        0 => AccessSize::B1,
+        1 => AccessSize::B2,
+        2 => AccessSize::B4,
+        _ => AccessSize::B8,
+    };
+    (kind, 0x1000 + (x >> 16) % 4096, size)
+}
+
+/// Feeds `ops` identical records to both logs, comparing at every
+/// `read_every`-th op (interleaved reads are exactly where deferred
+/// bookkeeping could leak).
+fn drive_both(capacity: usize, ops: u64, read_every: u64, seed: u64) {
+    let mut batched = MemoryErrorLog::new(capacity);
+    let mut eager = EagerLog::new(capacity);
+    for i in 0..ops {
+        let (kind, addr, size) = storm_op(i, seed);
+        let referent = ((i % 3) == 0).then_some(UnitId(i as u32));
+        let offset = ((i % 3) == 0).then_some(i as i64 - 8);
+        batched.record(kind, addr, size, referent, offset, i as u32, (i * 7) as u32);
+        eager.record(kind, addr, size, referent, offset, i as u32, (i * 7) as u32);
+        if read_every > 0 && i % read_every == 0 {
+            assert_logs_agree(&batched, &eager, &format!("op {i}"));
+        }
+    }
+    assert_logs_agree(&batched, &eager, "end of storm");
+    batched.clear();
+    let mut cleared = EagerLog::new(capacity);
+    std::mem::swap(&mut eager, &mut cleared);
+    assert_logs_agree(&batched, &eager, "after clear");
+}
+
+#[test]
+fn batched_log_matches_eager_reference_across_regimes() {
+    // Under, at, just over, and far over capacity; zero capacity; and a
+    // capacity small enough that compaction happens many times.
+    for (capacity, ops) in [
+        (16, 10),
+        (16, 16),
+        (16, 17),
+        (16, 1000),
+        (0, 64),
+        (1, 100),
+        (4096, 10_000),
+    ] {
+        drive_both(capacity, ops, 7, 0xF0C);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Space-level storms: stats, manufactured values, retained window.
+// ---------------------------------------------------------------------
+
+/// Runs an interleaved load/store/free violation storm and returns the
+/// observable trace: manufactured read values, plus the final space.
+fn run_storm(
+    mode: Mode,
+    sequence: ValueSequence,
+    log_capacity: usize,
+    ops: u64,
+    seed: u64,
+) -> (Vec<u64>, MemorySpace) {
+    let mut s = MemorySpace::new(MemConfig {
+        mode,
+        global_len: 64 << 10,
+        heap_len: 256 << 10,
+        stack_len: 64 << 10,
+        sequence,
+        log_capacity,
+        ..MemConfig::default()
+    });
+    let live = s.malloc(32).expect("arena block");
+    let oob = s.ptr_add(live, 64);
+    let freed = s.malloc(16).expect("victim block");
+    s.free(freed, CTX).expect("free");
+    let mut values = Vec::new();
+    for i in 0..ops {
+        let (_, _, size) = storm_op(i, seed);
+        match i % 4 {
+            0 => {
+                let r = s.load(oob, size, CTX).expect("continuing mode");
+                assert!(r.violation);
+                values.push(r.value);
+            }
+            1 => {
+                let w = s.store(oob, size, i, CTX).expect("continuing mode");
+                assert!(w.violation);
+            }
+            2 => {
+                // Dangling access through the freed block.
+                let r = s.load(freed, size, CTX).expect("continuing mode");
+                assert!(r.violation);
+                values.push(r.value);
+            }
+            _ => {
+                // Invalid free (not a live heap base): logged, discarded.
+                s.free(live + 4, CTX).expect("continuing mode");
+            }
+        }
+    }
+    (values, s)
+}
+
+/// The storm's observables must be independent of the log capacity:
+/// same manufactured values (ValueSequence positions), same stats, and
+/// a retained window equal to the tail of the unbounded ground truth.
+fn assert_capacity_invisible(mode: Mode, sequence: ValueSequence, capacity: usize, ops: u64) {
+    let seed = 0xFEED ^ ops;
+    let (truth_values, truth) = run_storm(mode, sequence, usize::MAX >> 8, ops, seed);
+    let (values, s) = run_storm(mode, sequence, capacity, ops, seed);
+    assert_eq!(values, truth_values, "manufactured values shifted");
+    assert_eq!(s.stats(), truth.stats(), "space stats diverged");
+    let full = truth.error_log().records();
+    let kept = s.error_log().records();
+    assert_eq!(s.error_log().total(), truth.error_log().total());
+    assert_eq!(s.error_log().total_reads(), truth.error_log().total_reads());
+    assert_eq!(
+        s.error_log().total_writes(),
+        truth.error_log().total_writes()
+    );
+    assert_eq!(kept.len(), full.len().min(capacity));
+    assert_eq!(kept, &full[full.len() - kept.len()..], "retained window");
+    assert_eq!(
+        s.error_log().dropped(),
+        (full.len() - kept.len()) as u64,
+        "drop count"
+    );
+}
+
+#[test]
+fn violation_storms_are_log_capacity_invisible() {
+    for mode in [Mode::FailureOblivious, Mode::Boundless, Mode::Redirect] {
+        assert_capacity_invisible(mode, ValueSequence::default(), 32, 500);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_batched_log_matches_eager(
+        capacity in 0usize..70,
+        ops in 1u64..600,
+        read_every in 1u64..13,
+        seed in 0u64..1u64 << 48,
+    ) {
+        drive_both(capacity, ops, read_every, seed);
+    }
+
+    #[test]
+    fn prop_storms_invisible_across_sequences_and_capacities(
+        seq_pick in 0u8..5,
+        capacity in 1usize..90,
+        ops in 1u64..400,
+    ) {
+        let sequence = match seq_pick {
+            0 => ValueSequence::Zero,
+            1 => ValueSequence::Constant(1),
+            2 => ValueSequence::Cycling { wrap: 2 },
+            3 => ValueSequence::Cycling { wrap: 8 },
+            _ => ValueSequence::Cycling { wrap: 256 },
+        };
+        assert_capacity_invisible(Mode::FailureOblivious, sequence, capacity, ops);
+    }
+}
