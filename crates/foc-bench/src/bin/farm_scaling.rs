@@ -125,7 +125,7 @@ fn run_check() -> Result<(), String> {
     let violation = measure_violation_throughput(2);
     let stress = stress_sweep(4, 3, 1, &foc_memory::TableKind::ALL)?;
     let churn = measure_unit_churn(16, 2);
-    let restart_rows = vec![restart_cost_row_json(&restart, &violation)];
+    let restart_rows = vec![restart_cost_row_json(&restart, &violation, "check")];
     let json = render_farm_json(
         &reports,
         &scaling,
@@ -133,6 +133,7 @@ fn run_check() -> Result<(), String> {
         &stress,
         &churn,
         &restart_rows,
+        &[],
         &[],
     );
     if json.matches('{').count() != json.matches('}').count() {

@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use foc_bench::farm_report::{append_mode_sweep_row, mode_sweep_row_json};
+use foc_bench::farm_report::{append_mode_sweep_row, mode_sweep_fingerprint, mode_sweep_row_json};
 use foc_bench::sweep_report::{
     diff_against_committed, merge_cells, parse_matrix_json, render_matrix_json,
     render_matrix_markdown, split_resume, MATRIX_MD_PATH, MATRIX_PATH,
@@ -150,13 +150,16 @@ fn run_full(threads: usize, resume: bool) {
         println!("  {class:<22} {n:>5}");
     }
 
-    // Record the sweep's own cost in the farm trajectory.
+    // Record the sweep's own cost in the farm trajectory. The
+    // fingerprint keys the row to the sweep shape + compiled images, so
+    // re-running on an unchanged tree upserts instead of duplicating.
     let row = mode_sweep_row_json(
         matrix.cells.len(),
         resumed_cells,
         INPUT_LIBRARY.len(),
         threads,
         wall_ms,
+        &mode_sweep_fingerprint(matrix.cells.len(), INPUT_LIBRARY.len(), threads),
     );
     match std::fs::read_to_string("BENCH_farm.json") {
         Ok(bench) => match append_mode_sweep_row(&bench, &row) {

@@ -5,9 +5,11 @@
 //! Usage:
 //!
 //! * `cargo run --release -p foc-bench --bin restart_cost [reps]` —
-//!   full measurement (default 24 reps per flavour); appends one row to
-//!   `BENCH_farm.json`'s `restart_cost_runs` trajectory (creating the
-//!   section in records that predate it).
+//!   full measurement (default 24 reps per flavour); upserts one row
+//!   into `BENCH_farm.json`'s `restart_cost_runs` trajectory (creating
+//!   the section in records that predate it). Rows are keyed by a
+//!   fingerprint of the measured images + shape, so re-running the bin
+//!   on an unchanged tree replaces its row instead of duplicating it.
 //! * `cargo run --release -p foc-bench --bin restart_cost -- --check` —
 //!   CI smoke gate (mirroring the PR 2 boot-cost gate): asserts that a
 //!   checkpoint restore beats a cold boot + replay by at least 5×, and
@@ -16,7 +18,7 @@
 
 use foc_bench::farm_report::{
     append_restart_cost_row, measure_restart_cost, measure_violation_throughput,
-    restart_cost_row_json, RestartCost, ViolationThroughput,
+    restart_cost_fingerprint, restart_cost_row_json, RestartCost, ViolationThroughput,
 };
 
 fn print_measurement(cost: &RestartCost, violation: &ViolationThroughput) {
@@ -91,7 +93,7 @@ fn main() {
     print_measurement(&cost, &violation);
 
     let path = "BENCH_farm.json";
-    let row = restart_cost_row_json(&cost, &violation);
+    let row = restart_cost_row_json(&cost, &violation, &restart_cost_fingerprint(reps));
     match std::fs::read_to_string(path) {
         Ok(json) => match append_restart_cost_row(&json, &row) {
             Ok(updated) => {

@@ -286,12 +286,32 @@ const VIOLATION_LOOP_SOURCE: &str = "long spin(long n) {\n\
 /// Iterations per measured run (about a million guest instructions).
 const VIOLATION_LOOP_ITERS: i64 = 100_000;
 
-/// Measures [`ViolationThroughput`], `reps` runs on fresh machines.
+/// Measures [`ViolationThroughput`], `reps` runs on fresh machines, at
+/// the baseline execution tier.
 pub fn measure_violation_throughput(reps: usize) -> ViolationThroughput {
+    measure_loop_throughput(
+        VIOLATION_LOOP_SOURCE,
+        VIOLATION_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Baseline,
+    )
+}
+
+/// Measures a manufactured-value spin loop's interpretation rate at the
+/// given execution tier. Same source, same guest instruction stream
+/// semantics under both tiers; the superinstruction tier retires the
+/// same instr count per run (fused ops account for their whole
+/// pattern), so rates across tiers are directly comparable.
+fn measure_loop_throughput(
+    source: &str,
+    iters: i64,
+    reps: usize,
+    tier: foc_compiler::ExecTier,
+) -> ViolationThroughput {
     use foc_vm::{Machine, MachineConfig};
 
     let reps = reps.max(1);
-    let image = foc_compiler::compile_image(VIOLATION_LOOP_SOURCE).expect("violation loop builds");
+    let image = foc_compiler::compile_image_tier(source, tier).expect("spin loop builds");
     let mut rates = Vec::with_capacity(reps);
     let mut instrs = 0;
     for _ in 0..reps {
@@ -301,7 +321,7 @@ pub fn measure_violation_throughput(reps: usize) -> ViolationThroughput {
         let mut m = Machine::load(image.clone(), config).expect("load");
         let before = m.stats().instrs;
         let t = Instant::now();
-        black_box(m.call("spin", &[VIOLATION_LOOP_ITERS]).expect("spin"));
+        black_box(m.call("spin", &[iters]).expect("spin"));
         let secs = t.elapsed().as_secs_f64();
         instrs = m.stats().instrs - before;
         rates.push(instrs as f64 / secs / 1e6);
@@ -312,6 +332,83 @@ pub fn measure_violation_throughput(reps: usize) -> ViolationThroughput {
         minstr_ci95: r.ci95,
         instrs,
         reps,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Dispatch cost: baseline vs superinstruction tier on the same loop.
+// ----------------------------------------------------------------------
+
+/// The dispatch-cost loop: seven direct-local increment statements,
+/// one in-bounds accumulate, and one past-the-end accumulate per
+/// iteration. Every iteration manufactures a value, but the loop's
+/// wall time is owned by plain interpretation — local arithmetic and
+/// loop control — the regime the superinstruction tier targets. (The
+/// pure storm of [`VIOLATION_LOOP_SOURCE`] would not do here: the
+/// violation machinery — interning, logging, sequence draw — and the
+/// per-access memory checks are tier-invariant constant work that
+/// swamps dispatch, which is the quantity this benchmark exists to
+/// isolate; that loop's trajectory lives in `restart_cost_runs`.)
+const DISPATCH_LOOP_SOURCE: &str = "long spin(long n) {\n\
+     int xs[2];\n\
+     long i;\n\
+     long t = 0;\n\
+     long acc = 0;\n\
+     for (i = 0; i < n; i++) {\n\
+         t = t + 3; t = t + 5; t = t + 7; t = t + 9;\n\
+         t = t + 11; t = t + 13; t = t + 15;\n\
+         acc += xs[1];\n\
+         acc += xs[5];\n\
+     }\n\
+     return acc + t;\n\
+ }";
+
+/// Iterations per measured dispatch run (about two million guest
+/// instructions, matching the violation loop's run length).
+const DISPATCH_LOOP_ITERS: i64 = 29_000;
+
+/// Paired interpretation-rate measurement of the dispatch loop under
+/// both execution tiers. Both runs retire the same guest instruction
+/// count (fused opcodes account for every component of the pattern they
+/// replace), so the rate ratio isolates dispatch overhead: fewer
+/// fetch/decode/match rounds per loop iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchCost {
+    /// Baseline (unfused) tier measurement.
+    pub baseline: ViolationThroughput,
+    /// Superinstruction tier measurement.
+    pub fused: ViolationThroughput,
+    /// Repetitions per tier.
+    pub reps: usize,
+}
+
+impl DispatchCost {
+    /// Fused-over-baseline interpretation rate ratio.
+    pub fn speedup(&self) -> f64 {
+        self.fused.minstr_per_s / self.baseline.minstr_per_s
+    }
+}
+
+/// Measures [`DispatchCost`]: `reps` runs of the dispatch loop per
+/// tier, interleaving is unnecessary because each run uses a fresh
+/// machine and the robust summary rejects outliers.
+pub fn measure_dispatch_cost(reps: usize) -> DispatchCost {
+    let baseline = measure_loop_throughput(
+        DISPATCH_LOOP_SOURCE,
+        DISPATCH_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Baseline,
+    );
+    let fused = measure_loop_throughput(
+        DISPATCH_LOOP_SOURCE,
+        DISPATCH_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Super,
+    );
+    DispatchCost {
+        baseline,
+        fused,
+        reps: reps.max(1),
     }
 }
 
@@ -599,6 +696,10 @@ pub struct FarmRecord {
     /// Regeneration carries the old rows forward and appends a fresh
     /// measurement, so the trajectory never loses history.
     pub restart_cost_runs: Vec<String>,
+    /// Accumulated `dispatch_cost` rows (baseline vs superinstruction
+    /// tier interpretation rate on the manufactured loop). Appended by
+    /// the `dispatch_cost` bin; regeneration carries them forward.
+    pub dispatch_cost_runs: Vec<String>,
     /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
     /// objects, one per recorded full-grid sweep). Regenerating bins
     /// carry these forward from the previous record so the sweep's own
@@ -616,6 +717,7 @@ impl FarmRecord {
             &self.stress,
             &self.churn,
             &self.restart_cost_runs,
+            &self.dispatch_cost_runs,
             &self.mode_sweep_runs,
         )
     }
@@ -658,7 +760,14 @@ pub fn measure_record(
     let mut restart_cost_runs = previous_json
         .map(extract_restart_cost_rows)
         .unwrap_or_default();
-    restart_cost_runs.push(restart_cost_row_json(&restart, &violation));
+    upsert_row(
+        &mut restart_cost_runs,
+        restart_cost_row_json(
+            &restart,
+            &violation,
+            &restart_cost_fingerprint(shape.restart_reps),
+        ),
+    );
     Ok(FarmRecord {
         reports,
         scaling,
@@ -666,10 +775,117 @@ pub fn measure_record(
         stress,
         churn,
         restart_cost_runs,
+        dispatch_cost_runs: previous_json
+            .map(extract_dispatch_cost_rows)
+            .unwrap_or_default(),
         mode_sweep_runs: previous_json
             .map(extract_mode_sweep_rows)
             .unwrap_or_default(),
     })
+}
+
+// ----------------------------------------------------------------------
+// Trajectory-row fingerprints: idempotent BENCH_farm.json appends.
+// ----------------------------------------------------------------------
+
+/// Hashes an ordered list of identity parts into a 64-bit hex
+/// fingerprint. A trajectory row's fingerprint captures *what was
+/// measured* (bin schema version, compiled guest image identities,
+/// execution tier, measurement shape) and deliberately excludes the
+/// measured values themselves. Re-running an unchanged bin on an
+/// unchanged tree therefore reproduces the fingerprint, and the append
+/// helpers replace the matching row instead of growing the array —
+/// trajectory history survives real changes and dedupes reruns.
+fn fingerprint_of(parts: &[&str]) -> String {
+    use std::hash::Hasher;
+    let mut h = foc_compiler::Fnv1a::new();
+    for p in parts {
+        h.write(p.as_bytes());
+        // Separator byte so ["ab","c"] and ["a","bc"] differ.
+        h.write(&[0x1f]);
+    }
+    format!("{:016x}", h.finish())
+}
+
+/// Fingerprint for a `restart_cost` trajectory row: schema tag, the
+/// five standard server image identities at the active execution tier
+/// (any guest-source or lowering change reshapes them), the
+/// manufactured violation loop's baseline image, and the rep count.
+pub fn restart_cost_fingerprint(reps: usize) -> String {
+    let tier = foc_compiler::ExecTier::from_env();
+    let mut parts: Vec<String> = vec!["restart_cost/v2".to_string(), tier.label().to_string()];
+    for kind in ServerKind::ALL {
+        parts.push(kind.image_tier(tier).id().to_string());
+    }
+    let violation =
+        foc_compiler::compile_image(VIOLATION_LOOP_SOURCE).expect("violation loop builds");
+    parts.push(violation.id().to_string());
+    parts.push(reps.to_string());
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Fingerprint for a `mode_sweep` trajectory row: schema tag, sweep
+/// shape, execution tier, and the five server image identities the
+/// sweep interpreted.
+pub fn mode_sweep_fingerprint(cells: usize, inputs: usize, threads: usize) -> String {
+    let tier = foc_compiler::ExecTier::from_env();
+    let mut parts: Vec<String> = vec![
+        "mode_sweep/v2".to_string(),
+        tier.label().to_string(),
+        cells.to_string(),
+        inputs.to_string(),
+        threads.to_string(),
+    ];
+    for kind in ServerKind::ALL {
+        parts.push(kind.image_tier(tier).id().to_string());
+    }
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Fingerprint for a `dispatch_cost` trajectory row: schema tag, the
+/// dispatch loop's image identity under *both* tiers (so a lowering
+/// change that reshapes fusion re-measures), loop length, rep count.
+pub fn dispatch_cost_fingerprint(reps: usize) -> String {
+    let baseline =
+        foc_compiler::compile_image_tier(DISPATCH_LOOP_SOURCE, foc_compiler::ExecTier::Baseline)
+            .expect("dispatch loop builds");
+    let fused =
+        foc_compiler::compile_image_tier(DISPATCH_LOOP_SOURCE, foc_compiler::ExecTier::Super)
+            .expect("dispatch loop builds");
+    let parts: Vec<String> = vec![
+        "dispatch_cost/v1".to_string(),
+        baseline.id().to_string(),
+        fused.id().to_string(),
+        DISPATCH_LOOP_ITERS.to_string(),
+        reps.to_string(),
+    ];
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Extracts the `"fingerprint"` value of a pre-rendered row, if it has
+/// one. Rows recorded before fingerprinting existed have none and are
+/// never matched (so they are always preserved).
+fn row_fingerprint(row: &str) -> Option<&str> {
+    let marker = "\"fingerprint\": \"";
+    let at = row.find(marker)? + marker.len();
+    let rest = &row[at..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Replaces the row sharing `row`'s fingerprint in place, or appends
+/// when no row matches (including when `row` carries no fingerprint).
+fn upsert_row(rows: &mut Vec<String>, row: String) {
+    if let Some(fp) = row_fingerprint(&row) {
+        if let Some(slot) = rows.iter().position(|r| row_fingerprint(r) == Some(fp)) {
+            rows[slot] = row;
+            return;
+        }
+    }
+    rows.push(row);
 }
 
 // ----------------------------------------------------------------------
@@ -685,13 +901,14 @@ pub fn mode_sweep_row_json(
     inputs: usize,
     threads: usize,
     wall_ms: f64,
+    fingerprint: &str,
 ) -> String {
     format!(
         concat!(
             "{{\"cells\": {}, \"resumed_cells\": {}, \"inputs\": {}, ",
-            "\"threads\": {}, \"wall_ms\": {:.1}}}"
+            "\"threads\": {}, \"wall_ms\": {:.1}, \"fingerprint\": \"{}\"}}"
         ),
-        cells, resumed, inputs, threads, wall_ms
+        cells, resumed, inputs, threads, wall_ms, fingerprint
     )
 }
 
@@ -752,12 +969,14 @@ pub fn extract_mode_sweep_rows(json: &str) -> Vec<String> {
     extract_rows_section(json, "mode_sweep_runs")
 }
 
-/// Returns `json` with `row` appended to its `mode_sweep_runs` array
-/// (rewriting the section in place). Errors when the document has no
+/// Returns `json` with `row` upserted into its `mode_sweep_runs` array
+/// (rewriting the section in place): a row carrying the same
+/// fingerprint is replaced, otherwise `row` is appended, so re-running
+/// the unchanged bin is idempotent. Errors when the document has no
 /// such section — regenerate the record with `farm_scaling` first.
 pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
     let mut rows = extract_mode_sweep_rows(json);
-    rows.push(row.to_string());
+    upsert_row(&mut rows, row.to_string());
     replace_rows_section(json, "mode_sweep_runs", &rows)
 }
 
@@ -768,14 +987,18 @@ pub fn append_mode_sweep_row(json: &str, row: &str) -> Result<String, String> {
 /// Renders one `restart_cost` trajectory row: the checkpoint-restore
 /// versus cold boot+replay split plus the manufactured-loop violation
 /// throughput measured alongside it.
-pub fn restart_cost_row_json(restart: &RestartCost, violation: &ViolationThroughput) -> String {
+pub fn restart_cost_row_json(
+    restart: &RestartCost,
+    violation: &ViolationThroughput,
+    fingerprint: &str,
+) -> String {
     format!(
         concat!(
             "{{\"cold_boot_replay_ns\": {:.0}, \"cold_ci95_ns\": {:.0}, ",
             "\"checkpoint_restore_ns\": {:.0}, \"restore_ci95_ns\": {:.0}, ",
             "\"speedup\": {:.1}, \"reps\": {}, ",
             "\"violation_minstr_per_s\": {:.1}, \"violation_minstr_ci95\": {:.1}, ",
-            "\"violation_instrs\": {}}}"
+            "\"violation_instrs\": {}, \"fingerprint\": \"{}\"}}"
         ),
         restart.cold_ns,
         restart.cold_ci95_ns,
@@ -786,6 +1009,7 @@ pub fn restart_cost_row_json(restart: &RestartCost, violation: &ViolationThrough
         violation.minstr_per_s,
         violation.minstr_ci95,
         violation.instrs,
+        fingerprint,
     )
 }
 
@@ -795,15 +1019,16 @@ pub fn extract_restart_cost_rows(json: &str) -> Vec<String> {
     extract_rows_section(json, "restart_cost_runs")
 }
 
-/// Returns `json` with `row` appended to its `restart_cost_runs` array.
-/// A record that predates the section (rendered before the checkpoint
-/// layer existed) gains one, inserted just before `mode_sweep_runs`, so
-/// the `restart_cost` bin can record into an old file without a full
-/// regeneration.
+/// Returns `json` with `row` upserted into its `restart_cost_runs`
+/// array (same-fingerprint rows are replaced in place, so an unchanged
+/// bin rerun is idempotent). A record that predates the section
+/// (rendered before the checkpoint layer existed) gains one, inserted
+/// just before `mode_sweep_runs`, so the `restart_cost` bin can record
+/// into an old file without a full regeneration.
 pub fn append_restart_cost_row(json: &str, row: &str) -> Result<String, String> {
     if json.contains("\"restart_cost_runs\": [") {
         let mut rows = extract_restart_cost_rows(json);
-        rows.push(row.to_string());
+        upsert_row(&mut rows, row.to_string());
         return replace_rows_section(json, "restart_cost_runs", &rows);
     }
     let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
@@ -814,6 +1039,57 @@ pub fn append_restart_cost_row(json: &str, row: &str) -> Result<String, String> 
         );
     };
     let section = format!("  \"restart_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
+}
+
+// ----------------------------------------------------------------------
+// The dispatch_cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Renders one `dispatch_cost` trajectory row: the manufactured loop's
+/// interpretation rate under both execution tiers and their ratio.
+pub fn dispatch_cost_row_json(cost: &DispatchCost, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"baseline_minstr_per_s\": {:.1}, \"baseline_minstr_ci95\": {:.1}, ",
+            "\"super_minstr_per_s\": {:.1}, \"super_minstr_ci95\": {:.1}, ",
+            "\"speedup\": {:.2}, \"instrs\": {}, \"reps\": {}, ",
+            "\"fingerprint\": \"{}\"}}"
+        ),
+        cost.baseline.minstr_per_s,
+        cost.baseline.minstr_ci95,
+        cost.fused.minstr_per_s,
+        cost.fused.minstr_ci95,
+        cost.speedup(),
+        cost.fused.instrs,
+        cost.reps,
+        fingerprint,
+    )
+}
+
+/// Extracts the `dispatch_cost_runs` rows from an existing record
+/// (empty when the record predates the section).
+pub fn extract_dispatch_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "dispatch_cost_runs")
+}
+
+/// Returns `json` with `row` upserted into its `dispatch_cost_runs`
+/// array. A record that predates the section gains one, inserted just
+/// before `mode_sweep_runs`.
+pub fn append_dispatch_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"dispatch_cost_runs\": [") {
+        let mut rows = extract_dispatch_cost_rows(json);
+        upsert_row(&mut rows, row.to_string());
+        return replace_rows_section(json, "dispatch_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor dispatch_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"dispatch_cost_runs\": [\n    {row}\n  ],\n");
     Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
@@ -899,7 +1175,10 @@ fn stress_row_json(row: &StressRow) -> String {
     )
 }
 
-/// Renders the whole benchmark record.
+/// Renders the whole benchmark record. (One positional argument per
+/// top-level record section, in file order — a parameter struct would
+/// just restate the same list.)
+#[allow(clippy::too_many_arguments)]
 pub fn render_farm_json(
     reports: &[FarmReport],
     scaling: &[ScalingRow],
@@ -907,6 +1186,7 @@ pub fn render_farm_json(
     stress: &[StressRow],
     churn: &UnitChurn,
     restart_cost_runs: &[String],
+    dispatch_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
@@ -955,6 +1235,24 @@ pub fn render_farm_json(
             out.push_str("    ");
             out.push_str(row);
             if i + 1 < restart_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    // The dispatch-cost trajectory: baseline vs superinstruction tier
+    // interpretation rate on the manufactured loop, one row per
+    // recorded measurement (the dispatch_cost bin upserts by
+    // fingerprint).
+    if dispatch_cost_runs.is_empty() {
+        out.push_str("  \"dispatch_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"dispatch_cost_runs\": [\n");
+        for (i, row) in dispatch_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < dispatch_cost_runs.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -1069,8 +1367,19 @@ mod tests {
             instrs: 1_000_000,
             reps: 3,
         };
-        let restart_rows = vec![restart_cost_row_json(&restart, &violation)];
-        let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5)];
+        let restart_rows = vec![restart_cost_row_json(&restart, &violation, "fp-restart-1")];
+        let dispatch = DispatchCost {
+            baseline: violation,
+            fused: ViolationThroughput {
+                minstr_per_s: 60.0,
+                minstr_ci95: 2.0,
+                instrs: 1_000_000,
+                reps: 3,
+            },
+            reps: 3,
+        };
+        let dispatch_rows = vec![dispatch_cost_row_json(&dispatch, "fp-dispatch-1")];
+        let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5, "fp-sweep-1")];
         let json = render_farm_json(
             &reports,
             &scaling,
@@ -1078,6 +1387,7 @@ mod tests {
             &stress,
             &churn,
             &restart_rows,
+            &dispatch_rows,
             &rows,
         );
         assert_eq!(
@@ -1102,20 +1412,56 @@ mod tests {
         assert!(json.contains("\"restart_cost_runs\""));
         assert!(json.contains("\"checkpoint_restore_ns\""));
         assert!(json.contains("\"violation_minstr_per_s\""));
-        // Round trip: extract the rows back and append another.
+        assert!(json.contains("\"dispatch_cost_runs\""));
+        assert!(json.contains("\"baseline_minstr_per_s\""));
+        // Round trip: extract the rows back and append another (a new
+        // fingerprint grows the array).
         assert_eq!(extract_restart_cost_rows(&json), restart_rows);
-        let grown = append_restart_cost_row(&json, &restart_cost_row_json(&restart, &violation))
-            .expect("append restart row");
+        let grown = append_restart_cost_row(
+            &json,
+            &restart_cost_row_json(&restart, &violation, "fp-restart-2"),
+        )
+        .expect("append restart row");
         assert_eq!(extract_restart_cost_rows(&grown).len(), 2);
         assert_eq!(
             extract_mode_sweep_rows(&grown),
             rows,
             "growing one trajectory must not disturb the other"
         );
+        // Re-appending an existing fingerprint replaces in place: the
+        // bins are idempotent over unchanged trees.
+        let replaced = append_restart_cost_row(
+            &grown,
+            &restart_cost_row_json(&restart, &violation, "fp-restart-2"),
+        )
+        .expect("upsert restart row");
+        assert_eq!(extract_restart_cost_rows(&replaced).len(), 2);
         assert_eq!(extract_mode_sweep_rows(&json), rows);
-        let appended = append_mode_sweep_row(&json, &mode_sweep_row_json(150, 120, 17, 4, 99.0))
-            .expect("append");
+        let appended = append_mode_sweep_row(
+            &json,
+            &mode_sweep_row_json(150, 120, 17, 4, 99.0, "fp-sweep-2"),
+        )
+        .expect("append");
         assert_eq!(extract_mode_sweep_rows(&appended).len(), 2);
+        let resweep = append_mode_sweep_row(
+            &appended,
+            &mode_sweep_row_json(150, 120, 17, 4, 101.0, "fp-sweep-2"),
+        )
+        .expect("upsert");
+        let resweep_rows = extract_mode_sweep_rows(&resweep);
+        assert_eq!(
+            resweep_rows.len(),
+            2,
+            "same fingerprint must not grow the array"
+        );
+        assert!(
+            resweep_rows[1].contains("\"wall_ms\": 101.0"),
+            "upsert takes the fresh value"
+        );
+        let dgrown =
+            append_dispatch_cost_row(&json, &dispatch_cost_row_json(&dispatch, "fp-dispatch-2"))
+                .expect("append dispatch row");
+        assert_eq!(extract_dispatch_cost_rows(&dgrown).len(), 2);
         assert_eq!(
             appended.matches('{').count(),
             appended.matches('}').count(),
@@ -1223,13 +1569,52 @@ mod tests {
             instrs: 1,
             reps: 1,
         };
-        let row = restart_cost_row_json(&restart, &violation);
+        let row = restart_cost_row_json(&restart, &violation, "fp-old-1");
         let grown = append_restart_cost_row(old, &row).expect("create section");
         assert_eq!(extract_restart_cost_rows(&grown), vec![row.clone()]);
         assert_eq!(extract_mode_sweep_rows(&grown).len(), 1);
-        // A second append extends the now-existing section.
-        let grown2 = append_restart_cost_row(&grown, &row).expect("append");
+        // Re-appending the same fingerprint upserts in place; a fresh
+        // fingerprint extends the now-existing section.
+        let same = append_restart_cost_row(&grown, &row).expect("upsert");
+        assert_eq!(extract_restart_cost_rows(&same).len(), 1);
+        let row2 = restart_cost_row_json(&restart, &violation, "fp-old-2");
+        let grown2 = append_restart_cost_row(&grown, &row2).expect("append");
         assert_eq!(extract_restart_cost_rows(&grown2).len(), 2);
+        // dispatch_cost_runs gains a section in old records the same way.
+        let drow = dispatch_cost_row_json(
+            &DispatchCost {
+                baseline: violation,
+                fused: violation,
+                reps: 1,
+            },
+            "fp-old-d1",
+        );
+        let dgrown = append_dispatch_cost_row(&grown2, &drow).expect("create dispatch section");
+        assert_eq!(extract_dispatch_cost_rows(&dgrown), vec![drow.clone()]);
+        assert_eq!(extract_restart_cost_rows(&dgrown).len(), 2);
+        assert_eq!(extract_mode_sweep_rows(&dgrown).len(), 1);
+        let dsame = append_dispatch_cost_row(&dgrown, &drow).expect("upsert dispatch");
+        assert_eq!(extract_dispatch_cost_rows(&dsame).len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_shape_sensitive() {
+        // Identical inputs reproduce the fingerprint (idempotent
+        // reruns); any shape change reshapes it (fresh trajectory row).
+        assert_eq!(dispatch_cost_fingerprint(8), dispatch_cost_fingerprint(8));
+        assert_ne!(dispatch_cost_fingerprint(8), dispatch_cost_fingerprint(24));
+        assert_eq!(
+            mode_sweep_fingerprint(150, 17, 4),
+            mode_sweep_fingerprint(150, 17, 4)
+        );
+        assert_ne!(
+            mode_sweep_fingerprint(150, 17, 4),
+            mode_sweep_fingerprint(150, 17, 8)
+        );
+        assert_eq!(restart_cost_fingerprint(24), restart_cost_fingerprint(24));
+        assert_ne!(restart_cost_fingerprint(24), restart_cost_fingerprint(8));
+        // Concatenation ambiguity is broken by the separator.
+        assert_ne!(fingerprint_of(&["ab", "c"]), fingerprint_of(&["a", "bc"]));
     }
 
     #[test]

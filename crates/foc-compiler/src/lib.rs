@@ -22,10 +22,12 @@
 //! any behavioural difference is attributable to the policy alone).
 
 pub mod bytecode;
+pub mod fuse;
 pub mod image;
 pub mod lower;
 
-pub use bytecode::{CompiledFunc, CompiledProgram, FrameLayout, GlobalImage, Instr};
+pub use bytecode::{AluOp, CmpOp, CompiledFunc, CompiledProgram, FrameLayout, GlobalImage, Instr};
+pub use fuse::{fuse_program, ExecTier, EXEC_TIER_ENV};
 pub use image::{Fnv1a, ProgramId, ProgramImage};
 pub use lower::{compile, CompileError};
 
@@ -36,7 +38,21 @@ pub fn compile_source(source: &str) -> Result<CompiledProgram, String> {
 }
 
 /// Compiles source straight into a shareable [`ProgramImage`] — the
-/// entry point machines and image caches use.
+/// entry point machines and image caches use. Always the baseline tier;
+/// see [`compile_image_tier`] for the fused stream.
 pub fn compile_image(source: &str) -> Result<ProgramImage, String> {
-    compile_source(source).map(ProgramImage::new)
+    compile_image_tier(source, ExecTier::Baseline)
+}
+
+/// Compiles source into a [`ProgramImage`] for the given execution
+/// tier. The fused and baseline images of one source have different
+/// [`ProgramId`]s (the bytecode differs), so tiered images never alias
+/// in downstream caches.
+pub fn compile_image_tier(source: &str, tier: ExecTier) -> Result<ProgramImage, String> {
+    let program = compile_source(source)?;
+    let program = match tier {
+        ExecTier::Baseline => program,
+        ExecTier::Super => fuse_program(&program),
+    };
+    Ok(ProgramImage::new(program))
 }

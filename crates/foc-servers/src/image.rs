@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use foc_compiler::ProgramImage;
+use foc_compiler::{ExecTier, ProgramImage};
 
 use crate::{apache, mc, mutt, pine, sendmail, BootSpec};
 
@@ -36,8 +36,16 @@ pub enum ServerKind {
     Mc,
 }
 
-/// One cache slot per [`ServerKind`], indexed by [`ServerKind::index`].
-static IMAGES: [OnceLock<ProgramImage>; 5] = [
+/// One cache slot per `(ServerKind, ExecTier)` pair, indexed by
+/// `kind.index() * 2 + tier.index()`. Fused and baseline images of one
+/// server have different [`foc_compiler::ProgramId`]s (their bytecode
+/// differs), so the tiers get distinct slots and never alias.
+static IMAGES: [OnceLock<ProgramImage>; 10] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
     OnceLock::new(),
     OnceLock::new(),
     OnceLock::new(),
@@ -97,30 +105,53 @@ impl ServerKind {
         }
     }
 
-    /// The interned compiled image: compiled at most once per process,
-    /// then shared by every machine of this kind. Concurrent first
-    /// callers race benignly — `OnceLock` publishes exactly one image,
-    /// so all threads observe the same [`foc_compiler::ProgramId`].
+    /// The interned compiled image on the session-default execution
+    /// tier (`FOC_EXEC_TIER`): compiled at most once per process, then
+    /// shared by every machine of this kind. Concurrent first callers
+    /// race benignly — `OnceLock` publishes exactly one image, so all
+    /// threads observe the same [`foc_compiler::ProgramId`].
     ///
     /// # Panics
     ///
     /// Panics when the server source fails to compile — the sources are
     /// fixed constants, so that is a bug in this crate, not input error.
     pub fn image(self) -> ProgramImage {
-        IMAGES[self.index()]
-            .get_or_init(|| self.fresh_image())
+        self.image_tier(ExecTier::from_env())
+    }
+
+    /// The interned compiled image for an explicit execution tier (one
+    /// cache slot per `(kind, tier)` pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server source fails to compile, as
+    /// [`ServerKind::image`] does.
+    pub fn image_tier(self, tier: ExecTier) -> ProgramImage {
+        IMAGES[self.index() * 2 + tier.index()]
+            .get_or_init(|| self.fresh_image_tier(tier))
             .clone()
     }
 
-    /// Compiles a fresh, uncached image from source (cold-boot path;
-    /// tests and the `boot_cost` bench compare it against the cache).
+    /// Compiles a fresh, uncached image from source on the
+    /// session-default tier (cold-boot path; tests and the `boot_cost`
+    /// bench compare it against the cache).
     ///
     /// # Panics
     ///
     /// Panics when the server source fails to compile, as
     /// [`ServerKind::image`] does.
     pub fn fresh_image(self) -> ProgramImage {
-        match foc_compiler::compile_image(self.source()) {
+        self.fresh_image_tier(ExecTier::from_env())
+    }
+
+    /// Compiles a fresh, uncached image for an explicit execution tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server source fails to compile, as
+    /// [`ServerKind::image`] does.
+    pub fn fresh_image_tier(self, tier: ExecTier) -> ProgramImage {
+        match foc_compiler::compile_image_tier(self.source(), tier) {
             Ok(image) => image,
             Err(e) => panic!("{} source failed to build: {e}", self.name()),
         }
@@ -181,45 +212,107 @@ pub enum ServerCheckpoint {
 
 /// Cap on cached checkpoints. A full mode sweep visits hundreds of
 /// distinct specs and each entry holds a whole machine image, so the
-/// cache clears (rather than grows without bound) when it fills; a
-/// cleared entry is rebuilt on the next boot of its cell.
+/// cache evicts (rather than grows without bound) when it fills.
+/// Eviction is per-entry least-recently-used: a churn of one-shot
+/// sweep cells displaces only the coldest cells, never the hot
+/// standard boots the farm and the supervisor restore from on every
+/// restart. (The previous clear-on-fill policy dumped *all* 64 hot
+/// boots — including the five standard cells — whenever a 65th
+/// distinct spec appeared.)
 const CHECKPOINT_CACHE_CAP: usize = 64;
 
-/// The checkpoint cache's storage: one frozen boot per `(kind, spec)`.
-type CheckpointMap = HashMap<(ServerKind, BootSpec), Arc<ServerCheckpoint>>;
+/// One cached boot plus its last-touched stamp (monotone per cache).
+struct CheckpointEntry {
+    ckpt: Arc<ServerCheckpoint>,
+    last_used: u64,
+}
 
-fn checkpoint_cache() -> &'static Mutex<CheckpointMap> {
-    static CACHE: OnceLock<Mutex<CheckpointMap>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// The checkpoint cache: one frozen boot per `(kind, spec)` with LRU
+/// bookkeeping.
+#[derive(Default)]
+struct CheckpointCache {
+    map: HashMap<(ServerKind, BootSpec), CheckpointEntry>,
+    tick: u64,
+}
+
+impl CheckpointCache {
+    /// Looks up a cell, refreshing its recency on a hit.
+    fn get(&mut self, key: &(ServerKind, BootSpec)) -> Option<Arc<ServerCheckpoint>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.ckpt))
+    }
+
+    /// Inserts a freshly built cell (or returns the racing winner),
+    /// evicting the least-recently-used entry when the cache is full.
+    fn insert(
+        &mut self,
+        key: (ServerKind, BootSpec),
+        built: Arc<ServerCheckpoint>,
+    ) -> Arc<ServerCheckpoint> {
+        if let Some(hit) = self.get(&key) {
+            return hit;
+        }
+        if self.map.len() >= CHECKPOINT_CACHE_CAP {
+            // O(n) argmin scan; n is the small fixed cap and fills are
+            // already amortized behind a full standard boot.
+            if let Some(coldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&coldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            CheckpointEntry {
+                ckpt: Arc::clone(&built),
+                last_used: self.tick,
+            },
+        );
+        built
+    }
+}
+
+fn checkpoint_cache() -> &'static Mutex<CheckpointCache> {
+    static CACHE: OnceLock<Mutex<CheckpointCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(CheckpointCache::default()))
+}
+
+/// Number of currently cached boot checkpoints (diagnostics; the LRU
+/// regression test asserts the cap holds).
+pub fn checkpoint_cache_len() -> usize {
+    checkpoint_cache().lock().unwrap().map.len()
 }
 
 /// The interned standard-boot checkpoint for `(kind, spec)`: performed
-/// at most once per cache generation, then restored by every farm boot,
-/// pool respawn, and supervised restart of that configuration. Sits
+/// at most once per residency, then restored by every farm boot, pool
+/// respawn, and supervised restart of that configuration. Sits
 /// directly above [`ServerKind::image`] in the boot stack:
 /// compile → image → **checkpoint** → machine.
 pub fn boot_checkpoint(kind: ServerKind, spec: &BootSpec) -> Arc<ServerCheckpoint> {
     let key = (kind, *spec);
     if let Some(hit) = checkpoint_cache().lock().unwrap().get(&key) {
-        return Arc::clone(hit);
+        return hit;
     }
     // Boot outside the lock: first boots interpret guest code, and
     // concurrent first callers of *different* cells must not serialize.
     // Racing first callers of the same cell build identical snapshots;
-    // `or_insert` publishes one winner.
+    // `insert` publishes one winner.
     let built = Arc::new(standard_boot(kind, spec));
-    let mut map = checkpoint_cache().lock().unwrap();
-    if map.len() >= CHECKPOINT_CACHE_CAP && !map.contains_key(&key) {
-        map.clear();
-    }
-    Arc::clone(map.entry(key).or_insert(built))
+    checkpoint_cache().lock().unwrap().insert(key, built)
 }
 
 /// Runs the uncached standard boot for `kind` and freezes it. The
 /// environments here define "standard": they must match what the
 /// drivers' cached `boot_spec` constructors compare against.
 fn standard_boot(kind: ServerKind, spec: &BootSpec) -> ServerCheckpoint {
-    let image = kind.image();
+    let image = kind.image_tier(spec.tier);
     match kind {
         ServerKind::Apache => ServerCheckpoint::Apache(
             apache::ApacheWorker::from_image_spec(&image, spec).checkpoint(),

@@ -30,6 +30,8 @@ pub mod workload;
 
 pub use image::ServerKind;
 
+pub use foc_compiler::ExecTier;
+
 use foc_compiler::ProgramImage;
 use foc_memory::{Mode, TableKind, ValueSequence};
 use foc_vm::{Machine, MachineConfig, VmFault};
@@ -132,18 +134,25 @@ pub struct BootSpec {
     pub sequence: ValueSequence,
     /// Per-call instruction budget.
     pub fuel: u64,
+    /// Execution tier of the booted image (baseline vs fused
+    /// superinstructions). Part of the cache key: fused and unfused
+    /// boots never alias in the checkpoint cache, matching their
+    /// distinct [`foc_compiler::ProgramId`]s.
+    pub tier: ExecTier,
 }
 
 impl BootSpec {
     /// A spec for `kind` under `mode` with the remaining axes at their
     /// defaults (splay table, the paper's cycling sequence, the kind's
-    /// standard fuel budget).
+    /// standard fuel budget, the session-default execution tier from
+    /// `FOC_EXEC_TIER`).
     pub fn new(kind: ServerKind, mode: Mode) -> BootSpec {
         BootSpec {
             mode,
             table: TableKind::default(),
             sequence: ValueSequence::default(),
             fuel: kind.fuel(),
+            tier: ExecTier::from_env(),
         }
     }
 
@@ -162,6 +171,12 @@ impl BootSpec {
     /// Same spec with a different per-call instruction budget.
     pub fn with_fuel(mut self, fuel: u64) -> BootSpec {
         self.fuel = fuel;
+        self
+    }
+
+    /// Same spec on a different execution tier.
+    pub fn with_tier(mut self, tier: ExecTier) -> BootSpec {
+        self.tier = tier;
         self
     }
 }
@@ -227,6 +242,7 @@ impl Process {
                 table,
                 sequence: ValueSequence::default(),
                 fuel,
+                tier: ExecTier::from_env(),
             },
         )
     }

@@ -272,7 +272,7 @@ impl Mc {
             };
             return Mc::restore(mc);
         }
-        Mc::boot_image_spec(&ServerKind::Mc.image(), spec, config)
+        Mc::boot_image_spec(&ServerKind::Mc.image_tier(spec.tier), spec, config)
     }
 
     /// Freezes this process's state.

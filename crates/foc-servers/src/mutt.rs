@@ -299,7 +299,7 @@ impl Mutt {
             };
             return Mutt::restore(mutt);
         }
-        Mutt::boot_image_spec(&ServerKind::Mutt.image(), spec, seed_messages)
+        Mutt::boot_image_spec(&ServerKind::Mutt.image_tier(spec.tier), spec, seed_messages)
     }
 
     /// Freezes this reader's state.

@@ -297,7 +297,7 @@ impl Pine {
             };
             return Pine::restore(pine);
         }
-        Pine::boot_image_spec(&ServerKind::Pine.image(), spec, mailbox)
+        Pine::boot_image_spec(&ServerKind::Pine.image_tier(spec.tier), spec, mailbox)
     }
 
     /// Boots Pine from an explicit image and a full [`BootSpec`],

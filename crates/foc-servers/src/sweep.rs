@@ -33,7 +33,7 @@ use std::hash::Hasher as _;
 // FNV-1a 64, platform-independent) — reused here so transcript hashes
 // and cell fingerprints rest on the same primitive as `ProgramId`.
 use foc_compiler::Fnv1a;
-use foc_memory::{Mode, TableKind, ValueSequence};
+use foc_memory::{MemoryErrorRecord, Mode, SpaceStats, TableKind, ValueSequence};
 use foc_vm::VmFault;
 
 use crate::steal::{run_stealing, Slice};
@@ -526,18 +526,28 @@ impl Trace {
 }
 
 /// The raw result of driving one input script under one boot spec,
-/// before classification.
-struct Driven {
+/// before classification: every surface a client or operator can
+/// observe. Differential harnesses (the tier-equivalence battery in
+/// `tests/superinstr_equiv.rs`) assert two of these equal to prove a
+/// substrate change is invisible end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Driven {
     /// Transcript hash (steps until the first crash, if any).
-    transcript: u64,
+    pub transcript: u64,
     /// Intercepted violations the primary process accumulated.
-    violations: u64,
+    pub violations: u64,
     /// The crash that ended the script, when one did.
-    fault: Option<VmFault>,
+    pub fault: Option<VmFault>,
     /// Whether the service was usable after supervision — `true` when
     /// no crash happened, or when a restart within the shared budget
     /// brought a crashed service back.
-    recovered: bool,
+    pub recovered: bool,
+    /// The primary process's full space counters at script end (before
+    /// any supervision restart).
+    pub stats: SpaceStats,
+    /// The primary process's full memory-error log at script end, in
+    /// commit order.
+    pub log: Vec<MemoryErrorRecord>,
 }
 
 /// Seals a finished script: reads the primary process's violation
@@ -551,7 +561,9 @@ fn seal<T>(
     usable: impl Fn(&T) -> bool,
     restart: impl FnMut(&mut T),
 ) -> Driven {
-    let stats = proc_of(&subject).machine().space().stats();
+    let space = proc_of(&subject).machine().space();
+    let stats = *space.stats();
+    let log = space.error_log().records().to_vec();
     let violations = stats.invalid_reads + stats.invalid_writes;
     let recovered = match trace.fault {
         None => true,
@@ -574,6 +586,8 @@ fn seal<T>(
         violations,
         fault: trace.fault,
         recovered,
+        stats,
+        log,
     }
 }
 
@@ -812,6 +826,15 @@ fn drive_mutt(input: &str, spec: &BootSpec) -> Driven {
         |m| !m.process().is_dead(),
         |m| *m = mutt::Mutt::boot_spec(spec, SEED_MESSAGES),
     )
+}
+
+/// Drives one [`INPUT_LIBRARY`] entry under an explicit boot spec and
+/// returns every observable surface of the run. This is the sweep's
+/// differential entry point: callers that need an axis the grid does
+/// not expose (the execution tier, an off-grid fuel budget) build the
+/// [`BootSpec`] themselves instead of going through [`CellSpec`].
+pub fn drive_input(input: &SweepInput, spec: &BootSpec) -> Driven {
+    drive(input.kind, input.name, spec)
 }
 
 /// Drives one library input under one boot spec.

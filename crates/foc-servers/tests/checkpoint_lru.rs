@@ -1,0 +1,71 @@
+//! Regression battery for the checkpoint cache's eviction policy.
+//!
+//! The cache used to clear *everything* when a 65th distinct spec
+//! appeared — so a mode sweep's churn of one-shot cells would dump the
+//! five hot standard boots the farm and supervisor restore from on
+//! every restart, re-paying five full guest boots at the worst moment.
+//! The policy is now per-entry LRU; this test pins the property that
+//! actually matters: arbitrary churn of cold one-shot cells can never
+//! displace a standard boot that stays in use.
+//!
+//! Runs as its own integration-test process on purpose: the cache is
+//! process-global, and this battery needs to own its fill state.
+
+use std::sync::Arc;
+
+use foc_memory::Mode;
+use foc_servers::image::{boot_checkpoint, checkpoint_cache_len};
+use foc_servers::{BootSpec, ServerKind};
+
+/// The cache cap (mirrors `image::CHECKPOINT_CACHE_CAP`; the assert
+/// below fails loudly if the two drift).
+const CAP: usize = 64;
+
+#[test]
+fn churn_of_one_shot_cells_cannot_evict_hot_standard_boots() {
+    // The five standard-boot cells, exactly as the farm builds them.
+    let standard: Vec<(ServerKind, BootSpec)> = ServerKind::ALL
+        .iter()
+        .map(|&kind| (kind, BootSpec::new(kind, Mode::FailureOblivious)))
+        .collect();
+    let hot: Vec<Arc<_>> = standard
+        .iter()
+        .map(|(kind, spec)| boot_checkpoint(*kind, spec))
+        .collect();
+
+    // Churn: 200 distinct one-shot Apache cells (a sweep axis walking
+    // the fuel budget), interleaved with periodic standard-cell touches
+    // the way a live farm keeps restoring while a sweep runs. 200 is
+    // > 3× the cap, so the whole cache turns over several times.
+    for i in 0..200u64 {
+        let one_shot =
+            BootSpec::new(ServerKind::Apache, Mode::FailureOblivious).with_fuel(1_000_000 + i);
+        let _ = boot_checkpoint(ServerKind::Apache, &one_shot);
+        if i % 8 == 0 {
+            for (kind, spec) in &standard {
+                let again = boot_checkpoint(*kind, spec);
+                assert!(
+                    Arc::ptr_eq(&again, &hot[kind.index()]),
+                    "{} standard boot was evicted mid-churn",
+                    kind.name()
+                );
+            }
+        }
+        assert!(
+            checkpoint_cache_len() <= CAP,
+            "cache exceeded its cap: {} entries",
+            checkpoint_cache_len()
+        );
+    }
+
+    // After the full churn, every standard cell is still the *same*
+    // interned checkpoint — not a rebuilt equal one.
+    for ((kind, spec), old) in standard.iter().zip(&hot) {
+        let now = boot_checkpoint(*kind, spec);
+        assert!(
+            Arc::ptr_eq(old, &now),
+            "{} standard boot was evicted by one-shot churn",
+            kind.name()
+        );
+    }
+}

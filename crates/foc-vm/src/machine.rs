@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use foc_compiler::bytecode::unpack_scalar;
 use foc_compiler::{Instr, ProgramImage};
 use foc_memory::{AccessCtx, AccessSize, MemConfig, MemorySpace};
 
@@ -61,7 +62,7 @@ impl MachineConfig {
 }
 
 /// Execution counters (monotone across calls).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Instructions interpreted.
     pub instrs: u64,
@@ -551,6 +552,254 @@ impl Machine {
                     base = caller.frame_base;
                     code = &program.funcs[func as usize].code;
                 }
+
+                // ----------------------------------------------------
+                // Superinstructions (`ExecTier::Super`). One dispatch
+                // executes a whole fused pattern; the accounting is
+                // exactly the `k` components' worth (the main loop
+                // already charged one unit for the fused opcode, the
+                // handler charges the remaining `k - 1` up front).
+                // When remaining fuel cannot cover the pattern the
+                // handler *deopts*: it executes only the first
+                // component and resumes the interpreter at `pc` (the
+                // original component instructions are still in place —
+                // fusion is layout-preserving), so mid-pattern fuel
+                // exhaustion reproduces the baseline tier's fault pc,
+                // counts, and stack byte-for-byte. Patterns only fault
+                // in their *last* component, which runs after the full
+                // pre-charge — so fault-path accounting also matches
+                // the unfused stream exactly, and memory components
+                // receive the same `AccessCtx` pc the unfused
+                // instruction would (error logs stay identical).
+                // ----------------------------------------------------
+                Instr::FusedCmpJump {
+                    a,
+                    b,
+                    a_repr,
+                    b_repr,
+                    op,
+                    target,
+                } => {
+                    let (asz, asg) = unpack_scalar(a_repr);
+                    let araw = self
+                        .space
+                        .read_raw(base + a as u64, asz)
+                        .expect("local slot is mapped");
+                    let av = extend(araw, asz, asg);
+                    if fuel >= 4 {
+                        fuel -= 4;
+                        self.stats.instrs += 4;
+                        self.stats.cycles += 4 * cost::BASE;
+                        let (bsz, bsg) = unpack_scalar(b_repr);
+                        let braw = self
+                            .space
+                            .read_raw(base + b as u64, bsz)
+                            .expect("local slot is mapped");
+                        let bv = extend(braw, bsz, bsg);
+                        pc = if op.eval(av, bv) { target } else { pc + 4 };
+                    } else {
+                        self.stack.push(av);
+                    }
+                }
+                Instr::FusedLocalIdxLoad {
+                    off,
+                    idx,
+                    esz,
+                    repr,
+                } => {
+                    if fuel >= 3 {
+                        fuel -= 3;
+                        self.stats.instrs += 3;
+                        self.stats.cycles += 3 * cost::BASE;
+                        if self.checked {
+                            self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                        }
+                        let delta = (idx as i64).wrapping_mul(esz as i64);
+                        let ptr = self.space.ptr_add(base + off as u64, delta);
+                        pc += 3;
+                        let (size, signed) = unpack_scalar(repr);
+                        let ctx = AccessCtx { func, pc };
+                        let raw = try_vm!(self.g_load_at(ptr, size, ctx));
+                        self.stack.push(extend(raw, size, signed));
+                    } else {
+                        self.stack.push((base + off as u64) as i64);
+                    }
+                }
+                Instr::FusedLoadIdxAccum {
+                    acc,
+                    addr,
+                    delta,
+                    load_repr,
+                    acc_repr,
+                    size,
+                } => {
+                    let (asz, asg) = unpack_scalar(acc_repr);
+                    let araw = self
+                        .space
+                        .read_raw(base + acc as u64, asz)
+                        .expect("local slot is mapped");
+                    let av = extend(araw, asz, asg);
+                    if fuel >= 8 {
+                        fuel -= 8;
+                        self.stats.instrs += 8;
+                        self.stats.cycles += 8 * cost::BASE;
+                        if self.checked {
+                            self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                        }
+                        let ptr = self.space.ptr_add(base + addr as u64, delta as i64);
+                        let (lsz, lsg) = unpack_scalar(load_repr);
+                        let ctx = AccessCtx { func, pc: pc + 4 };
+                        let raw = match self.g_load_at(ptr, lsz, ctx) {
+                            Ok(raw) => raw,
+                            Err(e) => {
+                                // Cold fault seam: the load is component
+                                // 4 of 9, so the four pure stack ops
+                                // behind it never ran in the unfused
+                                // reference — refund their charge, leave
+                                // the accumulator on the stack (the
+                                // unfused `LoadLocal` pushed it; `Load`
+                                // only popped the pointer), and fault at
+                                // the load's own pc.
+                                fuel += 4;
+                                self.stats.instrs -= 4;
+                                self.stats.cycles -= 4 * cost::BASE;
+                                self.stack.push(av);
+                                pc += 4;
+                                fail!(e);
+                            }
+                        };
+                        let v = av.wrapping_add(extend(raw, lsz, lsg));
+                        let ok = self.space.write_raw(base + acc as u64, size, v as u64);
+                        debug_assert!(ok, "local slot is mapped");
+                        pc += 8;
+                    } else {
+                        self.stack.push(av);
+                    }
+                }
+                Instr::FusedLocalIdxStore {
+                    off,
+                    idx,
+                    esz,
+                    size,
+                } => {
+                    if fuel >= 3 {
+                        fuel -= 3;
+                        self.stats.instrs += 3;
+                        self.stats.cycles += 3 * cost::BASE;
+                        if self.checked {
+                            self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                        }
+                        let delta = (idx as i64).wrapping_mul(esz as i64);
+                        let ptr = self.space.ptr_add(base + off as u64, delta);
+                        pc += 3;
+                        let value = self.pop();
+                        let ctx = AccessCtx { func, pc };
+                        try_vm!(self.g_store_at(ptr, size, value as u64, ctx));
+                    } else {
+                        self.stack.push((base + off as u64) as i64);
+                    }
+                }
+                Instr::FusedIncLocal {
+                    off,
+                    delta,
+                    repr,
+                    len,
+                } => {
+                    let (size, signed) = unpack_scalar(repr);
+                    let raw = self
+                        .space
+                        .read_raw(base + off as u64, size)
+                        .expect("local slot is mapped");
+                    let old = extend(raw, size, signed);
+                    let extra = (len - 1) as u64;
+                    if fuel >= extra {
+                        fuel -= extra;
+                        self.stats.instrs += extra;
+                        self.stats.cycles += extra * cost::BASE;
+                        let mut new = old.wrapping_add(delta as i64);
+                        if size != AccessSize::B8 {
+                            new = extend(new as u64, size, signed);
+                        }
+                        let ok = self.space.write_raw(base + off as u64, size, new as u64);
+                        debug_assert!(ok, "local slot is mapped");
+                        pc += extra as u32;
+                    } else {
+                        self.stack.push(old);
+                    }
+                }
+                Instr::FusedIncJump {
+                    off,
+                    delta,
+                    repr,
+                    len,
+                    target,
+                } => {
+                    let (size, signed) = unpack_scalar(repr);
+                    let raw = self
+                        .space
+                        .read_raw(base + off as u64, size)
+                        .expect("local slot is mapped");
+                    let old = extend(raw, size, signed);
+                    let extra = (len - 1) as u64;
+                    if fuel >= extra {
+                        fuel -= extra;
+                        self.stats.instrs += extra;
+                        self.stats.cycles += extra * cost::BASE;
+                        let mut new = old.wrapping_add(delta as i64);
+                        if size != AccessSize::B8 {
+                            new = extend(new as u64, size, signed);
+                        }
+                        let ok = self.space.write_raw(base + off as u64, size, new as u64);
+                        debug_assert!(ok, "local slot is mapped");
+                        pc = target;
+                    } else {
+                        self.stack.push(old);
+                    }
+                }
+                Instr::FusedConstAlu { c, op } => {
+                    if fuel >= 1 {
+                        fuel -= 1;
+                        self.stats.instrs += 1;
+                        self.stats.cycles += cost::BASE;
+                        let a = self.pop();
+                        self.stack.push(op.eval(a, c as i64));
+                        pc += 1;
+                    } else {
+                        self.stack.push(c as i64);
+                    }
+                }
+                Instr::FusedStoreLocalPop { off, size } => {
+                    if fuel >= 2 {
+                        fuel -= 2;
+                        self.stats.instrs += 2;
+                        self.stats.cycles += 2 * cost::BASE;
+                        let value = self.pop();
+                        let ok = self.space.write_raw(base + off as u64, size, value as u64);
+                        debug_assert!(ok, "local slot is mapped");
+                        pc += 2;
+                    } else {
+                        let v = *self.stack.last().expect("dup on empty stack");
+                        self.stack.push(v);
+                    }
+                }
+                Instr::FusedLoadLoad { off, repr } => {
+                    let praw = self
+                        .space
+                        .read_raw(base + off as u64, AccessSize::B8)
+                        .expect("local slot is mapped");
+                    if fuel >= 1 {
+                        fuel -= 1;
+                        self.stats.instrs += 1;
+                        self.stats.cycles += cost::BASE;
+                        pc += 1;
+                        let (size, signed) = unpack_scalar(repr);
+                        let ctx = AccessCtx { func, pc };
+                        let raw = try_vm!(self.g_load_at(praw, size, ctx));
+                        self.stack.push(extend(raw, size, signed));
+                    } else {
+                        self.stack.push(praw as i64);
+                    }
+                }
             }
         }
     }
@@ -750,6 +999,73 @@ mod tests {
         match m.call(func, args) {
             Ok(v) => v,
             Err(e) => panic!("run failed: {e}"),
+        }
+    }
+
+    /// Runs one function under both execution tiers at the given fuel
+    /// and asserts identical observable outcomes: result/fault, run
+    /// stats, space stats, and full error-log contents.
+    fn assert_tier_parity(src: &str, func: &str, args: &[i64], mode: Mode, fuel: u64) {
+        let mut outcomes = Vec::new();
+        for tier in foc_compiler::ExecTier::ALL {
+            let image = foc_compiler::compile_image_tier(src, tier).expect("compile");
+            let mut m =
+                Machine::load(image, MachineConfig::with_mode(mode).with_fuel(fuel)).expect("load");
+            let result = m.call(func, args).map_err(|e| format!("{e:?}"));
+            let log: Vec<String> = m
+                .space()
+                .error_log()
+                .records()
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            outcomes.push((result, m.stats(), *m.space().stats(), log));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "tier divergence for {func} at fuel {fuel}"
+        );
+    }
+
+    #[test]
+    fn fused_tier_matches_baseline_across_fuel_and_modes() {
+        let src = "long spin(long n) { int xs[2]; long i; long acc = 0; \
+                   for (i = 0; i < n; i++) acc += xs[5]; return acc; }";
+        for mode in [
+            Mode::Standard,
+            Mode::BoundsCheck,
+            Mode::FailureOblivious,
+            Mode::Boundless,
+            Mode::Redirect,
+        ] {
+            assert_tier_parity(src, "spin", &[6], mode, 1_000_000);
+        }
+        // Sweep fuel across every mid-pattern exhaustion point of the
+        // first loop iterations: the fused tier must deopt to the same
+        // fault pc, counts, and log prefix as the baseline.
+        // Standard mode additionally faults on the OOB read itself, so
+        // sweeping it covers the mega-op's mid-pattern fault-refund
+        // seam (charge k-1, refund the components behind the faulting
+        // load) at every interleaving of fuel exhaustion and fault.
+        for fuel in 0..160 {
+            assert_tier_parity(src, "spin", &[6], Mode::FailureOblivious, fuel);
+            assert_tier_parity(src, "spin", &[6], Mode::Standard, fuel);
+        }
+    }
+
+    #[test]
+    fn fused_tier_matches_baseline_on_mixed_shapes() {
+        let src = "int f(int n) { \
+                     int xs[4]; int i; int acc; int *p; \
+                     acc = 0; p = &xs[1]; xs[1] = 5; \
+                     for (i = 0; i < n; i++) { acc = acc + *p + (i << 1) - (i & 3); } \
+                     xs[6] = acc; \
+                     return acc + xs[6] + *p; }";
+        for mode in [Mode::FailureOblivious, Mode::Boundless, Mode::Redirect] {
+            assert_tier_parity(src, "f", &[9], mode, 1_000_000);
+        }
+        for fuel in 0..220 {
+            assert_tier_parity(src, "f", &[9], Mode::FailureOblivious, fuel);
         }
     }
 
