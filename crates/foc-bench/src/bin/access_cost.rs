@@ -1,0 +1,111 @@
+//! The access-cost bench: in-bounds load/store rate of the memory
+//! substrate under the page-map lookup layer versus the direct
+//! object-table search. The traffic is a word-at-a-time copy between
+//! two multi-page heap buffers behind a few hundred smaller
+//! allocations — every access in bounds, alternating units on every
+//! step, which defeats the flat table's last-hit memo so the table
+//! side pays its structural search on each access while the paged
+//! side answers with one shift+mask probe. Both spaces are asserted
+//! to have driven the substrate identically, so the ratio isolates
+//! lookup cost alone.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p foc-bench --bin access_cost [reps]` —
+//!   full measurement (default 24 reps per layer); upserts one row
+//!   into `BENCH_farm.json`'s `access_cost_runs` trajectory (creating
+//!   the section in records that predate it). Rows are keyed by a
+//!   fingerprint of the measurement shape, so re-running the bin on an
+//!   unchanged tree replaces its row instead of duplicating it.
+//! * `cargo run --release -p foc-bench --bin access_cost -- --check`
+//!   — CI gate: asserts the paged layer sustains ≥1.5× the table
+//!   layer's access rate. Exits nonzero with a one-line diagnostic
+//!   otherwise.
+
+use foc_bench::farm_report::{
+    access_cost_fingerprint, access_cost_row_json, append_access_cost_row, measure_access_cost,
+    AccessCost,
+};
+
+/// The CI bar: the page map must beat the direct table search by this
+/// factor on memo-defeating in-bounds traffic. The paged probe is one
+/// shift+mask and a bounds compare against a ~9-step binary search
+/// (measured well above 2× on the development host), so 1.5× holds
+/// with room on noisy CI hosts.
+const GATE: f64 = 1.5;
+
+fn print_measurement(cost: &AccessCost) {
+    eprintln!(
+        "  table lookup {:>8.1} Maccess/s ± {:.1} ({} accesses/run, {} reps)",
+        cost.table.maccess_per_s, cost.table.maccess_ci95, cost.accesses, cost.reps
+    );
+    eprintln!(
+        "  paged lookup {:>8.1} Maccess/s ± {:.1}  ({:.2}x table)",
+        cost.paged.maccess_per_s,
+        cost.paged.maccess_ci95,
+        cost.speedup()
+    );
+}
+
+fn run_check() -> Result<(), String> {
+    eprintln!("access_cost --check: page map vs direct table search ...");
+    let cost = measure_access_cost(8);
+    print_measurement(&cost);
+    if cost.speedup() < GATE {
+        return Err(format!(
+            "paged lookup must sustain ≥{GATE}× the table search's in-bounds \
+             access rate: {:.1} vs {:.1} Maccess/s ({:.2}x)",
+            cost.paged.maccess_per_s,
+            cost.table.maccess_per_s,
+            cost.speedup()
+        ));
+    }
+    println!(
+        "access_cost --check OK ({:.2}x paged speedup, {:.1} Maccess/s paged)",
+        cost.speedup(),
+        cost.paged.maccess_per_s
+    );
+    Ok(())
+}
+
+/// Prints the one-line diagnostic and exits nonzero — the `--check`
+/// contract: CI logs get a readable reason, not a panic backtrace.
+fn fail(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        if let Err(msg) = run_check() {
+            fail("access_cost --check", &msg);
+        }
+        return;
+    }
+    let mut reps = 24usize;
+    if let Some(arg) = args.first() {
+        match arg.parse() {
+            Ok(n) if n > 0 => reps = n,
+            _ => {
+                eprintln!("access_cost: invalid rep count {arg:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cost = measure_access_cost(reps);
+    print_measurement(&cost);
+
+    let path = "BENCH_farm.json";
+    let row = access_cost_row_json(&cost, &access_cost_fingerprint(reps));
+    match std::fs::read_to_string(path) {
+        Ok(json) => match append_access_cost_row(&json, &row) {
+            Ok(updated) => {
+                std::fs::write(path, updated).expect("write BENCH_farm.json");
+                println!("recorded access_cost row in {path}");
+            }
+            Err(e) => fail("access_cost", &e),
+        },
+        Err(e) => fail("access_cost", &format!("cannot read {path}: {e}")),
+    }
+}

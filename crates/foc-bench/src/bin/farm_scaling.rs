@@ -79,8 +79,9 @@ fn print_boot(boot: &BootCost) {
 fn print_stress(stress: &[StressRow], churn: &UnitChurn) {
     for row in stress {
         eprintln!(
-            "  stress {:<6} {} servers: {:.1} ms ± {:.1}  ({:.0} req/s host, p99.9 {} cycles)",
+            "  stress {:<6}/{:<5} {} servers: {:.1} ms ± {:.1}  ({:.0} req/s host, p99.9 {} cycles)",
             row.backend.name(),
+            row.lookup.name(),
             row.report.config.servers,
             row.wall_ms,
             row.wall_ms_ci95,
@@ -123,7 +124,13 @@ fn run_check() -> Result<(), String> {
         ));
     }
     let violation = measure_violation_throughput(2);
-    let stress = stress_sweep(4, 3, 1, &foc_memory::TableKind::ALL)?;
+    let stress = stress_sweep(
+        4,
+        3,
+        1,
+        &foc_memory::TableKind::ALL,
+        &foc_memory::LookupLayer::ALL,
+    )?;
     let churn = measure_unit_churn(16, 2);
     let restart_rows = vec![restart_cost_row_json(&restart, &violation, "check")];
     let json = render_farm_json(
@@ -133,6 +140,7 @@ fn run_check() -> Result<(), String> {
         &stress,
         &churn,
         &restart_rows,
+        &[],
         &[],
         &[],
     );

@@ -17,29 +17,31 @@
 //!   backend); regenerates the complete `BENCH_farm.json` so the record
 //!   stays consistent with the suite sections.
 //! * `cargo run --release -p foc-bench --bin farm_stress -- --check` —
-//!   CI smoke mode: a miniature stress sweep (every backend, the
-//!   cross-backend equality check, churn measurement, JSON rendering)
-//!   without writing the record. A contract violation exits nonzero
-//!   with a one-line diagnostic.
-//! * `... --check --table <splay|btree|flat>` — same smoke restricted
-//!   to one backend (the CI `TableKind` job matrix runs one backend per
-//!   job; the cross-backend equality check needs ≥ 2 backends and is
-//!   skipped).
+//!   CI smoke mode: a miniature stress sweep (every backend under both
+//!   lookup layers, the cross-cell equality check, churn measurement,
+//!   JSON rendering) without writing the record. A contract violation
+//!   exits nonzero with a one-line diagnostic.
+//! * `... --check --table <splay|btree|flat|auto>` — same smoke
+//!   restricted to one backend (the CI `TableKind` job matrix runs one
+//!   backend per job; both lookup layers still run, so every matrix job
+//!   keeps a cross-cell equality check).
 
 use foc_bench::farm_report::{measure_record, measure_unit_churn, stress_sweep, RecordShape};
-use foc_memory::TableKind;
+use foc_memory::{LookupLayer, TableKind};
 
 fn run_check(backends: &[TableKind]) -> Result<(), String> {
     eprintln!(
-        "farm_stress --check: miniature stress sweep ({} backend(s)) ...",
-        backends.len()
+        "farm_stress --check: miniature stress sweep ({} backend(s) x {} layers) ...",
+        backends.len(),
+        LookupLayer::ALL.len()
     );
-    let rows = stress_sweep(96, 3, 2, backends)?;
-    if rows.len() != backends.len() {
+    let rows = stress_sweep(96, 3, 2, backends, &LookupLayer::ALL)?;
+    if rows.len() != backends.len() * LookupLayer::ALL.len() {
         return Err(format!(
-            "{} rows for {} backends",
+            "{} rows for {} backends x {} layers",
             rows.len(),
-            backends.len()
+            backends.len(),
+            LookupLayer::ALL.len()
         ));
     }
     for row in &rows {
@@ -65,8 +67,9 @@ fn run_check(backends: &[TableKind]) -> Result<(), String> {
             ));
         }
         eprintln!(
-            "  {:<6} {:.1} ms ± {:.1} ({:.0} req/s host)",
+            "  {:<6}/{:<5} {:.1} ms ± {:.1} ({:.0} req/s host)",
             row.backend.name(),
+            row.lookup.name(),
             row.wall_ms,
             row.wall_ms_ci95,
             row.host_rps
@@ -82,7 +85,7 @@ fn run_check(backends: &[TableKind]) -> Result<(), String> {
         churn.boxed_ns,
         churn.speedup()
     );
-    println!("farm_stress --check OK ({} backends)", rows.len());
+    println!("farm_stress --check OK ({} rows)", rows.len());
     Ok(())
 }
 
@@ -99,7 +102,7 @@ fn main() {
     let mut backends: Vec<TableKind> = TableKind::ALL.to_vec();
     if let Some(at) = args.iter().position(|a| a == "--table") {
         if at + 1 >= args.len() {
-            eprintln!("farm_stress: --table needs a backend name (splay|btree|flat)");
+            eprintln!("farm_stress: --table needs a backend name (splay|btree|flat|auto)");
             std::process::exit(2);
         }
         match args[at + 1].parse() {
@@ -161,9 +164,10 @@ fn main() {
     for row in &record.stress {
         let s = &row.report.stats;
         println!(
-            "{:<6} {} servers x {} requests: {:.1} ms ± {:.1}  ({:.0} req/s host, \
+            "{:<6}/{:<5} {} servers x {} requests: {:.1} ms ± {:.1}  ({:.0} req/s host, \
              hist p50/p99/p99.9 ≤ {}/{}/{} cycles)",
             row.backend.name(),
+            row.lookup.name(),
             row.report.config.servers,
             row.report.config.requests_per_server,
             row.wall_ms,

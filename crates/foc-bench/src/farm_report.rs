@@ -15,7 +15,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use criterion::stats::robust_summary;
-use foc_memory::{Mode, TableKind, UnitKind, UnitStore};
+use foc_memory::{
+    AccessCtx, AccessSize, LookupLayer, MemConfig, MemorySpace, Mode, TableKind, UnitKind,
+    UnitStore,
+};
 use foc_servers::farm::{run_farm, FarmConfig, FarmReport, ServerKind};
 use foc_servers::latency::LatencyHist;
 
@@ -413,6 +416,145 @@ pub fn measure_dispatch_cost(reps: usize) -> DispatchCost {
 }
 
 // ----------------------------------------------------------------------
+// Access cost: the in-bounds fast path, page map vs object table.
+// ----------------------------------------------------------------------
+
+/// Depth of the object table behind the measured buffers: this many
+/// small heap allocations precede them, so a table search pays a
+/// realistic log₂(~400) probe while the page map still answers in one
+/// shift+mask.
+const ACCESS_DEPTH_ALLOCS: usize = 384;
+
+/// Bytes per copied buffer: 12 pages each, so nearly every access lands
+/// on an exclusively-covered page (the page map's `One` fast path).
+const ACCESS_BUF_BYTES: u64 = 48 * 1024;
+
+/// Full src→dst copy passes per measured run. Each pass alternates a
+/// load from one multi-page buffer with a store to the other, which is
+/// exactly the traffic that defeats the flat table's one-entry last-hit
+/// memo and the splay tree's locality rotation: every single access
+/// pays the structural search under [`LookupLayer::Table`].
+const ACCESS_COPY_PASSES: usize = 6;
+
+/// One lookup layer's in-bounds access rate.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRate {
+    /// Robust mean million in-bounds accesses per host second.
+    pub maccess_per_s: f64,
+    /// 95% CI half-width on `maccess_per_s`.
+    pub maccess_ci95: f64,
+}
+
+/// Paired in-bounds load/store rate measurement: the same memory-copy
+/// traffic driven through [`LookupLayer::Table`] and
+/// [`LookupLayer::Paged`] on otherwise identical spaces.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessCost {
+    /// Direct object-table search ([`TableKind::Flat`], memo defeated).
+    pub table: AccessRate,
+    /// Page-map shift+mask probe over the same flat table.
+    pub paged: AccessRate,
+    /// In-bounds accesses per measured run.
+    pub accesses: u64,
+    /// Repetitions per layer.
+    pub reps: usize,
+}
+
+impl AccessCost {
+    /// Paged-over-table access rate ratio.
+    pub fn speedup(&self) -> f64 {
+        self.paged.maccess_per_s / self.table.maccess_per_s
+    }
+}
+
+/// Builds one measurement space: `ACCESS_DEPTH_ALLOCS` small heap
+/// units for table depth, then the two multi-page copy buffers.
+/// Returns the space and the `(src, dst)` buffer bases.
+fn access_cost_space(lookup: LookupLayer) -> (MemorySpace, u64, u64) {
+    let config = MemConfig::with_mode(Mode::FailureOblivious)
+        .with_table(TableKind::Flat)
+        .with_lookup(lookup);
+    let mut space = MemorySpace::new(config);
+    for _ in 0..ACCESS_DEPTH_ALLOCS {
+        space.malloc(48).expect("depth alloc fits");
+    }
+    let src = space.malloc(ACCESS_BUF_BYTES).expect("src buffer fits");
+    let dst = space.malloc(ACCESS_BUF_BYTES).expect("dst buffer fits");
+    (space, src, dst)
+}
+
+/// One timed copy pass: word loads from `src` interleaved with word
+/// stores to `dst`, every access in bounds. Returns a checksum so the
+/// loop cannot be optimised away.
+#[inline(never)]
+fn access_cost_pass(space: &mut MemorySpace, src: u64, dst: u64) -> u64 {
+    let ctx = AccessCtx::default();
+    let mut sum = 0u64;
+    let mut off = 0;
+    while off < ACCESS_BUF_BYTES {
+        let r = space
+            .load(src + off, AccessSize::B8, ctx)
+            .expect("in bounds");
+        debug_assert!(!r.violation);
+        let w = space
+            .store(dst + off, AccessSize::B8, r.value, ctx)
+            .expect("in bounds");
+        debug_assert!(!w.violation);
+        sum = sum.wrapping_add(r.value);
+        off += 8;
+    }
+    sum
+}
+
+/// Measures [`AccessCost`]: `reps` timed runs of the copy traffic per
+/// lookup layer, on spaces whose unit placement is identical by
+/// construction. The two layers' [`foc_memory::SpaceStats`] are
+/// asserted equal afterwards — the microbench doubles as a
+/// host-side equivalence check on the exact traffic it times.
+pub fn measure_access_cost(reps: usize) -> AccessCost {
+    let reps = reps.max(1);
+    let (mut table_space, t_src, t_dst) = access_cost_space(LookupLayer::Table);
+    let (mut paged_space, p_src, p_dst) = access_cost_space(LookupLayer::Paged);
+    assert_eq!(
+        (t_src, t_dst),
+        (p_src, p_dst),
+        "the page map must not change placement"
+    );
+    let accesses = (ACCESS_BUF_BYTES / 8) * 2 * ACCESS_COPY_PASSES as u64;
+    let measure = |space: &mut MemorySpace, src: u64, dst: u64| {
+        let mut rates = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let mut sum = 0u64;
+            for _ in 0..ACCESS_COPY_PASSES {
+                sum = sum.wrapping_add(access_cost_pass(space, src, dst));
+            }
+            let secs = t.elapsed().as_secs_f64();
+            black_box(sum);
+            rates.push(accesses as f64 / secs / 1e6);
+        }
+        let r = robust_summary(&rates);
+        AccessRate {
+            maccess_per_s: r.mean,
+            maccess_ci95: r.ci95,
+        }
+    };
+    let table = measure(&mut table_space, t_src, t_dst);
+    let paged = measure(&mut paged_space, p_src, p_dst);
+    assert_eq!(
+        table_space.stats(),
+        paged_space.stats(),
+        "lookup layers must drive the substrate identically"
+    );
+    AccessCost {
+        table,
+        paged,
+        accesses,
+        reps,
+    }
+}
+
+// ----------------------------------------------------------------------
 // The farm_stress scale-out point: thousands of servers, per-backend.
 // ----------------------------------------------------------------------
 
@@ -421,6 +563,8 @@ pub fn measure_dispatch_cost(reps: usize) -> DispatchCost {
 pub struct StressRow {
     /// Which backend ran.
     pub backend: TableKind,
+    /// Which in-bounds lookup layer ran (page map vs direct table).
+    pub lookup: LookupLayer,
     /// Robust mean host wall time per run, milliseconds.
     pub wall_ms: f64,
     /// Half-width of the 95% confidence interval on `wall_ms`.
@@ -444,59 +588,65 @@ pub fn stress_config(servers: usize, requests: usize) -> FarmConfig {
     config
 }
 
-/// Runs the stress farm once per requested object-table backend, `reps`
-/// times each, verifying the determinism contract across them: every
-/// backend must produce the *same* [`FarmReport`], so the wall-time
-/// spread between rows is attributable to lookup cost alone. A contract
+/// Runs the stress farm once per requested object-table backend ×
+/// lookup layer, `reps` times each, verifying the determinism contract
+/// across the whole grid: every cell must produce the *same*
+/// [`FarmReport`], so the wall-time spread between rows is attributable
+/// to lookup cost alone. (The cross-*layer* half of that check is the
+/// farm-scale equivalence proof of the page-map overlay.) A contract
 /// violation is returned as a one-line diagnostic (the `--check` bins
 /// exit nonzero with it instead of dumping a panic backtrace into CI
-/// logs). Pass [`TableKind::ALL`] for the recorded sweep or a single
-/// backend for a CI matrix job.
+/// logs). Pass [`TableKind::ALL`] × [`LookupLayer::ALL`] for the
+/// recorded sweep or a single cell for a CI matrix job.
 pub fn stress_sweep(
     servers: usize,
     requests: usize,
     reps: usize,
     backends: &[TableKind],
+    layers: &[LookupLayer],
 ) -> Result<Vec<StressRow>, String> {
     let reps = reps.max(1);
     let base = stress_config(servers, requests);
     let mut reference: Option<FarmReport> = None;
     let mut rows = Vec::new();
     for &backend in backends {
-        let config = base.clone().with_table(backend);
-        let mut walls = Vec::with_capacity(reps);
-        let mut last: Option<FarmReport> = None;
-        for _ in 0..reps {
-            let report = run_farm(&config);
-            match &reference {
-                Some(r) if *r != report => {
-                    return Err(format!(
-                        "table backend {backend} broke the determinism contract \
-                         (completed {} vs {})",
-                        report.stats.completed, r.stats.completed
-                    ));
+        for &lookup in layers {
+            let config = base.clone().with_table(backend).with_lookup(lookup);
+            let mut walls = Vec::with_capacity(reps);
+            let mut last: Option<FarmReport> = None;
+            for _ in 0..reps {
+                let report = run_farm(&config);
+                match &reference {
+                    Some(r) if *r != report => {
+                        return Err(format!(
+                            "table backend {backend} under {lookup} lookup broke the \
+                             determinism contract (completed {} vs {})",
+                            report.stats.completed, r.stats.completed
+                        ));
+                    }
+                    Some(_) => {}
+                    None => reference = Some(report.clone()),
                 }
-                Some(_) => {}
-                None => reference = Some(report.clone()),
+                walls.push(report.host_wall_ms);
+                last = Some(report);
             }
-            walls.push(report.host_wall_ms);
-            last = Some(report);
+            let report = last.expect("reps >= 1");
+            let s = robust_summary(&walls);
+            let host_rps = if s.mean > 0.0 {
+                report.stats.completed as f64 / (s.mean / 1e3)
+            } else {
+                0.0
+            };
+            rows.push(StressRow {
+                backend,
+                lookup,
+                wall_ms: s.mean,
+                wall_ms_ci95: s.ci95,
+                host_rps,
+                reps,
+                report,
+            });
         }
-        let report = last.expect("reps >= 1");
-        let s = robust_summary(&walls);
-        let host_rps = if s.mean > 0.0 {
-            report.stats.completed as f64 / (s.mean / 1e3)
-        } else {
-            0.0
-        };
-        rows.push(StressRow {
-            backend,
-            wall_ms: s.mean,
-            wall_ms_ci95: s.ci95,
-            host_rps,
-            reps,
-            report,
-        });
     }
     Ok(rows)
 }
@@ -700,6 +850,10 @@ pub struct FarmRecord {
     /// tier interpretation rate on the manufactured loop). Appended by
     /// the `dispatch_cost` bin; regeneration carries them forward.
     pub dispatch_cost_runs: Vec<String>,
+    /// Accumulated `access_cost` rows (in-bounds access rate, page map
+    /// vs direct table search). Appended by the `access_cost` bin;
+    /// regeneration carries them forward.
+    pub access_cost_runs: Vec<String>,
     /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
     /// objects, one per recorded full-grid sweep). Regenerating bins
     /// carry these forward from the previous record so the sweep's own
@@ -718,6 +872,7 @@ impl FarmRecord {
             &self.churn,
             &self.restart_cost_runs,
             &self.dispatch_cost_runs,
+            &self.access_cost_runs,
             &self.mode_sweep_runs,
         )
     }
@@ -743,17 +898,27 @@ pub fn measure_record(
     eprintln!("measuring restart cost (checkpoint restore vs cold boot+replay) ...");
     let restart = measure_restart_cost(shape.restart_reps);
     let violation = measure_violation_throughput(shape.restart_reps.clamp(3, 8));
+    // The recorded sweep covers the three structural backends plus the
+    // adaptive wrapper, each under both lookup layers.
+    let stress_backends = [
+        TableKind::Splay,
+        TableKind::BTree,
+        TableKind::Flat,
+        TableKind::Auto,
+    ];
     eprintln!(
-        "running farm_stress: {} Apache servers x {} requests, {} backends ...",
+        "running farm_stress: {} Apache servers x {} requests, {} backends x {} layers ...",
         shape.stress_servers,
         shape.stress_requests,
-        TableKind::ALL.len()
+        stress_backends.len(),
+        LookupLayer::ALL.len()
     );
     let stress = stress_sweep(
         shape.stress_servers,
         shape.stress_requests,
         shape.stress_reps,
-        &TableKind::ALL,
+        &stress_backends,
+        &LookupLayer::ALL,
     )?;
     eprintln!("measuring unit-store churn (arena vs seed boxed baseline) ...");
     let churn = measure_unit_churn(shape.stress_servers, shape.churn_reps);
@@ -777,6 +942,9 @@ pub fn measure_record(
         restart_cost_runs,
         dispatch_cost_runs: previous_json
             .map(extract_dispatch_cost_rows)
+            .unwrap_or_default(),
+        access_cost_runs: previous_json
+            .map(extract_access_cost_rows)
             .unwrap_or_default(),
         mode_sweep_runs: previous_json
             .map(extract_mode_sweep_rows)
@@ -1093,6 +1261,73 @@ pub fn append_dispatch_cost_row(json: &str, row: &str) -> Result<String, String>
     Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
+// ----------------------------------------------------------------------
+// The access_cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Fingerprint for an `access_cost` trajectory row: schema tag and the
+/// measurement shape (table depth, buffer size, passes, rep count). No
+/// guest images are involved — the bench drives the substrate directly
+/// — so only a shape change re-measures.
+pub fn access_cost_fingerprint(reps: usize) -> String {
+    let parts: Vec<String> = vec![
+        "access_cost/v1".to_string(),
+        ACCESS_DEPTH_ALLOCS.to_string(),
+        ACCESS_BUF_BYTES.to_string(),
+        ACCESS_COPY_PASSES.to_string(),
+        reps.to_string(),
+    ];
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Renders one `access_cost` trajectory row: the in-bounds access rate
+/// under both lookup layers and their ratio.
+pub fn access_cost_row_json(cost: &AccessCost, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"table_maccess_per_s\": {:.1}, \"table_maccess_ci95\": {:.1}, ",
+            "\"paged_maccess_per_s\": {:.1}, \"paged_maccess_ci95\": {:.1}, ",
+            "\"speedup\": {:.2}, \"accesses\": {}, \"reps\": {}, ",
+            "\"fingerprint\": \"{}\"}}"
+        ),
+        cost.table.maccess_per_s,
+        cost.table.maccess_ci95,
+        cost.paged.maccess_per_s,
+        cost.paged.maccess_ci95,
+        cost.speedup(),
+        cost.accesses,
+        cost.reps,
+        fingerprint,
+    )
+}
+
+/// Extracts the `access_cost_runs` rows from an existing record
+/// (empty when the record predates the section).
+pub fn extract_access_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "access_cost_runs")
+}
+
+/// Returns `json` with `row` upserted into its `access_cost_runs`
+/// array. A record that predates the section gains one, inserted just
+/// before `mode_sweep_runs`.
+pub fn append_access_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"access_cost_runs\": [") {
+        let mut rows = extract_access_cost_rows(json);
+        upsert_row(&mut rows, row.to_string());
+        return replace_rows_section(json, "access_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor access_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"access_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -1151,7 +1386,7 @@ fn stress_row_json(row: &StressRow) -> String {
     let s = &row.report.stats;
     format!(
         concat!(
-            "      {{\"backend\": \"{}\", \"wall_ms\": {:.2}, ",
+            "      {{\"backend\": \"{}\", \"lookup\": \"{}\", \"wall_ms\": {:.2}, ",
             "\"wall_ms_ci95\": {:.2}, \"host_rps\": {:.1}, \"reps\": {}, ",
             "\"completed\": {}, \"total_cycles\": {}, ",
             "\"latency_p50\": {}, \"latency_p99\": {}, \"latency_p999\": {}, ",
@@ -1159,6 +1394,7 @@ fn stress_row_json(row: &StressRow) -> String {
             "\"service_hist\": {}, \"restart_hist\": {}}}"
         ),
         row.backend.name(),
+        row.lookup.name(),
         row.wall_ms,
         row.wall_ms_ci95,
         row.host_rps,
@@ -1187,6 +1423,7 @@ pub fn render_farm_json(
     churn: &UnitChurn,
     restart_cost_runs: &[String],
     dispatch_cost_runs: &[String],
+    access_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
@@ -1253,6 +1490,23 @@ pub fn render_farm_json(
             out.push_str("    ");
             out.push_str(row);
             if i + 1 < dispatch_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    // The access-cost trajectory: in-bounds access rate under the page
+    // map versus the direct table search, one row per recorded
+    // measurement (the access_cost bin upserts by fingerprint).
+    if access_cost_runs.is_empty() {
+        out.push_str("  \"access_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"access_cost_runs\": [\n");
+        for (i, row) in access_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < access_cost_runs.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -1352,7 +1606,7 @@ mod tests {
             cached_ci95_ns: 500.0,
             reps: 10,
         };
-        let stress = stress_sweep(3, 3, 1, &TableKind::ALL).expect("contract");
+        let stress = stress_sweep(3, 3, 1, &TableKind::ALL, &LookupLayer::ALL).expect("contract");
         let churn = measure_unit_churn(4, 2);
         let restart = RestartCost {
             cold_ns: 500_000.0,
@@ -1379,6 +1633,19 @@ mod tests {
             reps: 3,
         };
         let dispatch_rows = vec![dispatch_cost_row_json(&dispatch, "fp-dispatch-1")];
+        let access = AccessCost {
+            table: AccessRate {
+                maccess_per_s: 10.0,
+                maccess_ci95: 0.5,
+            },
+            paged: AccessRate {
+                maccess_per_s: 25.0,
+                maccess_ci95: 0.5,
+            },
+            accesses: 73_728,
+            reps: 3,
+        };
+        let access_rows = vec![access_cost_row_json(&access, "fp-access-1")];
         let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5, "fp-sweep-1")];
         let json = render_farm_json(
             &reports,
@@ -1388,6 +1655,7 @@ mod tests {
             &churn,
             &restart_rows,
             &dispatch_rows,
+            &access_rows,
             &rows,
         );
         assert_eq!(
@@ -1414,6 +1682,10 @@ mod tests {
         assert!(json.contains("\"violation_minstr_per_s\""));
         assert!(json.contains("\"dispatch_cost_runs\""));
         assert!(json.contains("\"baseline_minstr_per_s\""));
+        assert!(json.contains("\"access_cost_runs\""));
+        assert!(json.contains("\"paged_maccess_per_s\""));
+        assert!(json.contains("\"lookup\": \"table\""));
+        assert!(json.contains("\"lookup\": \"paged\""));
         // Round trip: extract the rows back and append another (a new
         // fingerprint grows the array).
         assert_eq!(extract_restart_cost_rows(&json), restart_rows);
@@ -1462,6 +1734,13 @@ mod tests {
             append_dispatch_cost_row(&json, &dispatch_cost_row_json(&dispatch, "fp-dispatch-2"))
                 .expect("append dispatch row");
         assert_eq!(extract_dispatch_cost_rows(&dgrown).len(), 2);
+        assert_eq!(extract_access_cost_rows(&json), access_rows);
+        let agrown = append_access_cost_row(&json, &access_cost_row_json(&access, "fp-access-2"))
+            .expect("append access row");
+        assert_eq!(extract_access_cost_rows(&agrown).len(), 2);
+        let asame = append_access_cost_row(&agrown, &access_cost_row_json(&access, "fp-access-2"))
+            .expect("upsert access row");
+        assert_eq!(extract_access_cost_rows(&asame).len(), 2);
         assert_eq!(
             appended.matches('{').count(),
             appended.matches('}').count(),
@@ -1479,21 +1758,40 @@ mod tests {
     }
 
     #[test]
-    fn stress_sweep_rows_agree_across_backends() {
-        let rows = stress_sweep(4, 5, 2, &TableKind::ALL).expect("contract");
-        assert_eq!(rows.len(), TableKind::ALL.len());
+    fn stress_sweep_rows_agree_across_backends_and_layers() {
+        let rows = stress_sweep(4, 5, 2, &TableKind::ALL, &LookupLayer::ALL).expect("contract");
+        assert_eq!(rows.len(), TableKind::ALL.len() * LookupLayer::ALL.len());
         for pair in rows.windows(2) {
             assert_eq!(
                 pair[0].report, pair[1].report,
-                "{} and {} must compute identical farms",
-                pair[0].backend, pair[1].backend
+                "{}/{} and {}/{} must compute identical farms",
+                pair[0].backend, pair[0].lookup, pair[1].backend, pair[1].lookup
             );
         }
         for row in &rows {
             assert_eq!(row.report.config.table, row.backend);
+            assert_eq!(row.report.config.lookup, row.lookup);
             assert!(row.wall_ms > 0.0);
             assert!(row.host_rps > 0.0);
         }
+    }
+
+    #[test]
+    fn paged_access_rate_beats_the_direct_table_search() {
+        // The acceptance bar of the page-map layer, mirroring the
+        // dispatch-cost gate: on memo-defeating in-bounds traffic the
+        // shift+mask probe must beat the flat table's binary search by
+        // 1.5x with room to spare even on noisy CI hosts. (The
+        // measurement itself asserts both layers drove the substrate
+        // identically.)
+        let cost = measure_access_cost(3);
+        assert!(
+            cost.speedup() >= 1.5,
+            "paged lookup must be ≥1.5× the table search: table {:.1} vs paged {:.1} Maccess/s ({:.2}×)",
+            cost.table.maccess_per_s,
+            cost.paged.maccess_per_s,
+            cost.speedup()
+        );
     }
 
     #[test]
@@ -1613,6 +1911,8 @@ mod tests {
         );
         assert_eq!(restart_cost_fingerprint(24), restart_cost_fingerprint(24));
         assert_ne!(restart_cost_fingerprint(24), restart_cost_fingerprint(8));
+        assert_eq!(access_cost_fingerprint(8), access_cost_fingerprint(8));
+        assert_ne!(access_cost_fingerprint(8), access_cost_fingerprint(24));
         // Concatenation ambiguity is broken by the separator.
         assert_ne!(fingerprint_of(&["ab", "c"]), fingerprint_of(&["a", "bc"]));
     }

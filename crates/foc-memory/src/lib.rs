@@ -29,6 +29,7 @@ pub mod heap;
 pub mod log;
 pub mod manufacture;
 pub mod oob;
+pub mod page;
 pub mod policy;
 pub mod report;
 pub mod space;
@@ -41,6 +42,7 @@ pub use heap::HeapError;
 pub use log::{ErrorKind, MemoryErrorLog, MemoryErrorRecord};
 pub use manufacture::{Manufacturer, ValueSequence};
 pub use oob::{OobId, OobRegistry};
+pub use page::{LookupLayer, PageHit, PageMap, PAGE_SHIFT, PAGE_SIZE};
 pub use policy::{BoundlessStore, Mode};
 pub use report::{summarize, LogReport, SiteReport};
 pub use space::{
@@ -48,5 +50,7 @@ pub use space::{
     FRAME_GUARD_SIZE,
 };
 pub use store::UnitStore;
-pub use table::{BTreeTable, FlatTable, ObjectTable, Placement, SplayTable, TableKind};
+pub use table::{
+    AutoTable, BTreeTable, FlatTable, ObjectTable, Placement, SplayTable, TableKind, AUTO_PROMOTE,
+};
 pub use unit::{DataUnit, UnitId, UnitKind};

@@ -18,9 +18,10 @@ use crate::heap::{HeapAllocator, HeapError};
 use crate::log::{ErrorKind, MemoryErrorLog};
 use crate::manufacture::{Manufacturer, ValueSequence};
 use crate::oob::OobRegistry;
+use crate::page::{LookupLayer, PageHit, PageMap};
 use crate::policy::{BoundlessStore, Mode};
 use crate::store::UnitStore;
-use crate::table::{ObjectTable, TableKind};
+use crate::table::{ObjectTable, Placement, TableKind};
 use crate::unit::{DataUnit, UnitId, UnitKind};
 
 /// First canary token word written at the top of each stack frame.
@@ -46,6 +47,8 @@ pub struct MemConfig {
     pub sequence: ValueSequence,
     /// Object table backend.
     pub table: TableKind,
+    /// In-bounds lookup layer (page map vs direct table search).
+    pub lookup: LookupLayer,
     /// Retention capacity of the memory-error log.
     pub log_capacity: usize,
 }
@@ -72,6 +75,13 @@ impl MemConfig {
         self.table = table;
         self
     }
+
+    /// Same configuration on a different in-bounds lookup layer. A pure
+    /// performance axis: both layers are observationally identical.
+    pub fn with_lookup(mut self, lookup: LookupLayer) -> MemConfig {
+        self.lookup = lookup;
+        self
+    }
 }
 
 impl Default for MemConfig {
@@ -83,6 +93,7 @@ impl Default for MemConfig {
             stack_len: 8 << 20,
             sequence: ValueSequence::default(),
             table: TableKind::Splay,
+            lookup: LookupLayer::Table,
             log_capacity: 4096,
         }
     }
@@ -227,6 +238,8 @@ pub struct MemorySpace {
     stack: Region,
     store: UnitStore,
     table: Box<dyn ObjectTable>,
+    lookup: LookupLayer,
+    pages: PageMap,
     oob: OobRegistry,
     allocator: HeapAllocator,
     boundless: BoundlessStore,
@@ -248,6 +261,8 @@ impl Clone for MemorySpace {
             stack: self.stack.clone(),
             store: self.store.clone(),
             table: self.table.boxed_clone(),
+            lookup: self.lookup,
+            pages: self.pages.clone(),
             oob: self.oob.clone(),
             allocator: self.allocator.clone(),
             boundless: self.boundless.clone(),
@@ -280,6 +295,8 @@ impl MemorySpace {
             stack,
             store: UnitStore::new(),
             table: config.table.build(),
+            lookup: config.lookup,
+            pages: PageMap::new(config.global_len, config.heap_len, config.stack_len),
             oob: OobRegistry::new(),
             boundless: BoundlessStore::new(),
             manufacturer: Manufacturer::new(config.sequence),
@@ -404,14 +421,80 @@ impl MemorySpace {
     fn new_unit(&mut self, base: u64, size: u64, kind: UnitKind, label: Option<&str>) -> UnitId {
         let id = self.store.alloc(base, size, kind, label);
         self.table.insert(base, size, id);
+        if self.lookup == LookupLayer::Paged {
+            self.pages.cover(base, size, id);
+        }
         id
     }
 
     fn kill_unit(&mut self, id: UnitId) {
         let base = self.store.kill(id);
-        self.table.remove(base);
+        let removed = self.table.remove(base);
+        if self.lookup == LookupLayer::Paged {
+            // Invalidate eagerly: a page entry must never outlive its
+            // unit, or a recycled store slot could masquerade as it.
+            if let Some(pl) = removed {
+                self.pages.uncover(pl.base, pl.size, pl.unit);
+            }
+        }
         self.oob.purge_unit(id);
         self.boundless.forget_unit(id);
+    }
+
+    /// Resolves the live unit containing `a`, if any — semantically
+    /// identical to `self.table.lookup(a)` under either lookup layer.
+    ///
+    /// Under [`LookupLayer::Paged`] the page map answers first:
+    ///
+    /// * a guard page proves no unit contains `a` (any such unit would
+    ///   intersect `a`'s page), so the miss needs no search;
+    /// * a single-unit page needs one generation-checked store load and
+    ///   one bounds compare — `a` outside that unit is a proven miss by
+    ///   the same intersection argument;
+    /// * a shared page probes the candidate (containment in a live unit
+    ///   is proof regardless of neighbours) and only then falls back to
+    ///   the table, re-seeding the candidate on a hit.
+    #[inline]
+    fn lookup_placement(&mut self, a: u64) -> Option<Placement> {
+        match self.lookup {
+            LookupLayer::Table => self.table.lookup(a),
+            LookupLayer::Paged => match self.pages.hit(a) {
+                PageHit::Guard => None,
+                PageHit::One(id) => {
+                    if let Some(u) = self.store.get(id) {
+                        if u.live {
+                            return u.contains_addr(a).then_some(Placement {
+                                base: u.base,
+                                size: u.size,
+                                unit: id,
+                            });
+                        }
+                    }
+                    // A stale entry would be a bookkeeping bug; the
+                    // table stays authoritative either way.
+                    debug_assert!(false, "page map names a dead unit at {a:#x}");
+                    self.table.lookup(a)
+                }
+                PageHit::Table(hint) => {
+                    if let Some(id) = hint {
+                        if let Some(u) = self.store.get(id) {
+                            if u.live && u.contains_addr(a) {
+                                return Some(Placement {
+                                    base: u.base,
+                                    size: u.size,
+                                    unit: id,
+                                });
+                            }
+                        }
+                    }
+                    let pl = self.table.lookup(a);
+                    if let Some(pl) = pl {
+                        self.pages.note(a, pl.unit);
+                    }
+                    pl
+                }
+            },
+        }
     }
 
     /// Looks up a unit by id (for diagnostics). Returns the unit while it
@@ -434,6 +517,11 @@ impl MemorySpace {
     /// Which object-table backend this space runs.
     pub fn table_kind(&self) -> TableKind {
         self.table.kind()
+    }
+
+    /// Which in-bounds lookup layer this space runs.
+    pub fn lookup_layer(&self) -> LookupLayer {
+        self.lookup
     }
 
     // ------------------------------------------------------------------
@@ -491,7 +579,7 @@ impl MemorySpace {
             return Ok(());
         }
         // Checked modes: `p` must be the exact base of a live heap unit.
-        let placement = self.table.lookup(p);
+        let placement = self.lookup_placement(p);
         let valid = placement
             .map(|pl| {
                 pl.base == p
@@ -521,7 +609,7 @@ impl MemorySpace {
             return Ok(0);
         }
         let old_size = if self.mode.is_checked() {
-            match self.table.lookup(p) {
+            match self.lookup_placement(p) {
                 Some(pl) if pl.base == p => pl.size,
                 _ => {
                     // Invalid realloc: same policy as invalid free; the
@@ -664,7 +752,7 @@ impl MemorySpace {
             return ptr.wrapping_add(delta as u64);
         }
         let target = ptr.wrapping_add(delta as u64);
-        match self.table.lookup(ptr) {
+        match self.lookup_placement(ptr) {
             Some(pl) => {
                 if target >= pl.base && target < pl.base + pl.size {
                     target
@@ -699,10 +787,12 @@ impl MemorySpace {
 
     /// Guest load of `size` bytes at `a` (zero-extended raw value).
     ///
-    /// The in-bounds hit is a straight-line fast path: one table lookup,
-    /// one bounds compare, one region read. Everything else — the whole
-    /// continuation machinery — lives in the cold [`Self::load_violation`]
-    /// so a violation-free request stream never pays for it.
+    /// The in-bounds hit is a straight-line fast path: one unit lookup
+    /// (a shift+mask page-map probe under [`LookupLayer::Paged`], a
+    /// table search under [`LookupLayer::Table`]), one bounds compare,
+    /// one region read. Everything else — the whole continuation
+    /// machinery — lives in the cold [`Self::load_violation`] so a
+    /// violation-free request stream never pays for it.
     #[inline]
     pub fn load(
         &mut self,
@@ -722,7 +812,7 @@ impl MemorySpace {
         }
         self.stats.checked_accesses += 1;
         if !addr::is_oob_zone(a) {
-            if let Some(pl) = self.table.lookup(a) {
+            if let Some(pl) = self.lookup_placement(a) {
                 if a + size.bytes() <= pl.base + pl.size {
                     let value = self
                         .region(a)
@@ -833,7 +923,7 @@ impl MemorySpace {
         }
         self.stats.checked_accesses += 1;
         if !addr::is_oob_zone(a) {
-            if let Some(pl) = self.table.lookup(a) {
+            if let Some(pl) = self.lookup_placement(a) {
                 if a + size.bytes() <= pl.base + pl.size {
                     let ok = self
                         .region_mut(a)
@@ -1353,5 +1443,137 @@ mod tests {
             "unit slots must be reused, got {}",
             s.store.slot_count()
         );
+    }
+
+    fn paged_space(mode: Mode) -> MemorySpace {
+        MemorySpace::new(MemConfig {
+            mode,
+            global_len: 64 << 10,
+            heap_len: 256 << 10,
+            stack_len: 64 << 10,
+            lookup: LookupLayer::Paged,
+            ..MemConfig::default()
+        })
+    }
+
+    /// Drives the same access script under both lookup layers and
+    /// asserts every observable — outcomes, stats, the full error log —
+    /// is byte-identical.
+    fn assert_layer_blind(mode: Mode, script: impl Fn(&mut MemorySpace) -> Vec<String>) {
+        let mut a = space(mode);
+        let mut b = paged_space(mode);
+        let ta = script(&mut a);
+        let tb = script(&mut b);
+        assert_eq!(ta, tb, "outcomes must match under {mode:?}");
+        assert_eq!(a.stats(), b.stats(), "stats must match under {mode:?}");
+        assert_eq!(
+            a.error_log().records(),
+            b.error_log().records(),
+            "log records must match under {mode:?}"
+        );
+    }
+
+    #[test]
+    fn paged_layer_is_observationally_identical_on_mixed_traffic() {
+        for mode in Mode::ALL {
+            assert_layer_blind(mode, |s| {
+                let mut t = Vec::new();
+                let big = s.malloc(3 * crate::page::PAGE_SIZE).unwrap(); // multi-page run
+                let a = s.malloc(24).unwrap();
+                let b = s.malloc(24).unwrap(); // shares a's page: table fallback
+                for off in [0u64, 100, 4096, 3 * crate::page::PAGE_SIZE - 8] {
+                    t.push(format!(
+                        "{:?}",
+                        s.store(big + off, AccessSize::B8, off, CTX)
+                    ));
+                    t.push(format!("{:?}", s.load(big + off, AccessSize::B8, CTX)));
+                }
+                // Straddle, overrun, gap, and null accesses.
+                let end = s.ptr_add(big, 3 * crate::page::PAGE_SIZE as i64 - 4);
+                t.push(format!("{:?}", s.load(end, AccessSize::B8, CTX)));
+                let oob = s.ptr_add(a, 64);
+                t.push(format!("{:?}", s.store(oob, AccessSize::B4, 7, CTX)));
+                t.push(format!("{:?}", s.load(oob, AccessSize::B4, CTX)));
+                t.push(format!("{:?}", s.load(0, AccessSize::B1, CTX)));
+                t.push(format!("{:?}", s.load(b + 8, AccessSize::B8, CTX)));
+                t.push(format!("{:?}", s.free(a, CTX)));
+                // Dangling access through the freed unit's address.
+                t.push(format!("{:?}", s.load(a, AccessSize::B8, CTX)));
+                t.push(format!("{:?}", s.realloc(b, 4096, CTX)));
+                t.push(format!("{:?}", s.free(big, CTX)));
+                t.push(format!("{:?}", s.stats().checked_accesses));
+                t
+            });
+        }
+    }
+
+    #[test]
+    fn guard_page_hits_classify_like_table_misses() {
+        // Addresses on pages no unit intersects: below the first global,
+        // in the heap frontier, and between far-apart allocations. Both
+        // layers must log the same kind with no referent.
+        for mode in [Mode::BoundsCheck, Mode::FailureOblivious] {
+            assert_layer_blind(mode, |s| {
+                let g = s.alloc_global(8, "g").unwrap();
+                let h = s.malloc(16).unwrap();
+                let mut t = Vec::new();
+                for a in [
+                    g + 3 * crate::page::PAGE_SIZE,    // unmapped global page
+                    h + 40 * crate::page::PAGE_SIZE,   // heap frontier
+                    addr::STACK_BASE + 4,              // stack, no frame
+                    addr::GLOBAL_BASE.wrapping_sub(8), // outside every region
+                ] {
+                    t.push(format!("{:?}", s.load(a, AccessSize::B4, CTX)));
+                    t.push(format!("{:?}", s.store(a, AccessSize::B4, 1, CTX)));
+                }
+                t
+            });
+        }
+    }
+
+    #[test]
+    fn paged_layer_survives_frame_and_slot_churn() {
+        // Push/pop frames and malloc/free in a tight loop so store slots
+        // recycle constantly; the page map must never resolve a stale
+        // id, and both layers must agree throughout.
+        assert_layer_blind(Mode::FailureOblivious, |s| {
+            let mut t = Vec::new();
+            for round in 0..50u64 {
+                let fb = s.push_frame(64).unwrap();
+                s.register_local(fb, 0, 24);
+                s.register_local(fb, 32, 16);
+                let p = s.malloc(16 + (round % 7) * 8).unwrap();
+                t.push(format!("{:?}", s.store(fb, AccessSize::B8, round, CTX)));
+                t.push(format!("{:?}", s.load(fb + 32, AccessSize::B8, CTX)));
+                // The previous round's pointers are dead or recycled.
+                t.push(format!("{:?}", s.load(p + 200, AccessSize::B4, CTX)));
+                t.push(format!("{:?}", s.free(p, CTX)));
+                t.push(format!("{:?}", s.load(p, AccessSize::B4, CTX)));
+                s.pop_frame().unwrap();
+            }
+            t.push(format!("{}", s.unit_store().slot_count()));
+            t
+        });
+    }
+
+    #[test]
+    fn paged_space_clone_round_trips_the_page_map() {
+        let mut s = paged_space(Mode::FailureOblivious);
+        let big = s.malloc(2 * crate::page::PAGE_SIZE).unwrap();
+        let small = s.malloc(8).unwrap();
+        s.store(big + 4096, AccessSize::B8, 0xABCD, CTX).unwrap();
+        let mut c = s.clone();
+        assert_eq!(c.lookup_layer(), LookupLayer::Paged);
+        // The clone resolves through its own map copy...
+        assert_eq!(
+            c.load(big + 4096, AccessSize::B8, CTX).unwrap().value,
+            0xABCD
+        );
+        // ...and diverges independently: freeing in the clone restores
+        // its guard pages without touching the original.
+        c.free(big, CTX).unwrap();
+        assert!(c.load(big + 4096, AccessSize::B8, CTX).unwrap().violation);
+        assert!(!s.load(big + 4096, AccessSize::B8, CTX).unwrap().violation);
+        assert!(!c.load(small, AccessSize::B4, CTX).unwrap().violation);
     }
 }

@@ -12,12 +12,19 @@
 //! configuration and threaded from there through machines, server
 //! drivers, and the farm.
 //!
-//! Three backends ship:
+//! Three searchable backends ship, plus an adaptive wrapper:
 //!
 //! * [`SplayTable`] — self-adjusting, faithful to the original runtime;
 //! * [`BTreeTable`] — the standard-library B-tree baseline;
 //! * [`FlatTable`] — a cache-friendly sorted interval vector with
-//!   last-hit memoization, for workloads whose table stays small and hot.
+//!   last-hit memoization, for workloads whose table stays small and hot;
+//! * [`AutoTable`] — per-space auto-selection: flat while the table is
+//!   small (the farm's hot shape), promoted in place to a splay tree
+//!   once it grows past [`AUTO_PROMOTE`] entries (deep single-machine
+//!   traces). `Auto` is deliberately *not* part of [`TableKind::ALL`]:
+//!   the sweep grids and their committed artifacts enumerate the three
+//!   structural backends, and the adaptive wrapper is a policy over
+//!   them, not a fourth structure.
 //!
 //! The table stores `(base, size, unit)` entries keyed by base address.
 //! A lookup finds the entry with the greatest base not exceeding the query
@@ -50,10 +57,15 @@ pub enum TableKind {
     BTree,
     /// Sorted interval vector with last-hit memoization.
     Flat,
+    /// Adaptive per-space selection: flat until [`AUTO_PROMOTE`]
+    /// entries, then promoted in place to a splay tree.
+    Auto,
 }
 
 impl TableKind {
-    /// Every backend, in bench-report order.
+    /// Every *structural* backend, in bench-report order. [`TableKind::Auto`]
+    /// is a policy over these and is intentionally excluded — the sweep
+    /// grids and their committed artifacts enumerate structures only.
     pub const ALL: [TableKind; 3] = [TableKind::Splay, TableKind::BTree, TableKind::Flat];
 
     /// Stable lower-case name (bench rows, CLI flags).
@@ -62,6 +74,7 @@ impl TableKind {
             TableKind::Splay => "splay",
             TableKind::BTree => "btree",
             TableKind::Flat => "flat",
+            TableKind::Auto => "auto",
         }
     }
 
@@ -77,6 +90,7 @@ impl TableKind {
             TableKind::Splay => Box::new(SplayTable::new()),
             TableKind::BTree => Box::new(BTreeTable::new()),
             TableKind::Flat => Box::new(FlatTable::new()),
+            TableKind::Auto => Box::new(AutoTable::new()),
         }
     }
 }
@@ -95,8 +109,9 @@ impl std::str::FromStr for TableKind {
             "splay" => Ok(TableKind::Splay),
             "btree" => Ok(TableKind::BTree),
             "flat" => Ok(TableKind::Flat),
+            "auto" => Ok(TableKind::Auto),
             other => Err(format!(
-                "unknown table backend {other:?} (expected splay, btree, or flat)"
+                "unknown table backend {other:?} (expected splay, btree, flat, or auto)"
             )),
         }
     }
@@ -552,6 +567,106 @@ impl ObjectTable for SplayTable {
     }
 }
 
+/// Entry count at which an [`AutoTable`] promotes its flat inner table
+/// to a splay tree. Chosen from the stress rows: farm-resident tables
+/// sit at a few dozen entries (flat's cache-dense sweet spot), while
+/// single-machine traces that blow past ~a hundred live units are deep
+/// enough for the splay tree's self-adjustment to pay for itself.
+pub const AUTO_PROMOTE: usize = 96;
+
+#[derive(Debug)]
+enum AutoInner {
+    Flat(FlatTable),
+    Splay(SplayTable),
+}
+
+/// Adaptive object table: starts as a [`FlatTable`] and promotes itself
+/// in place to a [`SplayTable`] when an insert would grow it past
+/// [`AUTO_PROMOTE`] entries. Promotion is one-way — a table that was
+/// ever deep keeps the structure built for depth, so churn around the
+/// threshold cannot thrash migrations. Used directly as a backend and
+/// as the paged lookup layer's natural fallback table (shared pages are
+/// few, so the fallback table stays in its flat regime).
+#[derive(Debug)]
+pub struct AutoTable {
+    inner: AutoInner,
+}
+
+impl Default for AutoTable {
+    fn default() -> AutoTable {
+        AutoTable::new()
+    }
+}
+
+impl AutoTable {
+    /// Creates an empty table (in its flat regime).
+    pub fn new() -> AutoTable {
+        AutoTable {
+            inner: AutoInner::Flat(FlatTable::new()),
+        }
+    }
+
+    /// Which structural backend currently serves this table.
+    pub fn current(&self) -> TableKind {
+        match self.inner {
+            AutoInner::Flat(_) => TableKind::Flat,
+            AutoInner::Splay(_) => TableKind::Splay,
+        }
+    }
+}
+
+impl ObjectTable for AutoTable {
+    fn boxed_clone(&self) -> Box<dyn ObjectTable> {
+        Box::new(AutoTable {
+            inner: match &self.inner {
+                AutoInner::Flat(t) => AutoInner::Flat(t.clone()),
+                AutoInner::Splay(t) => AutoInner::Splay(t.clone()),
+            },
+        })
+    }
+
+    fn insert(&mut self, base: u64, size: u64, unit: UnitId) {
+        if let AutoInner::Flat(flat) = &self.inner {
+            if flat.entries.len() >= AUTO_PROMOTE {
+                let mut splay = SplayTable::new();
+                for p in &flat.entries {
+                    splay.insert(p.base, p.size, p.unit);
+                }
+                self.inner = AutoInner::Splay(splay);
+            }
+        }
+        match &mut self.inner {
+            AutoInner::Flat(t) => t.insert(base, size, unit),
+            AutoInner::Splay(t) => t.insert(base, size, unit),
+        }
+    }
+
+    fn remove(&mut self, base: u64) -> Option<Placement> {
+        match &mut self.inner {
+            AutoInner::Flat(t) => t.remove(base),
+            AutoInner::Splay(t) => t.remove(base),
+        }
+    }
+
+    fn lookup(&mut self, addr: u64) -> Option<Placement> {
+        match &mut self.inner {
+            AutoInner::Flat(t) => t.lookup(addr),
+            AutoInner::Splay(t) => t.lookup(addr),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.inner {
+            AutoInner::Flat(t) => t.len(),
+            AutoInner::Splay(t) => t.len(),
+        }
+    }
+
+    fn kind(&self) -> TableKind {
+        TableKind::Auto
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,7 +731,53 @@ mod tests {
             assert_eq!(kind.name().parse::<TableKind>().unwrap(), kind);
         }
         assert_eq!("SPLAY".parse::<TableKind>().unwrap(), TableKind::Splay);
+        assert_eq!("auto".parse::<TableKind>().unwrap(), TableKind::Auto);
         assert!("avl".parse::<TableKind>().is_err());
+    }
+
+    #[test]
+    fn auto_table_basics() {
+        let mut t = AutoTable::new();
+        exercise(&mut t);
+        assert_eq!(t.kind(), TableKind::Auto);
+        assert_eq!(t.current(), TableKind::Flat);
+        let mut boxed = TableKind::Auto.build();
+        assert_eq!(boxed.kind(), TableKind::Auto);
+        exercise(boxed.as_mut());
+    }
+
+    #[test]
+    fn auto_table_promotes_once_and_keeps_every_entry() {
+        let mut t = AutoTable::new();
+        for i in 0..(AUTO_PROMOTE as u64 + 32) {
+            t.insert(i * 32, 16, UnitId(i as u32));
+            let expect = if i < AUTO_PROMOTE as u64 {
+                TableKind::Flat
+            } else {
+                TableKind::Splay
+            };
+            assert_eq!(t.current(), expect, "after {} inserts", i + 1);
+        }
+        // Every entry survived the migration, including lookups across
+        // the promotion boundary and in the gaps.
+        for i in 0..(AUTO_PROMOTE as u64 + 32) {
+            assert_eq!(t.lookup(i * 32 + 3).unwrap().unit, UnitId(i as u32));
+            assert!(t.lookup(i * 32 + 20).is_none());
+        }
+        // Promotion is one-way: shrinking far below the threshold keeps
+        // the splay structure (no migration thrash).
+        for i in 0..(AUTO_PROMOTE as u64 + 24) {
+            assert!(t.remove(i * 32).is_some());
+        }
+        assert_eq!(t.current(), TableKind::Splay);
+        assert_eq!(t.len(), 8);
+        // A clone carries the promoted structure.
+        let mut c = t.boxed_clone();
+        assert_eq!(c.len(), 8);
+        assert_eq!(
+            c.lookup((AUTO_PROMOTE as u64 + 28) * 32).map(|p| p.unit),
+            t.lookup((AUTO_PROMOTE as u64 + 28) * 32).map(|p| p.unit)
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use foc_memory::{Mode, TableKind, ValueSequence};
+use foc_memory::{LookupLayer, Mode, TableKind, ValueSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -65,6 +65,11 @@ pub struct FarmConfig {
     /// fast the bounds lookups run — so, like `threads`, it is excluded
     /// from [`FarmReport`] equality.
     pub table: TableKind,
+    /// In-bounds lookup layer for every process in the farm. Like
+    /// `table`, a pure performance axis (the paged-vs-table equivalence
+    /// tests assert byte-identical transcripts), so it too is excluded
+    /// from [`FarmReport`] equality.
+    pub lookup: LookupLayer,
     /// Manufactured-value strategy for every process in the farm.
     /// Unlike `table`, this *does* change the measured data (different
     /// manufactured reads steer different guest paths), so it is part
@@ -103,6 +108,7 @@ impl FarmConfig {
             kind,
             mode,
             table: TableKind::default(),
+            lookup: LookupLayer::from_env(),
             sequence: ValueSequence::default(),
             fuel: None,
             servers: 4,
@@ -133,6 +139,12 @@ impl FarmConfig {
         self
     }
 
+    /// Same farm on a different in-bounds lookup layer.
+    pub fn with_lookup(mut self, lookup: LookupLayer) -> FarmConfig {
+        self.lookup = lookup;
+        self
+    }
+
     /// Same farm with a different manufactured-value strategy.
     pub fn with_sequence(mut self, sequence: ValueSequence) -> FarmConfig {
         self.sequence = sequence;
@@ -149,6 +161,7 @@ impl FarmConfig {
     pub fn boot_spec(&self) -> BootSpec {
         BootSpec::new(self.kind, self.mode)
             .with_table(self.table)
+            .with_lookup(self.lookup)
             .with_sequence(self.sequence)
             .with_fuel(self.fuel.unwrap_or_else(|| self.kind.fuel()))
     }
@@ -286,10 +299,11 @@ impl PartialEq for FarmReport {
     fn eq(&self, other: &FarmReport) -> bool {
         let a = &self.config;
         let b = &other.config;
-        // Thread count, slice grain, and table backend are excluded:
-        // they shape host wall time only, never the measured data — that
-        // is the determinism contract (the backend half is asserted by
-        // the cross-backend transcript-equivalence tests).
+        // Thread count, slice grain, table backend, and lookup layer
+        // are excluded: they shape host wall time only, never the
+        // measured data — that is the determinism contract (the backend
+        // half is asserted by the cross-backend transcript-equivalence
+        // tests, the layer half by the paged-vs-table battery).
         a.kind == b.kind
             && a.mode == b.mode
             && a.sequence == b.sequence

@@ -33,7 +33,7 @@ pub use image::ServerKind;
 pub use foc_compiler::ExecTier;
 
 use foc_compiler::ProgramImage;
-use foc_memory::{Mode, TableKind, ValueSequence};
+use foc_memory::{LookupLayer, Mode, TableKind, ValueSequence};
 use foc_vm::{Machine, MachineConfig, VmFault};
 
 /// How one request ended.
@@ -139,13 +139,18 @@ pub struct BootSpec {
     /// boots never alias in the checkpoint cache, matching their
     /// distinct [`foc_compiler::ProgramId`]s.
     pub tier: ExecTier,
+    /// In-bounds lookup layer of the booted space (page map vs direct
+    /// table search). Part of the cache key: a cached checkpoint carries
+    /// its page map, so paged and table boots never alias.
+    pub lookup: LookupLayer,
 }
 
 impl BootSpec {
     /// A spec for `kind` under `mode` with the remaining axes at their
     /// defaults (splay table, the paper's cycling sequence, the kind's
     /// standard fuel budget, the session-default execution tier from
-    /// `FOC_EXEC_TIER`).
+    /// `FOC_EXEC_TIER`, the session-default lookup layer from
+    /// `FOC_LOOKUP`).
     pub fn new(kind: ServerKind, mode: Mode) -> BootSpec {
         BootSpec {
             mode,
@@ -153,6 +158,7 @@ impl BootSpec {
             sequence: ValueSequence::default(),
             fuel: kind.fuel(),
             tier: ExecTier::from_env(),
+            lookup: LookupLayer::from_env(),
         }
     }
 
@@ -177,6 +183,12 @@ impl BootSpec {
     /// Same spec on a different execution tier.
     pub fn with_tier(mut self, tier: ExecTier) -> BootSpec {
         self.tier = tier;
+        self
+    }
+
+    /// Same spec on a different in-bounds lookup layer.
+    pub fn with_lookup(mut self, lookup: LookupLayer) -> BootSpec {
+        self.lookup = lookup;
         self
     }
 }
@@ -243,6 +255,7 @@ impl Process {
                 sequence: ValueSequence::default(),
                 fuel,
                 tier: ExecTier::from_env(),
+                lookup: LookupLayer::from_env(),
             },
         )
     }
@@ -258,7 +271,8 @@ impl Process {
         let config = MachineConfig {
             mem: foc_memory::MemConfig::with_mode(spec.mode)
                 .with_table(spec.table)
-                .with_sequence(spec.sequence),
+                .with_sequence(spec.sequence)
+                .with_lookup(spec.lookup),
             fuel_per_call: spec.fuel,
         };
         let machine = match Machine::load(image.clone(), config) {

@@ -52,6 +52,15 @@ impl MachineConfig {
         self
     }
 
+    /// Same config with a different in-bounds lookup layer (page map vs
+    /// direct table search) — a pure performance axis, observationally
+    /// identical under either setting and cloned faithfully by
+    /// checkpoints along with the rest of the space.
+    pub fn with_lookup(mut self, lookup: foc_memory::LookupLayer) -> MachineConfig {
+        self.mem.lookup = lookup;
+        self
+    }
+
     /// Same config with a different per-call instruction budget (the
     /// sweep's fuel axis: a tight budget converts manufactured-value
     /// non-termination into a prompt, classifiable fuel-out).
