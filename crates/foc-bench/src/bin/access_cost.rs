@@ -22,6 +22,7 @@
 //!   layer's access rate. Exits nonzero with a one-line diagnostic
 //!   otherwise.
 
+use foc_bench::check::{check_fail, check_gate, parse_reps, record_farm_row};
 use foc_bench::farm_report::{
     access_cost_fingerprint, access_cost_row_json, append_access_cost_row, measure_access_cost,
     AccessCost,
@@ -51,15 +52,15 @@ fn run_check() -> Result<(), String> {
     eprintln!("access_cost --check: page map vs direct table search ...");
     let cost = measure_access_cost(8);
     print_measurement(&cost);
-    if cost.speedup() < GATE {
-        return Err(format!(
-            "paged lookup must sustain ≥{GATE}× the table search's in-bounds \
-             access rate: {:.1} vs {:.1} Maccess/s ({:.2}x)",
-            cost.paged.maccess_per_s,
-            cost.table.maccess_per_s,
-            cost.speedup()
-        ));
-    }
+    check_gate(
+        "paged lookup over the table search's in-bounds access rate",
+        cost.speedup(),
+        GATE,
+        &format!(
+            "{:.1} vs {:.1} Maccess/s",
+            cost.paged.maccess_per_s, cost.table.maccess_per_s
+        ),
+    )?;
     println!(
         "access_cost --check OK ({:.2}x paged speedup, {:.1} Maccess/s paged)",
         cost.speedup(),
@@ -68,44 +69,18 @@ fn run_check() -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the one-line diagnostic and exits nonzero — the `--check`
-/// contract: CI logs get a readable reason, not a panic backtrace.
-fn fail(bin: &str, msg: &str) -> ! {
-    eprintln!("{bin}: FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
         if let Err(msg) = run_check() {
-            fail("access_cost --check", &msg);
+            check_fail("access_cost --check", &msg);
         }
         return;
     }
-    let mut reps = 24usize;
-    if let Some(arg) = args.first() {
-        match arg.parse() {
-            Ok(n) if n > 0 => reps = n,
-            _ => {
-                eprintln!("access_cost: invalid rep count {arg:?} (want a positive integer)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let reps = parse_reps("access_cost", &args, 24);
     let cost = measure_access_cost(reps);
     print_measurement(&cost);
 
-    let path = "BENCH_farm.json";
     let row = access_cost_row_json(&cost, &access_cost_fingerprint(reps));
-    match std::fs::read_to_string(path) {
-        Ok(json) => match append_access_cost_row(&json, &row) {
-            Ok(updated) => {
-                std::fs::write(path, updated).expect("write BENCH_farm.json");
-                println!("recorded access_cost row in {path}");
-            }
-            Err(e) => fail("access_cost", &e),
-        },
-        Err(e) => fail("access_cost", &format!("cannot read {path}: {e}")),
-    }
+    record_farm_row("access_cost", &row, append_access_cost_row);
 }

@@ -15,6 +15,7 @@
 //!   bitrot fails CI instead of being discovered at measurement time.
 //!   (The stress point has its own smoke bin: `farm_stress --check`.)
 
+use foc_bench::check::check_fail;
 use foc_bench::farm_report::{
     farm_suite, measure_boot_cost, measure_record, measure_restart_cost, measure_unit_churn,
     measure_violation_throughput, render_farm_json, restart_cost_row_json, stress_sweep,
@@ -143,6 +144,7 @@ fn run_check() -> Result<(), String> {
         &[],
         &[],
         &[],
+        &[],
     );
     if json.matches('{').count() != json.matches('}').count() {
         return Err("rendered record does not balance".to_string());
@@ -156,18 +158,11 @@ fn run_check() -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the one-line diagnostic and exits nonzero — the `--check`
-/// contract: CI logs get a readable reason, not a panic backtrace.
-fn fail(bin: &str, msg: &str) -> ! {
-    eprintln!("{bin}: FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
         if let Err(msg) = run_check() {
-            fail("farm_scaling --check", &msg);
+            check_fail("farm_scaling --check", &msg);
         }
         return;
     }
@@ -186,7 +181,7 @@ fn main() {
     let previous = std::fs::read_to_string(path).ok();
     let record = match measure_record(&shape, previous.as_deref()) {
         Ok(record) => record,
-        Err(msg) => fail("farm_scaling", &msg),
+        Err(msg) => check_fail("farm_scaling", &msg),
     };
     print_summary(&record);
 

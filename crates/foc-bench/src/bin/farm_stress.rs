@@ -26,6 +26,7 @@
 //!   backend per job; both lookup layers still run, so every matrix job
 //!   keeps a cross-cell equality check).
 
+use foc_bench::check::check_fail;
 use foc_bench::farm_report::{measure_record, measure_unit_churn, stress_sweep, RecordShape};
 use foc_memory::{LookupLayer, TableKind};
 
@@ -89,13 +90,6 @@ fn run_check(backends: &[TableKind]) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the one-line diagnostic and exits nonzero — the `--check`
-/// contract: CI logs get a readable reason, not a panic backtrace.
-fn fail(bin: &str, msg: &str) -> ! {
-    eprintln!("{bin}: FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--table <kind>` restricts the check to one backend (CI matrix).
@@ -116,7 +110,7 @@ fn main() {
     }
     if args.iter().any(|a| a == "--check") {
         if let Err(msg) = run_check(&backends) {
-            fail("farm_stress --check", &msg);
+            check_fail("farm_stress --check", &msg);
         }
         return;
     }
@@ -159,7 +153,7 @@ fn main() {
     let previous = std::fs::read_to_string(path).ok();
     let record = match measure_record(&shape, previous.as_deref()) {
         Ok(record) => record,
-        Err(msg) => fail("farm_stress", &msg),
+        Err(msg) => check_fail("farm_stress", &msg),
     };
     for row in &record.stress {
         let s = &row.report.stats;

@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 
+use foc_bench::check::check_fail;
 use foc_bench::farm_report::{append_mode_sweep_row, mode_sweep_fingerprint, mode_sweep_row_json};
 use foc_bench::sweep_report::{
     diff_against_committed, merge_cells, parse_matrix_json, render_matrix_json,
@@ -37,13 +38,6 @@ const CHUNK_CELLS: usize = 12;
 
 /// Inputs a sweep worker runs before yielding its cell back.
 const SLICE_INPUTS: usize = 4;
-
-/// Prints the one-line diagnostic and exits nonzero — the `--check`
-/// contract: CI logs get a readable reason, not a panic backtrace.
-fn fail(bin: &str, msg: &str) -> ! {
-    eprintln!("{bin}: FAIL: {msg}");
-    std::process::exit(1);
-}
 
 fn run_check(threads: usize) -> Result<(), String> {
     let committed = std::fs::read_to_string(MATRIX_PATH)
@@ -205,7 +199,7 @@ fn main() {
     }
     if check {
         if let Err(msg) = run_check(threads) {
-            fail("mode_sweep --check", &msg);
+            check_fail("mode_sweep --check", &msg);
         }
         return;
     }

@@ -16,6 +16,7 @@
 //!   that the manufactured-loop measurement runs at all. Exits nonzero
 //!   with a one-line diagnostic otherwise.
 
+use foc_bench::check::{check_fail, check_gate, parse_reps, record_farm_row};
 use foc_bench::farm_report::{
     append_restart_cost_row, measure_restart_cost, measure_violation_throughput,
     restart_cost_fingerprint, restart_cost_row_json, RestartCost, ViolationThroughput,
@@ -43,15 +44,15 @@ fn run_check() -> Result<(), String> {
     let cost = measure_restart_cost(8);
     let violation = measure_violation_throughput(2);
     print_measurement(&cost, &violation);
-    if cost.speedup() < 5.0 {
-        return Err(format!(
-            "checkpoint restore must be ≥5× faster than cold boot+replay: \
-             cold {:.0}ns vs restore {:.0}ns ({:.1}x)",
-            cost.cold_ns,
-            cost.restore_ns,
-            cost.speedup()
-        ));
-    }
+    check_gate(
+        "checkpoint restore over cold boot+replay",
+        cost.speedup(),
+        5.0,
+        &format!(
+            "cold {:.0}ns vs restore {:.0}ns",
+            cost.cold_ns, cost.restore_ns
+        ),
+    )?;
     if violation.minstr_per_s <= 0.0 {
         return Err("violation-throughput measurement produced no rate".to_string());
     }
@@ -63,45 +64,19 @@ fn run_check() -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the one-line diagnostic and exits nonzero — the `--check`
-/// contract: CI logs get a readable reason, not a panic backtrace.
-fn fail(bin: &str, msg: &str) -> ! {
-    eprintln!("{bin}: FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
         if let Err(msg) = run_check() {
-            fail("restart_cost --check", &msg);
+            check_fail("restart_cost --check", &msg);
         }
         return;
     }
-    let mut reps = 24usize;
-    if let Some(arg) = args.first() {
-        match arg.parse() {
-            Ok(n) if n > 0 => reps = n,
-            _ => {
-                eprintln!("restart_cost: invalid rep count {arg:?} (want a positive integer)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let reps = parse_reps("restart_cost", &args, 24);
     let cost = measure_restart_cost(reps);
     let violation = measure_violation_throughput(reps.clamp(3, 8));
     print_measurement(&cost, &violation);
 
-    let path = "BENCH_farm.json";
     let row = restart_cost_row_json(&cost, &violation, &restart_cost_fingerprint(reps));
-    match std::fs::read_to_string(path) {
-        Ok(json) => match append_restart_cost_row(&json, &row) {
-            Ok(updated) => {
-                std::fs::write(path, updated).expect("write BENCH_farm.json");
-                println!("appended restart_cost row to {path}");
-            }
-            Err(e) => fail("restart_cost", &e),
-        },
-        Err(e) => fail("restart_cost", &format!("cannot read {path}: {e}")),
-    }
+    record_farm_row("restart_cost", &row, append_restart_cost_row);
 }

@@ -370,17 +370,21 @@ const DISPATCH_LOOP_SOURCE: &str = "long spin(long n) {\n\
 /// instructions, matching the violation loop's run length).
 const DISPATCH_LOOP_ITERS: i64 = 29_000;
 
-/// Paired interpretation-rate measurement of the dispatch loop under
-/// both execution tiers. Both runs retire the same guest instruction
-/// count (fused opcodes account for every component of the pattern they
-/// replace), so the rate ratio isolates dispatch overhead: fewer
-/// fetch/decode/match rounds per loop iteration.
+/// Interpretation-rate measurement of the dispatch loop under every
+/// execution tier. All runs retire the same guest instruction count
+/// (fused opcodes account for every component of the pattern they
+/// replace, and a native region pre-charges its exact baseline count),
+/// so the rate ratios isolate dispatch overhead: fewer
+/// fetch/decode/match rounds per loop iteration, down to none inside a
+/// lowered region.
 #[derive(Debug, Clone, Copy)]
 pub struct DispatchCost {
     /// Baseline (unfused) tier measurement.
     pub baseline: ViolationThroughput,
     /// Superinstruction tier measurement.
     pub fused: ViolationThroughput,
+    /// Native (AOT region) tier measurement.
+    pub native: ViolationThroughput,
     /// Repetitions per tier.
     pub reps: usize,
 }
@@ -389,6 +393,15 @@ impl DispatchCost {
     /// Fused-over-baseline interpretation rate ratio.
     pub fn speedup(&self) -> f64 {
         self.fused.minstr_per_s / self.baseline.minstr_per_s
+    }
+
+    /// Native-over-baseline interpretation rate ratio. (On this loop —
+    /// one manufactured value per iteration — the violation machinery
+    /// is tier-invariant constant work, so the ratio understates the
+    /// native tier's dispatch win; `native_cost` isolates that on a
+    /// violation-free loop.)
+    pub fn native_speedup(&self) -> f64 {
+        self.native.minstr_per_s / self.baseline.minstr_per_s
     }
 }
 
@@ -408,9 +421,113 @@ pub fn measure_dispatch_cost(reps: usize) -> DispatchCost {
         reps,
         foc_compiler::ExecTier::Super,
     );
+    let native = measure_loop_throughput(
+        DISPATCH_LOOP_SOURCE,
+        DISPATCH_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Native,
+    );
     DispatchCost {
         baseline,
         fused,
+        native,
+        reps: reps.max(1),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Native cost: AOT region execution vs the superinstruction ceiling.
+// ----------------------------------------------------------------------
+
+/// The native-cost loop: a dispatch-bound body with *no* memory
+/// violations and no guest heap traffic. The dispatch loop above
+/// deliberately manufactures a value per iteration — tier-invariant
+/// violation work that swamps the quantity this benchmark isolates:
+/// what a dispatch round itself costs. The body is multi-operand local
+/// expression arithmetic, the shape the superinstruction vocabulary
+/// cannot compress (only constant-operand fragments fuse): the super
+/// tier pays one fetch/decode/match round plus fuel, stats, and pc
+/// bookkeeping for nearly every instruction, while a lowered region
+/// pre-charges its whole straight-line run once, groups the body into
+/// one pure-local block, and executes pre-resolved operands back to
+/// back against a single borrow of the frame window. This loop is
+/// where the interpreter's remaining ceiling lives, so it is the gate
+/// for the native tier.
+const NATIVE_LOOP_SOURCE: &str = "long spin(long n) {\n\
+     long i;\n\
+     long t = 0;\n\
+     long u = 1;\n\
+     for (i = 0; i < n; i++) {\n\
+         t = t + u + i + 3;\n\
+         u = u + t + i + 5;\n\
+         t = t + u + u + 7;\n\
+         u = u + t + t + 9;\n\
+         t = t + u + i + 11;\n\
+         u = u + t + i + 13;\n\
+         t = t + u + u + 15;\n\
+         u = u + t + t + 17;\n\
+     }\n\
+     return t + u;\n\
+ }";
+
+/// Iterations per measured native-cost run (about three million guest
+/// instructions, matching the other loop benchmarks' run length).
+const NATIVE_LOOP_ITERS: i64 = 30_000;
+
+/// Interpretation-rate measurement of the violation-free native-cost
+/// loop under every execution tier. As with [`DispatchCost`], all tiers
+/// retire identical guest instruction counts, so the ratios compare
+/// pure execution machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeCost {
+    /// Baseline (unfused) tier measurement.
+    pub baseline: ViolationThroughput,
+    /// Superinstruction tier measurement.
+    pub fused: ViolationThroughput,
+    /// Native (AOT region) tier measurement.
+    pub native: ViolationThroughput,
+    /// Repetitions per tier.
+    pub reps: usize,
+}
+
+impl NativeCost {
+    /// Native-over-superinstruction rate ratio — the headline: how far
+    /// past the fused dispatch ceiling region execution reaches.
+    pub fn speedup_over_super(&self) -> f64 {
+        self.native.minstr_per_s / self.fused.minstr_per_s
+    }
+
+    /// Native-over-baseline rate ratio.
+    pub fn speedup_over_baseline(&self) -> f64 {
+        self.native.minstr_per_s / self.baseline.minstr_per_s
+    }
+}
+
+/// Measures [`NativeCost`]: `reps` runs of the violation-free loop per
+/// tier on fresh machines.
+pub fn measure_native_cost(reps: usize) -> NativeCost {
+    let baseline = measure_loop_throughput(
+        NATIVE_LOOP_SOURCE,
+        NATIVE_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Baseline,
+    );
+    let fused = measure_loop_throughput(
+        NATIVE_LOOP_SOURCE,
+        NATIVE_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Super,
+    );
+    let native = measure_loop_throughput(
+        NATIVE_LOOP_SOURCE,
+        NATIVE_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Native,
+    );
+    NativeCost {
+        baseline,
+        fused,
+        native,
         reps: reps.max(1),
     }
 }
@@ -846,10 +963,15 @@ pub struct FarmRecord {
     /// Regeneration carries the old rows forward and appends a fresh
     /// measurement, so the trajectory never loses history.
     pub restart_cost_runs: Vec<String>,
-    /// Accumulated `dispatch_cost` rows (baseline vs superinstruction
-    /// tier interpretation rate on the manufactured loop). Appended by
-    /// the `dispatch_cost` bin; regeneration carries them forward.
+    /// Accumulated `dispatch_cost` rows (per-tier interpretation rate
+    /// on the manufactured loop). Appended by the `dispatch_cost` bin;
+    /// regeneration carries them forward.
     pub dispatch_cost_runs: Vec<String>,
+    /// Accumulated `native_cost` rows (per-tier interpretation rate on
+    /// the violation-free dispatch-bound loop; the native-over-super
+    /// ratio is the AOT tier's headline). Appended by the `native_cost`
+    /// bin; regeneration carries them forward.
+    pub native_cost_runs: Vec<String>,
     /// Accumulated `access_cost` rows (in-bounds access rate, page map
     /// vs direct table search). Appended by the `access_cost` bin;
     /// regeneration carries them forward.
@@ -872,6 +994,7 @@ impl FarmRecord {
             &self.churn,
             &self.restart_cost_runs,
             &self.dispatch_cost_runs,
+            &self.native_cost_runs,
             &self.access_cost_runs,
             &self.mode_sweep_runs,
         )
@@ -943,6 +1066,9 @@ pub fn measure_record(
         dispatch_cost_runs: previous_json
             .map(extract_dispatch_cost_rows)
             .unwrap_or_default(),
+        native_cost_runs: previous_json
+            .map(extract_native_cost_rows)
+            .unwrap_or_default(),
         access_cost_runs: previous_json
             .map(extract_access_cost_rows)
             .unwrap_or_default(),
@@ -1013,22 +1139,34 @@ pub fn mode_sweep_fingerprint(cells: usize, inputs: usize, threads: usize) -> St
 }
 
 /// Fingerprint for a `dispatch_cost` trajectory row: schema tag, the
-/// dispatch loop's image identity under *both* tiers (so a lowering
-/// change that reshapes fusion re-measures), loop length, rep count.
+/// dispatch loop's image identity under *every* tier (so a lowering
+/// change that reshapes fusion or region extraction re-measures), loop
+/// length, rep count.
 pub fn dispatch_cost_fingerprint(reps: usize) -> String {
-    let baseline =
-        foc_compiler::compile_image_tier(DISPATCH_LOOP_SOURCE, foc_compiler::ExecTier::Baseline)
+    let mut parts: Vec<String> = vec!["dispatch_cost/v2".to_string()];
+    for tier in foc_compiler::ExecTier::ALL {
+        let image = foc_compiler::compile_image_tier(DISPATCH_LOOP_SOURCE, tier)
             .expect("dispatch loop builds");
-    let fused =
-        foc_compiler::compile_image_tier(DISPATCH_LOOP_SOURCE, foc_compiler::ExecTier::Super)
-            .expect("dispatch loop builds");
-    let parts: Vec<String> = vec![
-        "dispatch_cost/v1".to_string(),
-        baseline.id().to_string(),
-        fused.id().to_string(),
-        DISPATCH_LOOP_ITERS.to_string(),
-        reps.to_string(),
-    ];
+        parts.push(image.id().to_string());
+    }
+    parts.push(DISPATCH_LOOP_ITERS.to_string());
+    parts.push(reps.to_string());
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Fingerprint for a `native_cost` trajectory row: schema tag, the
+/// violation-free loop's image identity under every tier, loop length,
+/// rep count.
+pub fn native_cost_fingerprint(reps: usize) -> String {
+    let mut parts: Vec<String> = vec!["native_cost/v1".to_string()];
+    for tier in foc_compiler::ExecTier::ALL {
+        let image =
+            foc_compiler::compile_image_tier(NATIVE_LOOP_SOURCE, tier).expect("native loop builds");
+        parts.push(image.id().to_string());
+    }
+    parts.push(NATIVE_LOOP_ITERS.to_string());
+    parts.push(reps.to_string());
     let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
     fingerprint_of(&refs)
 }
@@ -1215,20 +1353,26 @@ pub fn append_restart_cost_row(json: &str, row: &str) -> Result<String, String> 
 // ----------------------------------------------------------------------
 
 /// Renders one `dispatch_cost` trajectory row: the manufactured loop's
-/// interpretation rate under both execution tiers and their ratio.
+/// interpretation rate under all three execution tiers and the
+/// per-tier speedups over baseline.
 pub fn dispatch_cost_row_json(cost: &DispatchCost, fingerprint: &str) -> String {
     format!(
         concat!(
             "{{\"baseline_minstr_per_s\": {:.1}, \"baseline_minstr_ci95\": {:.1}, ",
             "\"super_minstr_per_s\": {:.1}, \"super_minstr_ci95\": {:.1}, ",
-            "\"speedup\": {:.2}, \"instrs\": {}, \"reps\": {}, ",
+            "\"native_minstr_per_s\": {:.1}, \"native_minstr_ci95\": {:.1}, ",
+            "\"speedup\": {:.2}, \"native_speedup\": {:.2}, ",
+            "\"instrs\": {}, \"reps\": {}, ",
             "\"fingerprint\": \"{}\"}}"
         ),
         cost.baseline.minstr_per_s,
         cost.baseline.minstr_ci95,
         cost.fused.minstr_per_s,
         cost.fused.minstr_ci95,
+        cost.native.minstr_per_s,
+        cost.native.minstr_ci95,
         cost.speedup(),
+        cost.native_speedup(),
         cost.fused.instrs,
         cost.reps,
         fingerprint,
@@ -1258,6 +1402,63 @@ pub fn append_dispatch_cost_row(json: &str, row: &str) -> Result<String, String>
         );
     };
     let section = format!("  \"dispatch_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
+}
+
+// ----------------------------------------------------------------------
+// The native_cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Renders one `native_cost` trajectory row: the violation-free loop's
+/// interpretation rate under all three tiers, with the
+/// native-over-super ratio as the headline speedup.
+pub fn native_cost_row_json(cost: &NativeCost, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"baseline_minstr_per_s\": {:.1}, \"baseline_minstr_ci95\": {:.1}, ",
+            "\"super_minstr_per_s\": {:.1}, \"super_minstr_ci95\": {:.1}, ",
+            "\"native_minstr_per_s\": {:.1}, \"native_minstr_ci95\": {:.1}, ",
+            "\"speedup_over_super\": {:.2}, \"speedup_over_baseline\": {:.2}, ",
+            "\"instrs\": {}, \"reps\": {}, ",
+            "\"fingerprint\": \"{}\"}}"
+        ),
+        cost.baseline.minstr_per_s,
+        cost.baseline.minstr_ci95,
+        cost.fused.minstr_per_s,
+        cost.fused.minstr_ci95,
+        cost.native.minstr_per_s,
+        cost.native.minstr_ci95,
+        cost.speedup_over_super(),
+        cost.speedup_over_baseline(),
+        cost.native.instrs,
+        cost.reps,
+        fingerprint,
+    )
+}
+
+/// Extracts the `native_cost_runs` rows from an existing record
+/// (empty when the record predates the section).
+pub fn extract_native_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "native_cost_runs")
+}
+
+/// Returns `json` with `row` upserted into its `native_cost_runs`
+/// array. A record that predates the section gains one, inserted just
+/// before `mode_sweep_runs`.
+pub fn append_native_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"native_cost_runs\": [") {
+        let mut rows = extract_native_cost_rows(json);
+        upsert_row(&mut rows, row.to_string());
+        return replace_rows_section(json, "native_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor native_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"native_cost_runs\": [\n    {row}\n  ],\n");
     Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
@@ -1423,6 +1624,7 @@ pub fn render_farm_json(
     churn: &UnitChurn,
     restart_cost_runs: &[String],
     dispatch_cost_runs: &[String],
+    native_cost_runs: &[String],
     access_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
@@ -1490,6 +1692,23 @@ pub fn render_farm_json(
             out.push_str("    ");
             out.push_str(row);
             if i + 1 < dispatch_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    // The native_cost trajectory: per-tier interpretation rate on the
+    // violation-free dispatch-bound loop, one row per recorded
+    // measurement (the native_cost bin upserts by fingerprint).
+    if native_cost_runs.is_empty() {
+        out.push_str("  \"native_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"native_cost_runs\": [\n");
+        for (i, row) in native_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < native_cost_runs.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -1630,9 +1849,27 @@ mod tests {
                 instrs: 1_000_000,
                 reps: 3,
             },
+            native: ViolationThroughput {
+                minstr_per_s: 90.0,
+                minstr_ci95: 2.0,
+                instrs: 1_000_000,
+                reps: 3,
+            },
             reps: 3,
         };
         let dispatch_rows = vec![dispatch_cost_row_json(&dispatch, "fp-dispatch-1")];
+        let native_cost = NativeCost {
+            baseline: dispatch.baseline,
+            fused: dispatch.fused,
+            native: ViolationThroughput {
+                minstr_per_s: 150.0,
+                minstr_ci95: 3.0,
+                instrs: 1_000_000,
+                reps: 3,
+            },
+            reps: 3,
+        };
+        let native_rows = vec![native_cost_row_json(&native_cost, "fp-native-1")];
         let access = AccessCost {
             table: AccessRate {
                 maccess_per_s: 10.0,
@@ -1655,6 +1892,7 @@ mod tests {
             &churn,
             &restart_rows,
             &dispatch_rows,
+            &native_rows,
             &access_rows,
             &rows,
         );
@@ -1682,6 +1920,9 @@ mod tests {
         assert!(json.contains("\"violation_minstr_per_s\""));
         assert!(json.contains("\"dispatch_cost_runs\""));
         assert!(json.contains("\"baseline_minstr_per_s\""));
+        assert!(json.contains("\"native_cost_runs\""));
+        assert!(json.contains("\"speedup_over_super\": 2.50"));
+        assert!(json.contains("\"native_speedup\": 3.00"));
         assert!(json.contains("\"access_cost_runs\""));
         assert!(json.contains("\"paged_maccess_per_s\""));
         assert!(json.contains("\"lookup\": \"table\""));
@@ -1734,6 +1975,15 @@ mod tests {
             append_dispatch_cost_row(&json, &dispatch_cost_row_json(&dispatch, "fp-dispatch-2"))
                 .expect("append dispatch row");
         assert_eq!(extract_dispatch_cost_rows(&dgrown).len(), 2);
+        assert_eq!(extract_native_cost_rows(&json), native_rows);
+        let ngrown =
+            append_native_cost_row(&json, &native_cost_row_json(&native_cost, "fp-native-2"))
+                .expect("append native row");
+        assert_eq!(extract_native_cost_rows(&ngrown).len(), 2);
+        let nsame =
+            append_native_cost_row(&ngrown, &native_cost_row_json(&native_cost, "fp-native-2"))
+                .expect("upsert native row");
+        assert_eq!(extract_native_cost_rows(&nsame).len(), 2);
         assert_eq!(extract_access_cost_rows(&json), access_rows);
         let agrown = append_access_cost_row(&json, &access_cost_row_json(&access, "fp-access-2"))
             .expect("append access row");
@@ -1883,6 +2133,7 @@ mod tests {
             &DispatchCost {
                 baseline: violation,
                 fused: violation,
+                native: violation,
                 reps: 1,
             },
             "fp-old-d1",
@@ -1893,6 +2144,21 @@ mod tests {
         assert_eq!(extract_mode_sweep_rows(&dgrown).len(), 1);
         let dsame = append_dispatch_cost_row(&dgrown, &drow).expect("upsert dispatch");
         assert_eq!(extract_dispatch_cost_rows(&dsame).len(), 1);
+        // ... and native_cost_runs.
+        let nrow = native_cost_row_json(
+            &NativeCost {
+                baseline: violation,
+                fused: violation,
+                native: violation,
+                reps: 1,
+            },
+            "fp-old-n1",
+        );
+        let ngrown = append_native_cost_row(&dsame, &nrow).expect("create native section");
+        assert_eq!(extract_native_cost_rows(&ngrown), vec![nrow.clone()]);
+        assert_eq!(extract_dispatch_cost_rows(&ngrown).len(), 1);
+        let nsame = append_native_cost_row(&ngrown, &nrow).expect("upsert native");
+        assert_eq!(extract_native_cost_rows(&nsame).len(), 1);
     }
 
     #[test]
@@ -1913,6 +2179,13 @@ mod tests {
         assert_ne!(restart_cost_fingerprint(24), restart_cost_fingerprint(8));
         assert_eq!(access_cost_fingerprint(8), access_cost_fingerprint(8));
         assert_ne!(access_cost_fingerprint(8), access_cost_fingerprint(24));
+        assert_eq!(native_cost_fingerprint(8), native_cost_fingerprint(8));
+        assert_ne!(native_cost_fingerprint(8), native_cost_fingerprint(24));
+        assert_ne!(
+            native_cost_fingerprint(8),
+            dispatch_cost_fingerprint(8),
+            "the two loop benches must never collide"
+        );
         // Concatenation ambiguity is broken by the separator.
         assert_ne!(fingerprint_of(&["ab", "c"]), fingerprint_of(&["a", "bc"]));
     }

@@ -14,6 +14,7 @@
 //! slowdown columns are invariant under this scaling because both
 //! versions scale identically (verified by `scaling_invariance` below).
 
+pub mod check;
 pub mod farm_report;
 pub mod sweep_report;
 

@@ -50,21 +50,28 @@ pub enum ExecTier {
     Baseline,
     /// The superinstruction stream produced by [`fuse_program`].
     Super,
+    /// The fused stream plus an AOT-lowered region artifact
+    /// ([`crate::native::lower_native`]): straight-line runs execute as
+    /// pre-decoded micro-op arrays with no per-instruction dispatch,
+    /// deopting to the interpreter at the same seams the fused opcodes
+    /// use.
+    Native,
 }
 
 /// Environment variable selecting the session-default tier
-/// (`baseline` or `super`; unset means baseline).
+/// (`baseline`, `super`, or `native`; unset means baseline).
 pub const EXEC_TIER_ENV: &str = "FOC_EXEC_TIER";
 
 impl ExecTier {
-    /// Both tiers, in cache-slot order.
-    pub const ALL: [ExecTier; 2] = [ExecTier::Baseline, ExecTier::Super];
+    /// Every tier, in cache-slot order.
+    pub const ALL: [ExecTier; 3] = [ExecTier::Baseline, ExecTier::Super, ExecTier::Native];
 
     /// Dense index (cache slot).
     pub fn index(self) -> usize {
         match self {
             ExecTier::Baseline => 0,
             ExecTier::Super => 1,
+            ExecTier::Native => 2,
         }
     }
 
@@ -73,18 +80,41 @@ impl ExecTier {
         match self {
             ExecTier::Baseline => "baseline",
             ExecTier::Super => "super",
+            ExecTier::Native => "native",
         }
     }
 
-    /// The session default: `FOC_EXEC_TIER=super` opts in to the fused
-    /// tier, anything else (including unset) selects the baseline. Read
-    /// once per process.
+    /// The session default from `FOC_EXEC_TIER`; unset means baseline.
+    /// An unknown value is a configuration error: the process exits with
+    /// a one-line diagnostic listing the valid tiers rather than
+    /// silently running a different tier than the operator asked for.
+    /// Read once per process.
     pub fn from_env() -> ExecTier {
         static TIER: OnceLock<ExecTier> = OnceLock::new();
         *TIER.get_or_init(|| match std::env::var(EXEC_TIER_ENV) {
-            Ok(v) if v.eq_ignore_ascii_case("super") => ExecTier::Super,
-            _ => ExecTier::Baseline,
+            Ok(v) => v.parse().unwrap_or_else(|e| {
+                eprintln!("{EXEC_TIER_ENV}: {e}");
+                std::process::exit(2);
+            }),
+            Err(_) => ExecTier::Baseline,
         })
+    }
+}
+
+impl std::str::FromStr for ExecTier {
+    type Err = String;
+
+    /// Case-insensitive tier name; the error message lists the valid
+    /// spellings so a typo in `FOC_EXEC_TIER` is self-diagnosing.
+    fn from_str(s: &str) -> Result<ExecTier, String> {
+        for tier in ExecTier::ALL {
+            if s.eq_ignore_ascii_case(tier.label()) {
+                return Ok(tier);
+            }
+        }
+        Err(format!(
+            "unknown execution tier {s:?} (valid tiers: baseline, super, native)"
+        ))
     }
 }
 
@@ -525,7 +555,23 @@ mod tests {
     fn tier_labels_and_slots_are_stable() {
         assert_eq!(ExecTier::Baseline.label(), "baseline");
         assert_eq!(ExecTier::Super.label(), "super");
+        assert_eq!(ExecTier::Native.label(), "native");
         assert_eq!(ExecTier::Baseline.index(), 0);
         assert_eq!(ExecTier::Super.index(), 1);
+        assert_eq!(ExecTier::Native.index(), 2);
+    }
+
+    #[test]
+    fn tier_parsing_round_trips_and_rejects_unknown_values() {
+        for tier in ExecTier::ALL {
+            assert_eq!(tier.label().parse::<ExecTier>(), Ok(tier));
+            assert_eq!(tier.label().to_uppercase().parse::<ExecTier>(), Ok(tier));
+        }
+        let err = "jit".parse::<ExecTier>().unwrap_err();
+        assert!(err.contains("\"jit\""), "error names the bad value: {err}");
+        for valid in ["baseline", "super", "native"] {
+            assert!(err.contains(valid), "error lists {valid}: {err}");
+        }
+        assert!("".parse::<ExecTier>().is_err());
     }
 }

@@ -22,6 +22,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::bytecode::CompiledProgram;
+use crate::native::NativeProgram;
 
 /// Stable identity of a compiled program: a 64-bit FNV-1a hash of its
 /// full content. Equal ids mean byte-identical images.
@@ -33,6 +34,17 @@ impl ProgramId {
     pub fn of(program: &CompiledProgram) -> ProgramId {
         let mut h = Fnv1a::new();
         program.hash(&mut h);
+        ProgramId(h.finish())
+    }
+
+    /// Content id of a program plus an artifact tag. The native tier
+    /// runs the *same* fused bytecode as the super tier with an extra
+    /// lowered artifact attached; mixing the tag into the hash keeps the
+    /// two images from aliasing in id-keyed caches.
+    pub fn of_tagged(program: &CompiledProgram, tag: &str) -> ProgramId {
+        let mut h = Fnv1a::new();
+        program.hash(&mut h);
+        tag.hash(&mut h);
         ProgramId(h.finish())
     }
 
@@ -57,6 +69,7 @@ impl fmt::Display for ProgramId {
 pub struct ProgramImage {
     id: ProgramId,
     program: Arc<CompiledProgram>,
+    native: Option<Arc<NativeProgram>>,
 }
 
 impl ProgramImage {
@@ -66,6 +79,21 @@ impl ProgramImage {
         ProgramImage {
             id,
             program: Arc::new(program),
+            native: None,
+        }
+    }
+
+    /// Wraps a fused program together with its native-tier artifact.
+    /// The bytecode is byte-identical to the super tier's, so the id
+    /// carries a tag to keep the two from aliasing in any id-keyed
+    /// cache; the artifact itself rides the `Arc` through machine
+    /// clones and checkpoint restores.
+    pub fn with_native(program: CompiledProgram, native: NativeProgram) -> ProgramImage {
+        let id = ProgramId::of_tagged(&program, "native");
+        ProgramImage {
+            id,
+            program: Arc::new(program),
+            native: Some(Arc::new(native)),
         }
     }
 
@@ -77,6 +105,12 @@ impl ProgramImage {
     /// The underlying program.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
+    }
+
+    /// The native-tier artifact, when this image was lowered for
+    /// `ExecTier::Native`.
+    pub fn native(&self) -> Option<&NativeProgram> {
+        self.native.as_deref()
     }
 
     /// How many machines/caches currently share this image (diagnostic).

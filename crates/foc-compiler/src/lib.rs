@@ -25,11 +25,13 @@ pub mod bytecode;
 pub mod fuse;
 pub mod image;
 pub mod lower;
+pub mod native;
 
 pub use bytecode::{AluOp, CmpOp, CompiledFunc, CompiledProgram, FrameLayout, GlobalImage, Instr};
 pub use fuse::{fuse_program, ExecTier, EXEC_TIER_ENV};
 pub use image::{Fnv1a, ProgramId, ProgramImage};
 pub use lower::{compile, CompileError};
+pub use native::{lower_native, NativeProgram};
 
 /// Convenience: front end plus lowering in one call.
 pub fn compile_source(source: &str) -> Result<CompiledProgram, String> {
@@ -45,14 +47,19 @@ pub fn compile_image(source: &str) -> Result<ProgramImage, String> {
 }
 
 /// Compiles source into a [`ProgramImage`] for the given execution
-/// tier. The fused and baseline images of one source have different
-/// [`ProgramId`]s (the bytecode differs), so tiered images never alias
-/// in downstream caches.
+/// tier. Every tier's image has a distinct [`ProgramId`] — the fused
+/// bytecode differs from the baseline, and the native image (same fused
+/// bytecode plus the AOT region artifact) carries a tag in its id — so
+/// tiered images never alias in downstream caches.
 pub fn compile_image_tier(source: &str, tier: ExecTier) -> Result<ProgramImage, String> {
     let program = compile_source(source)?;
-    let program = match tier {
-        ExecTier::Baseline => program,
-        ExecTier::Super => fuse_program(&program),
-    };
-    Ok(ProgramImage::new(program))
+    Ok(match tier {
+        ExecTier::Baseline => ProgramImage::new(program),
+        ExecTier::Super => ProgramImage::new(fuse_program(&program)),
+        ExecTier::Native => {
+            let fused = fuse_program(&program);
+            let native = lower_native(&fused.funcs);
+            ProgramImage::with_native(fused, native)
+        }
+    })
 }

@@ -1,0 +1,1377 @@
+//! Native-tier lowering — the `ExecTier::Native` AOT pass.
+//!
+//! The superinstruction tier still pays one fetch/decode/dispatch per
+//! (fused) opcode plus per-dispatch fuel and counter bookkeeping. This
+//! pass compiles each function *past* fetch/decode ahead of time: it
+//! partitions the fused instruction stream into **regions** — maximal
+//! straight-line runs entered only at known leaders — and lowers every
+//! region to a dense array of pre-decoded micro-ops ([`NOp`]) with all
+//! operands resolved (scalar reprs unpacked, index deltas folded, branch
+//! targets and fault pcs baked in). The VM executes a region with no
+//! per-instruction dispatch: accounting for the whole region is charged
+//! once at entry, and the micro-ops run back to back.
+//!
+//! ## Deopt contract
+//!
+//! The artifact adds no observable state of its own; every observable
+//! surface must stay byte-identical to the baseline tier:
+//!
+//! * **Entry gate.** A region is entered only when the remaining fuel
+//!   covers its whole pre-computed [`NativeRegion::charge`]. Otherwise
+//!   the VM falls back to the interpreter, whose existing per-opcode
+//!   deopt seams reproduce mid-pattern fuel exhaustion exactly.
+//! * **Fault seams.** Micro-ops that can fault (guest loads/stores,
+//!   division) carry a [`FaultAt`]: the architectural pc the fault must
+//!   surface at and the components the unfused stream would have charged
+//!   by that point. On a fault the VM refunds `charge - spent` and
+//!   unwinds with the baseline tier's exact counters, stack, and log.
+//! * **Boundaries.** Calls, builtins, returns, and any pc without a
+//!   region (e.g. a jump target inside a fused pattern's preserved tail)
+//!   drop to the interpreter, which runs the very same fused bytecode —
+//!   the native artifact rides alongside the super tier's program, it
+//!   never replaces it.
+//!
+//! Region selection is conservative: every slot of every instruction is
+//! scanned for branch targets (fused tails keep their original jump
+//! instructions, and a mid-pattern entry executes them), so the leader
+//! set is a superset of the reachable entry points and the entry table
+//! can never mis-align with the interpreter's view of the stream.
+
+use foc_memory::AccessSize;
+
+use crate::bytecode::{unpack_scalar, AluOp, CmpOp, CompiledFunc, Instr};
+
+/// Entry-table sentinel: no region starts at this pc.
+pub const NO_REGION: u32 = u32::MAX;
+
+/// The per-program native artifact (one entry per function, indices
+/// matching `CompiledProgram::funcs`). Immutable and `Sync`: one `Arc`
+/// serves every machine booted from the image, checkpoints included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeProgram {
+    /// Per-function lowered regions.
+    pub funcs: Vec<NativeFunc>,
+}
+
+/// One function's lowered regions plus the pc → region map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeFunc {
+    /// `entry[pc]` is the region starting at `pc`, or [`NO_REGION`].
+    pub entry: Vec<u32>,
+    /// The regions, in discovery order.
+    pub regions: Vec<NativeRegion>,
+}
+
+/// A maximal straight-line run: pre-decoded micro-ops plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeRegion {
+    /// Total components (fuel units / instruction counts) the region
+    /// charges — the exact sum its instructions would charge when
+    /// interpreted, terminator included.
+    pub charge: u64,
+    /// The straight-line micro-ops.
+    pub ops: Vec<NOp>,
+    /// How the region ends.
+    pub term: Term,
+}
+
+/// Where a faulting micro-op surfaces architecturally: the pc the fault
+/// is reported at, and the components the unfused stream would have
+/// charged when it faulted there (the VM refunds `charge - spent`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultAt {
+    /// Architectural fault pc (same pc the interpreter's seam uses).
+    pub pc: u32,
+    /// Components legitimately charged at the fault point.
+    pub spent: u64,
+}
+
+/// A pre-decoded micro-op. Operand reprs are unpacked and constant
+/// folds (index deltas, branch senses) are done at lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NOp {
+    /// Push a constant.
+    Const(i64),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Drop,
+    /// Swap the top two values.
+    Swap,
+    /// Rotate the top three values.
+    Rot3,
+    /// Push a local slot's address.
+    LocalAddr(u32),
+    /// Push a global's address (resolved through the machine's table).
+    GlobalAddr(u32),
+    /// Push an interned string's address.
+    StrAddr(u32),
+    /// Direct scalar load from a local slot.
+    LoadLocal {
+        /// Frame offset.
+        off: u32,
+        /// Scalar width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+    },
+    /// Direct scalar store to a local slot (pops the value).
+    StoreLocal {
+        /// Frame offset.
+        off: u32,
+        /// Stored width.
+        size: AccessSize,
+    },
+    /// Non-trapping binary ALU op.
+    Alu(AluOp),
+    /// Division/remainder (traps on a zero divisor).
+    Div {
+        /// Signed variant.
+        signed: bool,
+        /// Remainder instead of quotient.
+        rem: bool,
+        /// Divide-by-zero seam.
+        at: FaultAt,
+    },
+    /// Comparison, pushing the 0/1 flag (unfolded form).
+    Cmp(CmpOp),
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    BitNot,
+    /// Logical not.
+    Not,
+    /// Re-normalize the top value.
+    Normalize {
+        /// Width.
+        size: AccessSize,
+        /// Signedness.
+        signed: bool,
+    },
+    /// Replace a pointer with its effective address.
+    EffAddr,
+    /// Checked pointer arithmetic (pops count, pointer).
+    PtrAdd {
+        /// Element size.
+        esz: u64,
+    },
+    /// Pointer difference (pops rhs, lhs).
+    PtrDiff {
+        /// Element size.
+        esz: u64,
+    },
+    /// Checked guest load (pops the address).
+    Load {
+        /// Access width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+        /// Fault seam.
+        at: FaultAt,
+    },
+    /// Checked guest store (pops address, then value).
+    Store {
+        /// Access width.
+        size: AccessSize,
+        /// Fault seam.
+        at: FaultAt,
+    },
+    /// `FusedLocalIdxLoad`: constant-index read of a local array.
+    IdxLoad {
+        /// Frame offset of the aggregate.
+        off: u32,
+        /// Folded byte delta (`idx * esz`).
+        delta: i64,
+        /// Loaded width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+        /// Fault seam.
+        at: FaultAt,
+    },
+    /// `FusedLocalIdxStore`: constant-index write (pops the value).
+    IdxStore {
+        /// Frame offset of the aggregate.
+        off: u32,
+        /// Folded byte delta.
+        delta: i64,
+        /// Stored width.
+        size: AccessSize,
+        /// Fault seam.
+        at: FaultAt,
+    },
+    /// `FusedLoadIdxAccum`: the whole `acc += xs[C]` statement.
+    IdxAccum {
+        /// Accumulator frame offset.
+        acc: u32,
+        /// Accumulator load width.
+        acc_size: AccessSize,
+        /// Accumulator load signedness.
+        acc_signed: bool,
+        /// Accumulator store width.
+        store_size: AccessSize,
+        /// Aggregate frame offset.
+        addr: u32,
+        /// Folded byte delta.
+        delta: i64,
+        /// Element load width.
+        load_size: AccessSize,
+        /// Element load signedness.
+        load_signed: bool,
+        /// Fault seam (the load is component 4; `spent` covers 5).
+        at: FaultAt,
+    },
+    /// `FusedIncLocal`: direct-local increment statement.
+    IncLocal {
+        /// Frame offset.
+        off: u32,
+        /// Increment.
+        delta: i64,
+        /// Scalar width.
+        size: AccessSize,
+        /// Signedness.
+        signed: bool,
+    },
+    /// `FusedConstAlu`: constant-rhs ALU op.
+    ConstAlu {
+        /// Constant rhs.
+        c: i64,
+        /// Operation.
+        op: AluOp,
+    },
+    /// `FusedStoreLocalPop`: store top-of-stack to a local and pop.
+    StoreLocalPop {
+        /// Frame offset.
+        off: u32,
+        /// Stored width.
+        size: AccessSize,
+    },
+    /// `FusedLoadLoad`: dereference a pointer held in a local.
+    LoadLoad {
+        /// Pointer local's frame offset.
+        off: u32,
+        /// Loaded width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+        /// Fault seam.
+        at: FaultAt,
+    },
+    /// A maximal run (length ≥ 2) of pure frame-local micro-ops,
+    /// lowered to register form: every op inside touches only the
+    /// operand stack and the current frame's byte window, cannot
+    /// fault, and adds no per-access cycle extras — so the operand
+    /// stack is statically known at every point and each push/pop is
+    /// resolved to a fixed scratch-register index ahead of time. The
+    /// executor borrows the frame window once for the whole block and
+    /// runs the register ops back to back: no region bounds/commit
+    /// round-trips, no operand-stack traffic — the "pre-resolved
+    /// operands" half of the native tier's dispatch win.
+    Locals(LocalsBlock),
+}
+
+/// Scratch registers available to a [`LocalsBlock`]. Runs whose stack
+/// shape exceeds this stay in individual-op form (none observed in
+/// practice: the cap comfortably exceeds any expression depth the
+/// front end emits).
+pub const LOCALS_REGS: usize = 64;
+
+/// A pure frame-local run in register form. `consumes` operand-stack
+/// values enter as registers `0..consumes` (`consumes - 1` is the old
+/// top of stack); after the ops run, registers `0..produces` are the
+/// block's operand-stack contribution, pushed back in index order. A
+/// self-contained block (every statement's expression stack starts and
+/// ends empty) has `consumes == produces == 0` and touches the operand
+/// stack not at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalsBlock {
+    /// Operand-stack values consumed at entry.
+    pub consumes: u8,
+    /// Operand-stack values produced at exit.
+    pub produces: u8,
+    /// The straight-line register ops.
+    pub ops: Box<[ROp]>,
+}
+
+/// A register-form micro-op inside a [`LocalsBlock`]. All register
+/// indices are below [`LOCALS_REGS`]; frame offsets were validated
+/// against the frame layout by the front end, so the executor indexes
+/// its borrowed frame window directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ROp {
+    /// `r[dst] = c`.
+    Const {
+        /// Destination register.
+        dst: u8,
+        /// The constant.
+        c: i64,
+    },
+    /// `r[dst] = r[src]` (a `Dup` with its stack slots resolved).
+    Copy {
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// Exchange two registers (a resolved `Swap`).
+    Swap {
+        /// One register.
+        a: u8,
+        /// The other.
+        b: u8,
+    },
+    /// Rotate three registers (a resolved `Rot3`): `a←b, b←c, c←a`.
+    Rot3 {
+        /// Deepest slot.
+        a: u8,
+        /// Middle slot.
+        b: u8,
+        /// Top slot.
+        c: u8,
+    },
+    /// `r[dst] = base + off` (a resolved `LocalAddr`).
+    Addr {
+        /// Destination register.
+        dst: u8,
+        /// Frame offset.
+        off: u32,
+    },
+    /// Scalar load straight off the frame window.
+    Load {
+        /// Destination register.
+        dst: u8,
+        /// Frame offset.
+        off: u32,
+        /// Width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+    },
+    /// Scalar store straight into the frame window.
+    Store {
+        /// Source register.
+        src: u8,
+        /// Frame offset.
+        off: u32,
+        /// Width.
+        size: AccessSize,
+    },
+    /// `r[dst] = op(r[a], r[b])` (`dst == a` in stack-lowered code).
+    Alu {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: u8,
+        /// Right operand.
+        b: u8,
+        /// Operation.
+        op: AluOp,
+    },
+    /// `r[at] = op(r[at], c)` (a resolved `FusedConstAlu`).
+    ConstAlu {
+        /// In-place operand register.
+        at: u8,
+        /// Constant rhs.
+        c: i64,
+        /// Operation.
+        op: AluOp,
+    },
+    /// `r[dst] = op(r[a], r[b])` as a 0/1 flag.
+    Cmp {
+        /// Destination register.
+        dst: u8,
+        /// Left operand.
+        a: u8,
+        /// Right operand.
+        b: u8,
+        /// Comparison.
+        op: CmpOp,
+    },
+    /// In-place arithmetic negation.
+    Neg {
+        /// Operand register.
+        at: u8,
+    },
+    /// In-place bitwise not.
+    BitNot {
+        /// Operand register.
+        at: u8,
+    },
+    /// In-place logical not.
+    Not {
+        /// Operand register.
+        at: u8,
+    },
+    /// In-place re-normalization.
+    Normalize {
+        /// Operand register.
+        at: u8,
+        /// Width.
+        size: AccessSize,
+        /// Signedness.
+        signed: bool,
+    },
+    /// Direct-local increment against the frame window (a resolved
+    /// `FusedIncLocal`; touches no registers).
+    Inc {
+        /// Frame offset.
+        off: u32,
+        /// Increment.
+        delta: i64,
+        /// Scalar width.
+        size: AccessSize,
+        /// Signedness.
+        signed: bool,
+    },
+}
+
+/// How a region ends. Conditional terminators carry both successors so
+/// the executor can chain into the next region without touching the
+/// interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when zero.
+    JumpIfZero {
+        /// Branch target.
+        target: u32,
+        /// Fall-through pc.
+        fall: u32,
+    },
+    /// Pop; jump when non-zero.
+    JumpIfNotZero {
+        /// Branch target.
+        target: u32,
+        /// Fall-through pc.
+        fall: u32,
+    },
+    /// A comparison folded with its branch (the interpreter's runtime
+    /// `cmp_arm` peephole, resolved at lowering time): pops rhs then
+    /// lhs, jumps when `op` holds.
+    FlagJump {
+        /// Comparison, normalized to jump-when-true.
+        op: CmpOp,
+        /// Branch target.
+        target: u32,
+        /// Fall-through pc.
+        fall: u32,
+    },
+    /// `FusedCmpJump`: the two-local loop head.
+    CmpJump {
+        /// Lhs frame offset.
+        a: u32,
+        /// Lhs width.
+        a_size: AccessSize,
+        /// Lhs signedness.
+        a_signed: bool,
+        /// Rhs frame offset.
+        b: u32,
+        /// Rhs width.
+        b_size: AccessSize,
+        /// Rhs signedness.
+        b_signed: bool,
+        /// Comparison, jump taken when true.
+        op: CmpOp,
+        /// Branch target.
+        target: u32,
+        /// Fall-through pc.
+        fall: u32,
+    },
+    /// `FusedIncJump`: the loop latch (increment + back-jump).
+    IncJump {
+        /// Frame offset.
+        off: u32,
+        /// Increment.
+        delta: i64,
+        /// Scalar width.
+        size: AccessSize,
+        /// Signedness.
+        signed: bool,
+        /// Jump target.
+        target: u32,
+    },
+    /// Straight-line fall to a pc the interpreter (or the next region)
+    /// must handle: a call/builtin/return boundary or a region split at
+    /// a leader. Charges nothing.
+    Fall(u32),
+}
+
+/// Lowers a fused program's functions to their native artifacts. The
+/// input must be the `ExecTier::Super` stream (the artifact executes
+/// fused opcodes as single micro-ops and relies on their layout
+/// preservation for mid-pattern entries).
+pub fn lower_native(funcs: &[CompiledFunc]) -> NativeProgram {
+    NativeProgram {
+        funcs: funcs.iter().map(|f| lower_func(&f.code)).collect(),
+    }
+}
+
+/// The instruction span a fused opcode covers (1 for plain instrs).
+fn span(instr: Instr) -> usize {
+    match instr {
+        Instr::FusedCmpJump { .. } => 5,
+        Instr::FusedLocalIdxLoad { .. } | Instr::FusedLocalIdxStore { .. } => 4,
+        Instr::FusedLoadIdxAccum { .. } => 9,
+        Instr::FusedIncLocal { len, .. } => len as usize,
+        Instr::FusedIncJump { len, .. } => len as usize,
+        Instr::FusedConstAlu { .. } => 2,
+        Instr::FusedStoreLocalPop { .. } => 3,
+        Instr::FusedLoadLoad { .. } => 2,
+        _ => 1,
+    }
+}
+
+fn cmp_op_of(instr: Instr) -> Option<CmpOp> {
+    Some(match instr {
+        Instr::Eq => CmpOp::Eq,
+        Instr::Ne => CmpOp::Ne,
+        Instr::LtS => CmpOp::LtS,
+        Instr::LtU => CmpOp::LtU,
+        Instr::LeS => CmpOp::LeS,
+        Instr::LeU => CmpOp::LeU,
+        Instr::GtS => CmpOp::GtS,
+        Instr::GtU => CmpOp::GtU,
+        Instr::GeS => CmpOp::GeS,
+        Instr::GeU => CmpOp::GeU,
+        _ => return None,
+    })
+}
+
+fn alu_op_of(instr: Instr) -> Option<AluOp> {
+    Some(match instr {
+        Instr::Add => AluOp::Add,
+        Instr::Sub => AluOp::Sub,
+        Instr::Mul => AluOp::Mul,
+        Instr::And => AluOp::And,
+        Instr::Or => AluOp::Or,
+        Instr::Xor => AluOp::Xor,
+        Instr::Shl => AluOp::Shl,
+        Instr::ShrS => AluOp::ShrS,
+        Instr::ShrU => AluOp::ShrU,
+        _ => return None,
+    })
+}
+
+/// Whether the instruction forces a drop to the interpreter (frame and
+/// builtin machinery the region executor does not replicate).
+fn is_breaker(instr: Instr) -> bool {
+    matches!(instr, Instr::Call(_) | Instr::CallBuiltin(_) | Instr::Ret)
+}
+
+/// Marks `pc` as a leader and queues it for region construction.
+fn note_leader(code_len: usize, leader: &mut [bool], work: &mut Vec<u32>, pc: u32) {
+    if (pc as usize) < code_len && !leader[pc as usize] {
+        leader[pc as usize] = true;
+        work.push(pc);
+    }
+}
+
+fn lower_func(code: &[Instr]) -> NativeFunc {
+    // Pass 1 — leaders: function entry plus every branch target named
+    // anywhere in the stream. Tail slots of fused patterns keep their
+    // original jump instructions and are reachable through mid-pattern
+    // entries, so every slot is scanned; the result is a conservative
+    // superset of the live entry points, which only ever adds regions.
+    let mut leader = vec![false; code.len()];
+    let mut work: Vec<u32> = Vec::new();
+    if !code.is_empty() {
+        leader[0] = true;
+        work.push(0);
+    }
+    for &instr in code {
+        match instr {
+            Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNotZero(t) => {
+                note_leader(code.len(), &mut leader, &mut work, t)
+            }
+            Instr::FusedCmpJump { target, .. } | Instr::FusedIncJump { target, .. } => {
+                note_leader(code.len(), &mut leader, &mut work, target)
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2 — build one region per leader. Fall-through successors of
+    // conditional terminators and post-call resume points become new
+    // leaders as they are discovered; no region ever crosses them (both
+    // always follow a terminator/breaker, and no fused span contains
+    // one), so late discovery cannot invalidate an earlier region.
+    let mut entry = vec![NO_REGION; code.len()];
+    let mut regions: Vec<NativeRegion> = Vec::new();
+    while let Some(start) = work.pop() {
+        if entry[start as usize] != NO_REGION {
+            continue;
+        }
+        let region = build_region(code, start, &mut leader, &mut work);
+        if region.ops.is_empty() && region.term == Term::Fall(start) {
+            // A leader that is immediately a call/ret lowers to a no-op
+            // region falling to itself. Leave the slot unmapped so the
+            // executor hands the pc straight to the interpreter instead
+            // of spinning on a zero-charge region.
+            continue;
+        }
+        entry[start as usize] = regions.len() as u32;
+        regions.push(region);
+    }
+    NativeFunc { entry, regions }
+}
+
+/// Walks the stream from `start` to the region's end, lowering as it
+/// goes; newly discovered fall-through leaders go onto `work`.
+fn build_region(
+    code: &[Instr],
+    start: u32,
+    leader: &mut [bool],
+    work: &mut Vec<u32>,
+) -> NativeRegion {
+    let mut ops = Vec::new();
+    let mut done: u64 = 0;
+    let mut pc = start as usize;
+    let term = loop {
+        if pc >= code.len() {
+            // Defensive: the lowering never runs off a well-formed
+            // function (every path ends in `Ret`), but a malformed one
+            // must fail in the interpreter, not here.
+            break Term::Fall(pc as u32);
+        }
+        if pc as u32 != start && leader[pc] {
+            // Split at a known entry point; the executor chains into
+            // the next region without leaving the fast path.
+            break Term::Fall(pc as u32);
+        }
+        let instr = code[pc];
+        if is_breaker(instr) {
+            if !matches!(instr, Instr::Ret) {
+                note_leader(code.len(), leader, work, pc as u32 + 1);
+            }
+            break Term::Fall(pc as u32);
+        }
+        match instr {
+            Instr::Jump(t) => {
+                done += 1;
+                break Term::Jump(t);
+            }
+            Instr::JumpIfZero(t) => {
+                done += 1;
+                note_leader(code.len(), leader, work, pc as u32 + 1);
+                break Term::JumpIfZero {
+                    target: t,
+                    fall: pc as u32 + 1,
+                };
+            }
+            Instr::JumpIfNotZero(t) => {
+                done += 1;
+                note_leader(code.len(), leader, work, pc as u32 + 1);
+                break Term::JumpIfNotZero {
+                    target: t,
+                    fall: pc as u32 + 1,
+                };
+            }
+            Instr::FusedCmpJump {
+                a,
+                b,
+                a_repr,
+                b_repr,
+                op,
+                target,
+            } => {
+                done += 5;
+                let (a_size, a_signed) = unpack_scalar(a_repr);
+                let (b_size, b_signed) = unpack_scalar(b_repr);
+                note_leader(code.len(), leader, work, pc as u32 + 5);
+                break Term::CmpJump {
+                    a,
+                    a_size,
+                    a_signed,
+                    b,
+                    b_size,
+                    b_signed,
+                    op,
+                    target,
+                    fall: pc as u32 + 5,
+                };
+            }
+            Instr::FusedIncJump {
+                off,
+                delta,
+                repr,
+                len,
+                target,
+            } => {
+                done += len as u64;
+                let (size, signed) = unpack_scalar(repr);
+                break Term::IncJump {
+                    off,
+                    delta: delta as i64,
+                    size,
+                    signed,
+                    target,
+                };
+            }
+            _ => {}
+        }
+        // Fold a comparison with a directly following branch — the
+        // runtime `cmp_arm` peephole, resolved ahead of time. Skipped
+        // when the branch is itself a leader (the split wins; the flag
+        // is pushed and the next region's terminator pops it, which is
+        // observationally the same thing).
+        if let Some(op) = cmp_op_of(instr) {
+            if pc + 1 < code.len() && !leader[pc + 1] {
+                match code[pc + 1] {
+                    Instr::JumpIfZero(t) => {
+                        done += 2;
+                        note_leader(code.len(), leader, work, pc as u32 + 2);
+                        break Term::FlagJump {
+                            op: op.negate(),
+                            target: t,
+                            fall: pc as u32 + 2,
+                        };
+                    }
+                    Instr::JumpIfNotZero(t) => {
+                        done += 2;
+                        note_leader(code.len(), leader, work, pc as u32 + 2);
+                        break Term::FlagJump {
+                            op,
+                            target: t,
+                            fall: pc as u32 + 2,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            ops.push(NOp::Cmp(op));
+            done += 1;
+            pc += 1;
+            continue;
+        }
+        let k = span(instr) as u64;
+        ops.push(lower_op(instr, pc as u32, done));
+        done += k;
+        pc += span(instr);
+    };
+    // Every terminator folded its own components into `done` at its
+    // break (a `Fall` charges nothing), so the region charge is final.
+    // Charges were computed per original op, and grouping neither adds
+    // nor removes components, so the charge is unaffected by it.
+    NativeRegion {
+        charge: done,
+        ops: group_locals(ops),
+        term,
+    }
+}
+
+/// Whether `op` is a pure frame-local micro-op: it touches only the
+/// operand stack and the frame's byte window, cannot fault, and adds no
+/// per-access stat extras — the eligibility predicate for
+/// [`NOp::Locals`] grouping. Anything that consults the memory space's
+/// placement machinery (guest loads/stores, pointer arithmetic,
+/// effective-address folding) or that can trap (division) stays
+/// top-level so its fault seam and cycle extras land exactly where the
+/// interpreted stream puts them.
+fn is_local_pure(op: &NOp) -> bool {
+    matches!(
+        op,
+        NOp::Const(_)
+            | NOp::Dup
+            | NOp::Drop
+            | NOp::Swap
+            | NOp::Rot3
+            | NOp::LocalAddr(_)
+            | NOp::LoadLocal { .. }
+            | NOp::StoreLocal { .. }
+            | NOp::Alu(_)
+            | NOp::Cmp(_)
+            | NOp::Neg
+            | NOp::BitNot
+            | NOp::Not
+            | NOp::Normalize { .. }
+            | NOp::IncLocal { .. }
+            | NOp::ConstAlu { .. }
+            | NOp::StoreLocalPop { .. }
+    )
+}
+
+/// Groups maximal runs (length ≥ 2) of pure frame-local ops into
+/// register-form [`NOp::Locals`] blocks. Singleton runs stay as-is:
+/// the block only pays for its one-time frame borrow when at least two
+/// ops amortize it. Runs whose stack shape exceeds [`LOCALS_REGS`]
+/// also stay in individual-op form (the executor's slow path is
+/// observationally identical). Blocks are built from a flat op vector,
+/// so they never nest.
+fn group_locals(ops: Vec<NOp>) -> Vec<NOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        if !is_local_pure(&ops[i]) {
+            out.push(ops[i].clone());
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < ops.len() && is_local_pure(&ops[j]) {
+            j += 1;
+        }
+        match (j - i >= 2).then(|| lower_locals(&ops[i..j])).flatten() {
+            Some(block) => out.push(NOp::Locals(block)),
+            None => out.extend(ops[i..j].iter().cloned()),
+        }
+        i = j;
+    }
+    out
+}
+
+/// How a pure-local op shapes the operand stack: `(consumed, effect)`
+/// — how many values below the current top it reads or removes, and
+/// its net depth change.
+fn stack_shape(op: &NOp) -> (i32, i32) {
+    match op {
+        NOp::Const(_) | NOp::LocalAddr(_) | NOp::LoadLocal { .. } => (0, 1),
+        NOp::Dup => (1, 1),
+        NOp::Drop | NOp::StoreLocal { .. } | NOp::StoreLocalPop { .. } => (1, -1),
+        NOp::Swap => (2, 0),
+        NOp::Rot3 => (3, 0),
+        NOp::Alu(_) | NOp::Cmp(_) => (2, -1),
+        NOp::Neg | NOp::BitNot | NOp::Not | NOp::Normalize { .. } | NOp::ConstAlu { .. } => (1, 0),
+        NOp::IncLocal { .. } => (0, 0),
+        other => unreachable!("impure op in a pure-local run: {other:?}"),
+    }
+}
+
+/// Lowers a pure-local run to register form. The run is straight-line,
+/// so the operand-stack depth at every op is static: stack slot `d`
+/// (relative to the block's deepest excursion below its entry depth)
+/// becomes scratch register `d`, and every push/pop turns into a fixed
+/// register index. A `Drop` vanishes entirely — the dead value simply
+/// never makes it back to the operand stack. Returns `None` when the
+/// run's stack shape exceeds [`LOCALS_REGS`].
+fn lower_locals(run: &[NOp]) -> Option<LocalsBlock> {
+    // Pass 1: the run's depth envelope relative to its entry depth.
+    let mut depth: i32 = 0;
+    let mut lowest: i32 = 0;
+    let mut highest: i32 = 0;
+    for op in run {
+        let (consumed, effect) = stack_shape(op);
+        lowest = lowest.min(depth - consumed);
+        depth += effect;
+        highest = highest.max(depth);
+    }
+    let bias = -lowest;
+    if highest + bias > LOCALS_REGS as i32 {
+        return None;
+    }
+    // Pass 2: emit, mapping relative depth `d` to register `d + bias`.
+    let r = |d: i32| (d + bias) as u8;
+    let mut ops = Vec::with_capacity(run.len());
+    let mut d: i32 = 0;
+    for op in run {
+        match *op {
+            NOp::Const(c) => {
+                ops.push(ROp::Const { dst: r(d), c });
+                d += 1;
+            }
+            NOp::Dup => {
+                ops.push(ROp::Copy {
+                    dst: r(d),
+                    src: r(d - 1),
+                });
+                d += 1;
+            }
+            NOp::Drop => d -= 1,
+            NOp::Swap => ops.push(ROp::Swap {
+                a: r(d - 1),
+                b: r(d - 2),
+            }),
+            NOp::Rot3 => ops.push(ROp::Rot3 {
+                a: r(d - 3),
+                b: r(d - 2),
+                c: r(d - 1),
+            }),
+            NOp::LocalAddr(off) => {
+                ops.push(ROp::Addr { dst: r(d), off });
+                d += 1;
+            }
+            NOp::LoadLocal { off, size, signed } => {
+                ops.push(ROp::Load {
+                    dst: r(d),
+                    off,
+                    size,
+                    signed,
+                });
+                d += 1;
+            }
+            NOp::StoreLocal { off, size } | NOp::StoreLocalPop { off, size } => {
+                ops.push(ROp::Store {
+                    src: r(d - 1),
+                    off,
+                    size,
+                });
+                d -= 1;
+            }
+            NOp::Alu(op) => {
+                ops.push(ROp::Alu {
+                    dst: r(d - 2),
+                    a: r(d - 2),
+                    b: r(d - 1),
+                    op,
+                });
+                d -= 1;
+            }
+            NOp::Cmp(op) => {
+                ops.push(ROp::Cmp {
+                    dst: r(d - 2),
+                    a: r(d - 2),
+                    b: r(d - 1),
+                    op,
+                });
+                d -= 1;
+            }
+            NOp::Neg => ops.push(ROp::Neg { at: r(d - 1) }),
+            NOp::BitNot => ops.push(ROp::BitNot { at: r(d - 1) }),
+            NOp::Not => ops.push(ROp::Not { at: r(d - 1) }),
+            NOp::Normalize { size, signed } => ops.push(ROp::Normalize {
+                at: r(d - 1),
+                size,
+                signed,
+            }),
+            NOp::ConstAlu { c, op } => ops.push(ROp::ConstAlu {
+                at: r(d - 1),
+                c,
+                op,
+            }),
+            NOp::IncLocal {
+                off,
+                delta,
+                size,
+                signed,
+            } => ops.push(ROp::Inc {
+                off,
+                delta,
+                size,
+                signed,
+            }),
+            ref other => unreachable!("impure op in a pure-local run: {other:?}"),
+        }
+    }
+    Some(LocalsBlock {
+        consumes: bias as u8,
+        produces: (d + bias) as u8,
+        ops: ops.into_boxed_slice(),
+    })
+}
+
+/// Lowers one non-terminator, non-breaker instruction. `pc` is the
+/// instruction's own index; `done` the components charged before it.
+fn lower_op(instr: Instr, pc: u32, done: u64) -> NOp {
+    match instr {
+        Instr::Const(v) => NOp::Const(v),
+        Instr::Dup => NOp::Dup,
+        Instr::Drop => NOp::Drop,
+        Instr::Swap => NOp::Swap,
+        Instr::Rot3 => NOp::Rot3,
+        Instr::LocalAddr(off) => NOp::LocalAddr(off),
+        Instr::GlobalAddr(i) => NOp::GlobalAddr(i),
+        Instr::StrAddr(i) => NOp::StrAddr(i),
+        Instr::Load(size, signed) => NOp::Load {
+            size,
+            signed,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::Store(size) => NOp::Store {
+            size,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::LoadLocal(off, size, signed) => NOp::LoadLocal { off, size, signed },
+        Instr::StoreLocal(off, size) => NOp::StoreLocal { off, size },
+        Instr::DivS => NOp::Div {
+            signed: true,
+            rem: false,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::DivU => NOp::Div {
+            signed: false,
+            rem: false,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::RemS => NOp::Div {
+            signed: true,
+            rem: true,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::RemU => NOp::Div {
+            signed: false,
+            rem: true,
+            at: FaultAt {
+                pc: pc + 1,
+                spent: done + 1,
+            },
+        },
+        Instr::Neg => NOp::Neg,
+        Instr::BitNot => NOp::BitNot,
+        Instr::Not => NOp::Not,
+        Instr::Normalize(size, signed) => NOp::Normalize { size, signed },
+        Instr::EffAddr => NOp::EffAddr,
+        Instr::PtrAdd(esz) => NOp::PtrAdd { esz },
+        Instr::PtrDiff(esz) => NOp::PtrDiff { esz },
+        Instr::FusedLocalIdxLoad {
+            off,
+            idx,
+            esz,
+            repr,
+        } => {
+            let (size, signed) = unpack_scalar(repr);
+            NOp::IdxLoad {
+                off,
+                delta: (idx as i64).wrapping_mul(esz as i64),
+                size,
+                signed,
+                at: FaultAt {
+                    pc: pc + 4,
+                    spent: done + 4,
+                },
+            }
+        }
+        Instr::FusedLocalIdxStore {
+            off,
+            idx,
+            esz,
+            size,
+        } => NOp::IdxStore {
+            off,
+            delta: (idx as i64).wrapping_mul(esz as i64),
+            size,
+            at: FaultAt {
+                pc: pc + 4,
+                spent: done + 4,
+            },
+        },
+        Instr::FusedLoadIdxAccum {
+            acc,
+            addr,
+            delta,
+            load_repr,
+            acc_repr,
+            size,
+        } => {
+            let (acc_size, acc_signed) = unpack_scalar(acc_repr);
+            let (load_size, load_signed) = unpack_scalar(load_repr);
+            NOp::IdxAccum {
+                acc,
+                acc_size,
+                acc_signed,
+                store_size: size,
+                addr,
+                delta: delta as i64,
+                load_size,
+                load_signed,
+                // The load is component 4 of 9: a memory fault surfaces
+                // with exactly components 0..=4 charged (the interpreter
+                // refunds the four pure stack ops behind the load).
+                at: FaultAt {
+                    pc: pc + 5,
+                    spent: done + 5,
+                },
+            }
+        }
+        Instr::FusedIncLocal {
+            off, delta, repr, ..
+        } => {
+            let (size, signed) = unpack_scalar(repr);
+            NOp::IncLocal {
+                off,
+                delta: delta as i64,
+                size,
+                signed,
+            }
+        }
+        Instr::FusedConstAlu { c, op } => NOp::ConstAlu { c: c as i64, op },
+        Instr::FusedStoreLocalPop { off, size } => NOp::StoreLocalPop { off, size },
+        Instr::FusedLoadLoad { off, repr } => {
+            let (size, signed) = unpack_scalar(repr);
+            NOp::LoadLoad {
+                off,
+                size,
+                signed,
+                at: FaultAt {
+                    pc: pc + 2,
+                    spent: done + 2,
+                },
+            }
+        }
+        other => {
+            if let Some(op) = alu_op_of(other) {
+                NOp::Alu(op)
+            } else if let Some(op) = cmp_op_of(other) {
+                NOp::Cmp(op)
+            } else {
+                unreachable!("terminator/breaker reached lower_op: {other:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, fuse_program};
+
+    fn lower(src: &str) -> NativeProgram {
+        let fused = fuse_program(&compile_source(src).unwrap());
+        lower_native(&fused.funcs)
+    }
+
+    const LOOP_SRC: &str = "long spin(long n) { long i; long acc = 0; \
+                            for (i = 0; i < n; i++) acc = acc + i; return acc; }";
+
+    #[test]
+    fn lowering_is_deterministic() {
+        assert_eq!(lower(LOOP_SRC), lower(LOOP_SRC));
+    }
+
+    #[test]
+    fn entry_table_is_aligned_and_indices_are_valid() {
+        let fused = fuse_program(&compile_source(LOOP_SRC).unwrap());
+        let native = lower_native(&fused.funcs);
+        for (f, nf) in fused.funcs.iter().zip(&native.funcs) {
+            assert_eq!(nf.entry.len(), f.code.len());
+            for &r in &nf.entry {
+                assert!(r == NO_REGION || (r as usize) < nf.regions.len());
+            }
+            // Every region is reachable through the entry table.
+            for idx in 0..nf.regions.len() as u32 {
+                assert!(nf.entry.contains(&idx), "orphan region {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_lowers_to_chained_regions_with_fused_terminators() {
+        let native = lower(LOOP_SRC);
+        let nf = &native.funcs[0];
+        let has_cmp_head = nf
+            .regions
+            .iter()
+            .any(|r| matches!(r.term, Term::CmpJump { .. }));
+        let has_latch = nf
+            .regions
+            .iter()
+            .any(|r| matches!(r.term, Term::IncJump { .. }));
+        assert!(has_cmp_head, "loop head should lower to Term::CmpJump");
+        assert!(has_latch, "loop latch should lower to Term::IncJump");
+        // The head's fall-through (the loop body) must itself start a
+        // region, so a full iteration never leaves the native path.
+        for r in &nf.regions {
+            if let Term::CmpJump { target, fall, .. } = r.term {
+                assert_ne!(nf.entry[fall as usize], NO_REGION, "body has a region");
+                assert_ne!(nf.entry[target as usize], NO_REGION, "exit has a region");
+            }
+        }
+    }
+
+    #[test]
+    fn charges_match_component_sums() {
+        // A straight-line function: one region covering everything up to
+        // the Ret breaker, charging exactly the unfused component count.
+        let src = "int f() { int x = 3; int y = 4; return x + y; }";
+        let fused = fuse_program(&compile_source(src).unwrap());
+        let native = lower_native(&fused.funcs);
+        let nf = &native.funcs[0];
+        let entry_region = &nf.regions[nf.entry[0] as usize];
+        // The region ends at the Ret; its charge equals the instruction
+        // slots it covers (every slot is one component).
+        let covered = match entry_region.term {
+            Term::Fall(at) => at as u64,
+            ref t => panic!("straight-line function should fall to Ret, got {t:?}"),
+        };
+        assert_eq!(entry_region.charge, covered);
+    }
+
+    #[test]
+    fn pure_local_runs_group_into_register_blocks() {
+        // A dispatch-bound body of local expression arithmetic: the
+        // whole thing must collapse into register-form Locals blocks
+        // with no ungrouped pure-local runs left at top level.
+        let src = "long f(long n) { long t = 0; long u = 1; \
+                   t = t + u + 3; t = t + 5; u = u + t; return t + u; }";
+        let native = lower(src);
+        let mut blocks = 0usize;
+        for region in &native.funcs[0].regions {
+            let mut run = 0usize;
+            for op in &region.ops {
+                match op {
+                    NOp::Locals(block) => {
+                        blocks += 1;
+                        assert!(!block.ops.is_empty(), "empty block");
+                        // Statement-shaped code is self-contained: a
+                        // block never digs below its entry stack, and
+                        // leaves at most the `return` expression's one
+                        // value behind for the Ret breaker.
+                        assert_eq!(block.consumes, 0, "statement block consumes");
+                        assert!(block.produces <= 1, "statement block produces");
+                        for r in block.ops.iter() {
+                            if let ROp::Alu { dst, a, b, .. } = r {
+                                assert!(
+                                    (*dst as usize) < LOCALS_REGS
+                                        && (*a as usize) < LOCALS_REGS
+                                        && (*b as usize) < LOCALS_REGS,
+                                    "register index out of range"
+                                );
+                            }
+                        }
+                        run = 0;
+                    }
+                    op if is_local_pure(op) => {
+                        run += 1;
+                        assert!(run < 2, "ungrouped run of pure local ops");
+                    }
+                    _ => run = 0,
+                }
+            }
+        }
+        assert!(blocks > 0, "local-only body should form a block");
+    }
+
+    #[test]
+    fn register_lowering_resolves_stack_slots() {
+        // `t + u` is LoadLocal t, LoadLocal u, Alu(Add): registers 0
+        // and 1, the add landing in 0, the store reading 0.
+        let run = [
+            NOp::LoadLocal {
+                off: 0,
+                size: AccessSize::B8,
+                signed: true,
+            },
+            NOp::LoadLocal {
+                off: 8,
+                size: AccessSize::B8,
+                signed: true,
+            },
+            NOp::Alu(AluOp::Add),
+            NOp::StoreLocal {
+                off: 0,
+                size: AccessSize::B8,
+            },
+        ];
+        let block = lower_locals(&run).expect("shallow run lowers");
+        assert_eq!(block.consumes, 0);
+        assert_eq!(block.produces, 0);
+        assert_eq!(
+            &*block.ops,
+            &[
+                ROp::Load {
+                    dst: 0,
+                    off: 0,
+                    size: AccessSize::B8,
+                    signed: true
+                },
+                ROp::Load {
+                    dst: 1,
+                    off: 8,
+                    size: AccessSize::B8,
+                    signed: true
+                },
+                ROp::Alu {
+                    dst: 0,
+                    a: 0,
+                    b: 1,
+                    op: AluOp::Add
+                },
+                ROp::Store {
+                    src: 0,
+                    off: 0,
+                    size: AccessSize::B8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn register_lowering_biases_entry_stack_consumption() {
+        // A run that digs below its entry depth: the consumed values
+        // become the low registers and the balance is reported so the
+        // executor can move them in and out of the operand stack.
+        let run = [
+            NOp::StoreLocal {
+                off: 0,
+                size: AccessSize::B8,
+            },
+            NOp::Const(7),
+        ];
+        let block = lower_locals(&run).expect("shallow run lowers");
+        assert_eq!(block.consumes, 1, "the store pops an entry value");
+        assert_eq!(block.produces, 1, "the const pushes one back");
+        assert_eq!(
+            &*block.ops,
+            &[
+                ROp::Store {
+                    src: 0,
+                    off: 0,
+                    size: AccessSize::B8
+                },
+                ROp::Const { dst: 0, c: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn impure_ops_split_locals_blocks() {
+        // The division can trap, so it must stay top-level with its
+        // seam; the pure prefix and suffix group around it.
+        let src = "long f(long a, long b) { long x = a + 1; \
+                   long q = x / b; long y = q + 2; return y + x; }";
+        let native = lower(src);
+        let ops: Vec<&NOp> = native.funcs[0]
+            .regions
+            .iter()
+            .flat_map(|r| &r.ops)
+            .collect();
+        assert!(
+            ops.iter().any(|op| matches!(op, NOp::Div { .. })),
+            "division must stay a top-level op"
+        );
+        assert!(
+            ops.iter().any(|op| matches!(op, NOp::Locals(_))),
+            "pure neighbours should still group"
+        );
+    }
+
+    #[test]
+    fn accum_fault_seam_covers_five_components() {
+        let src = "long f() { long acc = 0; long xs[2]; acc += xs[5]; return acc; }";
+        let native = lower(src);
+        let accum = native.funcs[0]
+            .regions
+            .iter()
+            .flat_map(|r| &r.ops)
+            .find_map(|op| match op {
+                NOp::IdxAccum { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("accumulate statement should lower to IdxAccum");
+        // The load is component 4 of the 9-wide pattern: the seam must
+        // surface with exactly `prefix + 5` components charged and the
+        // load's own architectural pc.
+        let fused = fuse_program(&compile_source(src).unwrap());
+        let head = fused.funcs[0]
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::FusedLoadIdxAccum { .. }))
+            .unwrap() as u32;
+        assert_eq!(accum.pc, head + 5);
+        assert!(accum.spent >= 5);
+    }
+}

@@ -378,6 +378,89 @@ impl MemorySpace {
         }
     }
 
+    /// Raw read of a local slot. Frame slots always live in the stack
+    /// region, so this skips [`MemorySpace::read_raw`]'s region
+    /// classification — the VM's native tier calls it on every
+    /// direct-local micro-op. Identical results to `read_raw` for any
+    /// stack address.
+    #[inline(always)]
+    pub fn local_read(&self, a: u64, size: AccessSize) -> Option<u64> {
+        self.stack.read(a, size)
+    }
+
+    /// Raw write of a local slot; see [`MemorySpace::local_read`].
+    #[inline(always)]
+    pub fn local_write(&mut self, a: u64, size: AccessSize, value: u64) -> bool {
+        self.stack.write(a, size, value)
+    }
+
+    /// Mutably borrows a frame's whole byte window on the stack region,
+    /// committing storage as needed. The native tier acquires this once
+    /// per pure-local block and services every local access in the
+    /// block straight off the slice — one bounds check and commit
+    /// round for the block instead of one per access. Committing ahead
+    /// of individual writes is unobservable: uncommitted bytes read as
+    /// zero and commits zero-fill.
+    #[inline]
+    pub fn frame_mut(&mut self, base: u64, len: u64) -> Option<&mut [u8]> {
+        self.stack.slice_mut(base, len)
+    }
+
+    /// Combined fast path for the fused constant-index access shapes:
+    /// checked `ptr_add(base, delta)` immediately followed by a checked
+    /// load of the result. When the base pointer resolves to a unit and
+    /// the whole target access sits inside that same unit, the derived
+    /// pointer is provably in bounds and the access provably hits —
+    /// units never overlap, so one placement lookup answers both
+    /// questions. Counters advance exactly as the two-step sequence
+    /// would on its hit path. `None` means "run the exact two-step
+    /// sequence": unchecked mode, no provenance, a straddle, or any
+    /// out-of-unit target (including every violation).
+    #[inline]
+    pub fn idx_load_fast(&mut self, ptr: u64, delta: i64, size: AccessSize) -> Option<u64> {
+        if !self.mode.is_checked() {
+            return None;
+        }
+        let target = ptr.wrapping_add(delta as u64);
+        let pl = self.lookup_placement(ptr)?;
+        if target >= pl.base && target.wrapping_add(size.bytes()) <= pl.base + pl.size {
+            self.stats.loads += 1;
+            self.stats.checked_accesses += 1;
+            let value = self
+                .region(target)
+                .and_then(|r| r.read(target, size))
+                .expect("resolved access must be mapped");
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Store twin of [`MemorySpace::idx_load_fast`]; `false` means "run
+    /// the exact two-step sequence" (the value is untouched).
+    #[inline]
+    pub fn idx_store_fast(&mut self, ptr: u64, delta: i64, size: AccessSize, value: u64) -> bool {
+        if !self.mode.is_checked() {
+            return false;
+        }
+        let target = ptr.wrapping_add(delta as u64);
+        let Some(pl) = self.lookup_placement(ptr) else {
+            return false;
+        };
+        if target >= pl.base && target.wrapping_add(size.bytes()) <= pl.base + pl.size {
+            self.stats.stores += 1;
+            self.stats.checked_accesses += 1;
+            let ok = self
+                .region_mut(target)
+                .map(|r| r.write(target, size, value))
+                .unwrap_or(false);
+            debug_assert!(ok, "resolved access must be mapped");
+            true
+        } else {
+            false
+        }
+    }
+
     /// Copies host bytes into guest memory, bypassing checks.
     pub fn write_bytes_raw(&mut self, a: u64, bytes: &[u8]) -> bool {
         match self.region_mut(a) {

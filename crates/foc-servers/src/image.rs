@@ -37,21 +37,12 @@ pub enum ServerKind {
 }
 
 /// One cache slot per `(ServerKind, ExecTier)` pair, indexed by
-/// `kind.index() * 2 + tier.index()`. Fused and baseline images of one
-/// server have different [`foc_compiler::ProgramId`]s (their bytecode
-/// differs), so the tiers get distinct slots and never alias.
-static IMAGES: [OnceLock<ProgramImage>; 10] = [
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-    OnceLock::new(),
-];
+/// `kind.index() * TIERS + tier.index()`. The tiers of one server have
+/// distinct [`foc_compiler::ProgramId`]s (the fused bytecode differs
+/// from the baseline, and the native image's id is tagged), so the
+/// slots never alias.
+const TIERS: usize = ExecTier::ALL.len();
+static IMAGES: [OnceLock<ProgramImage>; 5 * TIERS] = [const { OnceLock::new() }; 5 * TIERS];
 
 impl ServerKind {
     /// All five servers, in the paper's presentation order.
@@ -127,7 +118,7 @@ impl ServerKind {
     /// Panics when the server source fails to compile, as
     /// [`ServerKind::image`] does.
     pub fn image_tier(self, tier: ExecTier) -> ProgramImage {
-        IMAGES[self.index() * 2 + tier.index()]
+        IMAGES[self.index() * TIERS + tier.index()]
             .get_or_init(|| self.fresh_image_tier(tier))
             .clone()
     }
@@ -368,6 +359,23 @@ mod tests {
         for i in 0..ids.len() {
             for j in i + 1..ids.len() {
                 assert_ne!(ids[i], ids[j], "two servers share a ProgramId");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_images_of_one_server_never_alias() {
+        // The native tier runs the same fused bytecode as the super
+        // tier; its tagged id must still claim a distinct cache slot.
+        for kind in ServerKind::ALL {
+            let ids: Vec<_> = ExecTier::ALL
+                .iter()
+                .map(|&t| kind.image_tier(t).id())
+                .collect();
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    assert_ne!(ids[i], ids[j], "{}: two tiers share an id", kind.name());
+                }
             }
         }
     }

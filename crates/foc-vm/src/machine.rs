@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use foc_compiler::bytecode::unpack_scalar;
+use foc_compiler::native::{NOp, NativeRegion, ROp, Term, LOCALS_REGS, NO_REGION};
 use foc_compiler::{Instr, ProgramImage};
 use foc_memory::{AccessCtx, AccessSize, MemConfig, MemorySpace};
 
@@ -294,6 +295,7 @@ impl Machine {
         let mut func = fid;
         let mut code: &[Instr] = &program.funcs[func as usize].code;
         let mut base = self.frames.last().expect("active frame").frame_base;
+        let mut frame_total = program.funcs[func as usize].frame.total;
         let mut pc: u32 = 0;
         let mut fuel = self.fuel;
 
@@ -360,7 +362,54 @@ impl Machine {
             }};
         }
 
+        let native = program.native();
+        // Scratch register file for register-form pure-local blocks,
+        // zeroed once per activation instead of once per block. Block
+        // semantics never read a register before writing it (beyond the
+        // `consumes` prefix the executor fills), so stale values from
+        // earlier blocks are dead by construction.
+        let mut nregs = [0i64; LOCALS_REGS];
+
         loop {
+            // Native tier (`ExecTier::Native`): whenever the current pc
+            // is a lowered-region entry and remaining fuel covers the
+            // region's whole charge, run the pre-decoded region array —
+            // no per-instruction dispatch, fetch, or fuel check. The
+            // region was charged up front, so the only mid-region exits
+            // are the memory/divide fault seams, which refund the
+            // not-yet-executed components and surface the architectural
+            // pc the unfused stream would fault at. Everything else —
+            // fuel exhaustion, calls, builtins, mid-pattern entry points
+            // — lands on a pc without a region (or without fuel cover)
+            // and falls through to the interpreter below, which is the
+            // deopt path.
+            if let Some(np) = native {
+                let nf = &np.funcs[func as usize];
+                while let Some(&ri) = nf.entry.get(pc as usize) {
+                    if ri == NO_REGION {
+                        break;
+                    }
+                    let region = &nf.regions[ri as usize];
+                    if fuel < region.charge {
+                        break;
+                    }
+                    fuel -= region.charge;
+                    self.stats.instrs += region.charge;
+                    self.stats.cycles += region.charge * cost::BASE;
+                    match self.run_region(region, func, base, frame_total, &mut nregs) {
+                        Ok(next) => pc = next,
+                        Err((spent, at, e)) => {
+                            let refund = region.charge - spent;
+                            fuel += refund;
+                            self.stats.instrs -= refund;
+                            self.stats.cycles -= refund * cost::BASE;
+                            pc = at;
+                            fail!(e);
+                        }
+                    }
+                }
+            }
+
             let instr = code[pc as usize];
             pc += 1;
 
@@ -534,6 +583,7 @@ impl Machine {
                     try_vm!(self.enter(callee, &args));
                     func = callee;
                     code = &program.funcs[func as usize].code;
+                    frame_total = program.funcs[func as usize].frame.total;
                     base = self.frames.last().expect("active frame").frame_base;
                     pc = 0;
                 }
@@ -560,6 +610,7 @@ impl Machine {
                     pc = caller.pc;
                     base = caller.frame_base;
                     code = &program.funcs[func as usize].code;
+                    frame_total = program.funcs[func as usize].frame.total;
                 }
 
                 // ----------------------------------------------------
@@ -813,6 +864,436 @@ impl Machine {
         }
     }
 
+    /// Executes one AOT-lowered region (native tier). The caller has
+    /// already pre-charged the region's full `charge` against fuel,
+    /// instruction, and cycle counts; this routine only adds the
+    /// per-access extras (pointer/memory check and violation cycles)
+    /// exactly where the interpreted stream would. On success it
+    /// returns the successor pc. A fault returns `(spent, pc, fault)`:
+    /// how many charge components the unfused stream would actually
+    /// have consumed before surfacing the fault, and the architectural
+    /// pc it surfaces at — the caller refunds `charge - spent` so the
+    /// observable accounting is byte-identical to the baseline tier.
+    fn run_region(
+        &mut self,
+        region: &NativeRegion,
+        func: u32,
+        base: u64,
+        frame_total: u64,
+        nregs: &mut [i64; LOCALS_REGS],
+    ) -> Result<u32, (u64, u32, VmFault)> {
+        for op in &region.ops {
+            match *op {
+                NOp::Const(v) => self.stack.push(v),
+                NOp::Dup => {
+                    let v = *self.stack.last().expect("dup on empty stack");
+                    self.stack.push(v);
+                }
+                NOp::Drop => {
+                    self.stack.pop().expect("drop on empty stack");
+                }
+                NOp::Swap => {
+                    let n = self.stack.len();
+                    self.stack.swap(n - 1, n - 2);
+                }
+                NOp::Rot3 => {
+                    let n = self.stack.len();
+                    let a = self.stack[n - 3];
+                    self.stack[n - 3] = self.stack[n - 2];
+                    self.stack[n - 2] = self.stack[n - 1];
+                    self.stack[n - 1] = a;
+                }
+                NOp::LocalAddr(off) => self.stack.push((base + off as u64) as i64),
+                NOp::GlobalAddr(i) => self.stack.push(self.global_addrs[i as usize] as i64),
+                NOp::StrAddr(i) => self.stack.push(self.string_addrs[i as usize] as i64),
+                NOp::LoadLocal { off, size, signed } => {
+                    let raw = self
+                        .space
+                        .local_read(base + off as u64, size)
+                        .expect("local slot is mapped");
+                    self.stack.push(extend(raw, size, signed));
+                }
+                NOp::StoreLocal { off, size } => {
+                    let value = self.pop();
+                    let ok = self
+                        .space
+                        .local_write(base + off as u64, size, value as u64);
+                    debug_assert!(ok, "local slot is mapped");
+                }
+                NOp::Alu(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(op.eval(a, b));
+                }
+                NOp::Div { signed, rem, at } => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    if b == 0 {
+                        return Err((at.spent, at.pc, VmFault::DivideByZero));
+                    }
+                    let v = match (signed, rem) {
+                        (true, false) => a.overflowing_div(b).0,
+                        (false, false) => ((a as u64) / (b as u64)) as i64,
+                        (true, true) => a.overflowing_rem(b).0,
+                        (false, true) => ((a as u64) % (b as u64)) as i64,
+                    };
+                    self.stack.push(v);
+                }
+                NOp::Cmp(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    self.stack.push(op.eval(a, b) as i64);
+                }
+                NOp::Neg => {
+                    let v = self.pop();
+                    self.stack.push(v.wrapping_neg());
+                }
+                NOp::BitNot => {
+                    let v = self.pop();
+                    self.stack.push(!v);
+                }
+                NOp::Not => {
+                    let v = self.pop();
+                    self.stack.push((v == 0) as i64);
+                }
+                NOp::Normalize { size, signed } => {
+                    let v = self.pop();
+                    self.stack.push(extend(v as u64, size, signed));
+                }
+                NOp::EffAddr => {
+                    let v = self.pop() as u64;
+                    self.stack.push(self.space.effective_addr(v) as i64);
+                }
+                NOp::PtrAdd { esz } => {
+                    let count = self.pop();
+                    let ptr = self.pop() as u64;
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let delta = count.wrapping_mul(esz as i64);
+                    let out = self.space.ptr_add(ptr, delta);
+                    self.stack.push(out as i64);
+                }
+                NOp::PtrDiff { esz } => {
+                    let rhs = self.pop() as u64;
+                    let lhs = self.pop() as u64;
+                    let l = self.space.effective_addr(lhs) as i64;
+                    let r = self.space.effective_addr(rhs) as i64;
+                    self.stack.push(l.wrapping_sub(r) / esz.max(1) as i64);
+                }
+                NOp::Load { size, signed, at } => {
+                    let addr = self.pop() as u64;
+                    let ctx = AccessCtx { func, pc: at.pc };
+                    match self.g_load_at(addr, size, ctx) {
+                        Ok(raw) => self.stack.push(extend(raw, size, signed)),
+                        Err(e) => return Err((at.spent, at.pc, e)),
+                    }
+                }
+                NOp::Store { size, at } => {
+                    let addr = self.pop() as u64;
+                    let value = self.pop();
+                    let ctx = AccessCtx { func, pc: at.pc };
+                    if let Err(e) = self.g_store_at(addr, size, value as u64, ctx) {
+                        return Err((at.spent, at.pc, e));
+                    }
+                }
+                NOp::IdxLoad {
+                    off,
+                    delta,
+                    size,
+                    signed,
+                    at,
+                } => {
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    if let Some(raw) = self.space.idx_load_fast(base + off as u64, delta, size) {
+                        self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                        self.stack.push(extend(raw, size, signed));
+                    } else {
+                        let ptr = self.space.ptr_add(base + off as u64, delta);
+                        let ctx = AccessCtx { func, pc: at.pc };
+                        match self.g_load_at(ptr, size, ctx) {
+                            Ok(raw) => self.stack.push(extend(raw, size, signed)),
+                            Err(e) => return Err((at.spent, at.pc, e)),
+                        }
+                    }
+                }
+                NOp::IdxStore {
+                    off,
+                    delta,
+                    size,
+                    at,
+                } => {
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let value = self.pop();
+                    if self
+                        .space
+                        .idx_store_fast(base + off as u64, delta, size, value as u64)
+                    {
+                        self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                    } else {
+                        let ptr = self.space.ptr_add(base + off as u64, delta);
+                        let ctx = AccessCtx { func, pc: at.pc };
+                        if let Err(e) = self.g_store_at(ptr, size, value as u64, ctx) {
+                            return Err((at.spent, at.pc, e));
+                        }
+                    }
+                }
+                NOp::IdxAccum {
+                    acc,
+                    acc_size,
+                    acc_signed,
+                    store_size,
+                    addr,
+                    delta,
+                    load_size,
+                    load_signed,
+                    at,
+                } => {
+                    let araw = self
+                        .space
+                        .local_read(base + acc as u64, acc_size)
+                        .expect("local slot is mapped");
+                    let av = extend(araw, acc_size, acc_signed);
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let raw = if let Some(raw) =
+                        self.space
+                            .idx_load_fast(base + addr as u64, delta, load_size)
+                    {
+                        self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                        raw
+                    } else {
+                        let ptr = self.space.ptr_add(base + addr as u64, delta);
+                        let ctx = AccessCtx { func, pc: at.pc };
+                        match self.g_load_at(ptr, load_size, ctx) {
+                            Ok(raw) => raw,
+                            Err(e) => {
+                                // Same cold seam as the fused handler:
+                                // the unfused stream pushed the
+                                // accumulator before the faulting load.
+                                self.stack.push(av);
+                                return Err((at.spent, at.pc, e));
+                            }
+                        }
+                    };
+                    let v = av.wrapping_add(extend(raw, load_size, load_signed));
+                    let ok = self
+                        .space
+                        .local_write(base + acc as u64, store_size, v as u64);
+                    debug_assert!(ok, "local slot is mapped");
+                }
+                NOp::IncLocal {
+                    off,
+                    delta,
+                    size,
+                    signed,
+                } => {
+                    let raw = self
+                        .space
+                        .local_read(base + off as u64, size)
+                        .expect("local slot is mapped");
+                    let mut new = extend(raw, size, signed).wrapping_add(delta);
+                    if size != AccessSize::B8 {
+                        new = extend(new as u64, size, signed);
+                    }
+                    let ok = self.space.local_write(base + off as u64, size, new as u64);
+                    debug_assert!(ok, "local slot is mapped");
+                }
+                NOp::ConstAlu { c, op } => {
+                    let a = self.pop();
+                    self.stack.push(op.eval(a, c));
+                }
+                NOp::StoreLocalPop { off, size } => {
+                    let value = self.pop();
+                    let ok = self
+                        .space
+                        .local_write(base + off as u64, size, value as u64);
+                    debug_assert!(ok, "local slot is mapped");
+                }
+                NOp::LoadLoad {
+                    off,
+                    size,
+                    signed,
+                    at,
+                } => {
+                    let praw = self
+                        .space
+                        .local_read(base + off as u64, AccessSize::B8)
+                        .expect("local slot is mapped");
+                    let ctx = AccessCtx { func, pc: at.pc };
+                    match self.g_load_at(praw, size, ctx) {
+                        Ok(raw) => self.stack.push(extend(raw, size, signed)),
+                        Err(e) => return Err((at.spent, at.pc, e)),
+                    }
+                }
+                NOp::Locals(ref block) => {
+                    // Register-form pure-local block: one borrow of the
+                    // frame's byte range covers every local access, and
+                    // every operand-stack slot was resolved to a fixed
+                    // scratch register at lowering time — no region
+                    // bounds/commit round-trips, no operand-stack
+                    // traffic. Nothing in a block can fault (pure local
+                    // ops only, by construction) and the region's
+                    // charge was paid up front, so no seam or stat
+                    // bookkeeping is needed anywhere inside.
+                    let frame = self
+                        .space
+                        .frame_mut(base, frame_total)
+                        .expect("active frame is mapped");
+                    let regs = &mut *nregs;
+                    let consumes = block.consumes as usize;
+                    if consumes != 0 {
+                        let split = self.stack.len() - consumes;
+                        regs[..consumes].copy_from_slice(&self.stack[split..]);
+                        self.stack.truncate(split);
+                    }
+                    for r in block.ops.iter() {
+                        match *r {
+                            ROp::Const { dst, c } => regs[dst as usize] = c,
+                            ROp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+                            ROp::Swap { a, b } => regs.swap(a as usize, b as usize),
+                            ROp::Rot3 { a, b, c } => {
+                                let t = regs[a as usize];
+                                regs[a as usize] = regs[b as usize];
+                                regs[b as usize] = regs[c as usize];
+                                regs[c as usize] = t;
+                            }
+                            ROp::Addr { dst, off } => {
+                                regs[dst as usize] = (base + off as u64) as i64;
+                            }
+                            ROp::Load {
+                                dst,
+                                off,
+                                size,
+                                signed,
+                            } => {
+                                let raw = frame_get(frame, off, size);
+                                regs[dst as usize] = extend(raw, size, signed);
+                            }
+                            ROp::Store { src, off, size } => {
+                                frame_put(frame, off, size, regs[src as usize] as u64);
+                            }
+                            ROp::Alu { dst, a, b, op } => {
+                                regs[dst as usize] = op.eval(regs[a as usize], regs[b as usize]);
+                            }
+                            ROp::ConstAlu { at, c, op } => {
+                                regs[at as usize] = op.eval(regs[at as usize], c);
+                            }
+                            ROp::Cmp { dst, a, b, op } => {
+                                regs[dst as usize] =
+                                    op.eval(regs[a as usize], regs[b as usize]) as i64;
+                            }
+                            ROp::Neg { at } => {
+                                regs[at as usize] = regs[at as usize].wrapping_neg();
+                            }
+                            ROp::BitNot { at } => regs[at as usize] = !regs[at as usize],
+                            ROp::Not { at } => {
+                                regs[at as usize] = (regs[at as usize] == 0) as i64;
+                            }
+                            ROp::Normalize { at, size, signed } => {
+                                regs[at as usize] = extend(regs[at as usize] as u64, size, signed);
+                            }
+                            ROp::Inc {
+                                off,
+                                delta,
+                                size,
+                                signed,
+                            } => {
+                                let raw = frame_get(frame, off, size);
+                                let mut new = extend(raw, size, signed).wrapping_add(delta);
+                                if size != AccessSize::B8 {
+                                    new = extend(new as u64, size, signed);
+                                }
+                                frame_put(frame, off, size, new as u64);
+                            }
+                        }
+                    }
+                    let produces = block.produces as usize;
+                    if produces != 0 {
+                        self.stack.extend_from_slice(&regs[..produces]);
+                    }
+                }
+            }
+        }
+        Ok(match region.term {
+            Term::Jump(t) => t,
+            Term::JumpIfZero { target, fall } => {
+                if self.pop() == 0 {
+                    target
+                } else {
+                    fall
+                }
+            }
+            Term::JumpIfNotZero { target, fall } => {
+                if self.pop() != 0 {
+                    target
+                } else {
+                    fall
+                }
+            }
+            Term::FlagJump { op, target, fall } => {
+                let b = self.pop();
+                let a = self.pop();
+                if op.eval(a, b) {
+                    target
+                } else {
+                    fall
+                }
+            }
+            Term::CmpJump {
+                a,
+                a_size,
+                a_signed,
+                b,
+                b_size,
+                b_signed,
+                op,
+                target,
+                fall,
+            } => {
+                // Both operands are frame locals, so one frame borrow
+                // answers both reads (same committed-window semantics
+                // as `local_read`, minus the per-access round-trip).
+                let frame = self
+                    .space
+                    .frame_mut(base, frame_total)
+                    .expect("active frame is mapped");
+                let av = extend(frame_get(frame, a, a_size), a_size, a_signed);
+                let bv = extend(frame_get(frame, b, b_size), b_size, b_signed);
+                if op.eval(av, bv) {
+                    target
+                } else {
+                    fall
+                }
+            }
+            Term::IncJump {
+                off,
+                delta,
+                size,
+                signed,
+                target,
+            } => {
+                let frame = self
+                    .space
+                    .frame_mut(base, frame_total)
+                    .expect("active frame is mapped");
+                let raw = frame_get(frame, off, size);
+                let mut new = extend(raw, size, signed).wrapping_add(delta);
+                if size != AccessSize::B8 {
+                    new = extend(new as u64, size, signed);
+                }
+                frame_put(frame, off, size, new as u64);
+                target
+            }
+            Term::Fall(next) => next,
+        })
+    }
+
     fn enter(&mut self, fid: u32, args: &[i64]) -> Result<(), VmFault> {
         let func = &self.program.funcs[fid as usize];
         debug_assert_eq!(
@@ -980,6 +1461,39 @@ impl Machine {
     }
 }
 
+/// Little-endian scalar read straight off a borrowed frame window.
+/// Bounds are guaranteed by the frame borrow (`off + size` lies inside
+/// the frame layout the lowering resolved against), so this is the
+/// committed-window-free twin of `Region::read`. Each width reads a
+/// fixed-size array so the access compiles to one load, not a
+/// variable-length copy.
+#[inline(always)]
+fn frame_get(frame: &[u8], off: u32, size: AccessSize) -> u64 {
+    let at = off as usize;
+    match size {
+        AccessSize::B1 => frame[at] as u64,
+        AccessSize::B2 => {
+            u16::from_le_bytes(frame[at..at + 2].try_into().expect("fixed width")) as u64
+        }
+        AccessSize::B4 => {
+            u32::from_le_bytes(frame[at..at + 4].try_into().expect("fixed width")) as u64
+        }
+        AccessSize::B8 => u64::from_le_bytes(frame[at..at + 8].try_into().expect("fixed width")),
+    }
+}
+
+/// Little-endian scalar write twin of [`frame_get`].
+#[inline(always)]
+fn frame_put(frame: &mut [u8], off: u32, size: AccessSize, value: u64) {
+    let at = off as usize;
+    match size {
+        AccessSize::B1 => frame[at] = value as u8,
+        AccessSize::B2 => frame[at..at + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        AccessSize::B4 => frame[at..at + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+        AccessSize::B8 => frame[at..at + 8].copy_from_slice(&value.to_le_bytes()),
+    }
+}
+
 /// Sign- or zero-extends the low `size` bytes of `raw`.
 #[inline]
 fn extend(raw: u64, size: AccessSize, signed: bool) -> i64 {
@@ -1011,7 +1525,7 @@ mod tests {
         }
     }
 
-    /// Runs one function under both execution tiers at the given fuel
+    /// Runs one function under every execution tier at the given fuel
     /// and asserts identical observable outcomes: result/fault, run
     /// stats, space stats, and full error-log contents.
     fn assert_tier_parity(src: &str, func: &str, args: &[i64], mode: Mode, fuel: u64) {
@@ -1028,12 +1542,15 @@ mod tests {
                 .iter()
                 .map(|r| format!("{r:?}"))
                 .collect();
-            outcomes.push((result, m.stats(), *m.space().stats(), log));
+            outcomes.push((tier, (result, m.stats(), *m.space().stats(), log)));
         }
-        assert_eq!(
-            outcomes[0], outcomes[1],
-            "tier divergence for {func} at fuel {fuel}"
-        );
+        let (tier0, baseline) = &outcomes[0];
+        for (tier, outcome) in &outcomes[1..] {
+            assert_eq!(
+                baseline, outcome,
+                "{tier:?} diverges from {tier0:?} for {func} at fuel {fuel}"
+            );
+        }
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! the pure local/arithmetic/branch subset (no guest memory accesses, no
 //! nested calls — accounting there is pinned by the VM's own parity
 //! batteries). It executes the *baseline* bytecode one dispatch at a
-//! time with no peepholes, and the production machine — under both
-//! execution tiers — must land on identical instruction counts, cycle
+//! time with no peepholes, and the production machine — under every
+//! execution tier in `ExecTier::ALL` (baseline, superinstruction, and
+//! native region execution; new tiers are audited automatically as the
+//! array grows) — must land on identical instruction counts, cycle
 //! counts, results, and fuel-out points for every budget from zero to
 //! run-to-completion.
 
@@ -236,9 +238,10 @@ fn fuel_out_points_match_the_reference_at_every_budget() {
     // Sweep every budget through entry, several whole loop iterations,
     // and the epilogue: the machine must fault (or finish) with the
     // referee's exact instruction and cycle counts — under the baseline
-    // tier (whose compare+branch peephole is the PR 5 path under audit)
-    // and the superinstruction tier (whose deopt seams re-create
-    // mid-pattern exhaustion) alike.
+    // tier (whose compare+branch peephole is the PR 5 path under audit),
+    // the superinstruction tier (whose deopt seams re-create mid-pattern
+    // exhaustion), and the native tier (whose whole-region pre-charge
+    // gate must surface fuel exhaustion at the same instruction) alike.
     let full = reference_run(AUDIT_SRC, "audit", &[4, 9], Mode::Standard, 100_000);
     let run_len = full.instrs;
     for mode in [Mode::Standard, Mode::FailureOblivious] {
