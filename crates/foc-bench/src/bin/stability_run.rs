@@ -5,7 +5,10 @@ use foc_memory::{summarize, Mode};
 use foc_servers::{sendmail, workload};
 
 fn main() {
-    let mut sm = sendmail::Sendmail::boot(Mode::FailureOblivious);
+    let mut sm = sendmail::Sendmail::boot_spec(&foc_servers::BootSpec::new(
+        foc_servers::ServerKind::Sendmail,
+        Mode::FailureOblivious,
+    ));
     assert!(sm.usable());
     let mut delivered = 0u64;
     let mut rejected = 0u64;

@@ -163,7 +163,10 @@ pub fn measure_boot_cost(reps: usize) -> BootCost {
         cold.push(t.elapsed().as_nanos() as f64);
 
         let t = Instant::now();
-        black_box(foc_servers::Process::boot(&kind.image(), mode, kind.fuel()));
+        black_box(foc_servers::Process::boot_spec(
+            &kind.image(),
+            &foc_servers::BootSpec::new(kind, mode),
+        ));
         cached.push(t.elapsed().as_nanos() as f64);
     }
     let c = robust_summary(&cold);
@@ -521,6 +524,70 @@ pub fn measure_native_cost(reps: usize) -> NativeCost {
     let native = measure_loop_throughput(
         NATIVE_LOOP_SOURCE,
         NATIVE_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Native,
+    );
+    NativeCost {
+        baseline,
+        fused,
+        native,
+        reps: reps.max(1),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Memory-block cost: heap-spanning regions on the guest copy shape.
+// ----------------------------------------------------------------------
+
+/// The memory-block cost loop: the guest-level twin of the access-cost
+/// copy traffic. The inner loop's `dst[i] = src[i]` lowers to a
+/// pointer-arithmetic + checked-access pair per element, exactly the
+/// shape the native tier now admits into `LocalsBlock`s and fuses into
+/// per-site pre-resolved `GIdxLoad`/`GIdxStore` ops: every access
+/// resolves in-block through the placement probe against the live
+/// register file, no operand-stack round trip, no deopt (all accesses
+/// are in bounds). The super tier interprets the same stream one
+/// checked access at a time, so the ratio isolates what in-block
+/// resolution saves on memory-bound code — the headline the tentpole
+/// gate protects.
+const MEM_LOOP_SOURCE: &str = "long spin(long n) {\n\
+     long src[64];\n\
+     long dst[64];\n\
+     long i;\n\
+     long j;\n\
+     long t = 0;\n\
+     for (i = 0; i < 64; i++) src[i] = i * 3;\n\
+     for (j = 0; j < n; j++) {\n\
+         for (i = 0; i < 64; i++) dst[i] = src[i];\n\
+         t = t + dst[63];\n\
+     }\n\
+     return t;\n\
+ }";
+
+/// Outer iterations per measured memory-cost run (each copies the
+/// 64-element buffer once; about three million guest instructions,
+/// matching the other loop benchmarks' run length).
+const MEM_LOOP_ITERS: i64 = 2_000;
+
+/// Measures the guest copy loop under every execution tier, reusing
+/// the [`NativeCost`] shape (same three-tier split, same invariant:
+/// identical retired instruction counts across tiers).
+pub fn measure_mem_cost(reps: usize) -> NativeCost {
+    let baseline = measure_loop_throughput(
+        MEM_LOOP_SOURCE,
+        MEM_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Baseline,
+    );
+    let fused = measure_loop_throughput(
+        MEM_LOOP_SOURCE,
+        MEM_LOOP_ITERS,
+        reps,
+        foc_compiler::ExecTier::Super,
+    );
+    let native = measure_loop_throughput(
+        MEM_LOOP_SOURCE,
+        MEM_LOOP_ITERS,
         reps,
         foc_compiler::ExecTier::Native,
     );
@@ -976,6 +1043,11 @@ pub struct FarmRecord {
     /// vs direct table search). Appended by the `access_cost` bin;
     /// regeneration carries them forward.
     pub access_cost_runs: Vec<String>,
+    /// Accumulated `mem_cost` rows (per-tier interpretation rate on
+    /// the guest copy loop; the native-over-super ratio gates the
+    /// memory-spanning block executor). Appended by the `access_cost`
+    /// bin under the native tier; regeneration carries them forward.
+    pub mem_cost_runs: Vec<String>,
     /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
     /// objects, one per recorded full-grid sweep). Regenerating bins
     /// carry these forward from the previous record so the sweep's own
@@ -996,6 +1068,7 @@ impl FarmRecord {
             &self.dispatch_cost_runs,
             &self.native_cost_runs,
             &self.access_cost_runs,
+            &self.mem_cost_runs,
             &self.mode_sweep_runs,
         )
     }
@@ -1072,6 +1145,7 @@ pub fn measure_record(
         access_cost_runs: previous_json
             .map(extract_access_cost_rows)
             .unwrap_or_default(),
+        mem_cost_runs: previous_json.map(extract_mem_cost_rows).unwrap_or_default(),
         mode_sweep_runs: previous_json
             .map(extract_mode_sweep_rows)
             .unwrap_or_default(),
@@ -1529,6 +1603,80 @@ pub fn append_access_cost_row(json: &str, row: &str) -> Result<String, String> {
     Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
+// ----------------------------------------------------------------------
+// The mem_cost trajectory.
+// ----------------------------------------------------------------------
+
+/// Fingerprint for a `mem_cost` trajectory row: schema tag, the guest
+/// copy loop's image identity under every tier (a lowering change that
+/// reshapes block grouping or access fusion re-measures), loop length,
+/// rep count.
+pub fn mem_cost_fingerprint(reps: usize) -> String {
+    let mut parts: Vec<String> = vec!["mem_cost/v1".to_string()];
+    for tier in foc_compiler::ExecTier::ALL {
+        let image =
+            foc_compiler::compile_image_tier(MEM_LOOP_SOURCE, tier).expect("mem loop builds");
+        parts.push(image.id().to_string());
+    }
+    parts.push(MEM_LOOP_ITERS.to_string());
+    parts.push(reps.to_string());
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Renders one `mem_cost` trajectory row: the guest copy loop's
+/// interpretation rate under all three tiers, with the
+/// native-over-super ratio as the headline speedup.
+pub fn mem_cost_row_json(cost: &NativeCost, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"baseline_minstr_per_s\": {:.1}, \"baseline_minstr_ci95\": {:.1}, ",
+            "\"super_minstr_per_s\": {:.1}, \"super_minstr_ci95\": {:.1}, ",
+            "\"native_minstr_per_s\": {:.1}, \"native_minstr_ci95\": {:.1}, ",
+            "\"speedup_over_super\": {:.2}, \"speedup_over_baseline\": {:.2}, ",
+            "\"instrs\": {}, \"reps\": {}, ",
+            "\"fingerprint\": \"{}\"}}"
+        ),
+        cost.baseline.minstr_per_s,
+        cost.baseline.minstr_ci95,
+        cost.fused.minstr_per_s,
+        cost.fused.minstr_ci95,
+        cost.native.minstr_per_s,
+        cost.native.minstr_ci95,
+        cost.speedup_over_super(),
+        cost.speedup_over_baseline(),
+        cost.native.instrs,
+        cost.reps,
+        fingerprint,
+    )
+}
+
+/// Extracts the `mem_cost_runs` rows from an existing record (empty
+/// when the record predates the section).
+pub fn extract_mem_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "mem_cost_runs")
+}
+
+/// Returns `json` with `row` upserted into its `mem_cost_runs` array.
+/// A record that predates the section gains one, inserted just before
+/// `mode_sweep_runs`.
+pub fn append_mem_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"mem_cost_runs\": [") {
+        let mut rows = extract_mem_cost_rows(json);
+        upsert_row(&mut rows, row.to_string());
+        return replace_rows_section(json, "mem_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor mem_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"mem_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -1626,6 +1774,7 @@ pub fn render_farm_json(
     dispatch_cost_runs: &[String],
     native_cost_runs: &[String],
     access_cost_runs: &[String],
+    mem_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
@@ -1726,6 +1875,24 @@ pub fn render_farm_json(
             out.push_str("    ");
             out.push_str(row);
             if i + 1 < access_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    // The mem_cost trajectory: per-tier interpretation rate on the
+    // guest copy loop — the memory-spanning block executor's gate —
+    // one row per recorded measurement (the access_cost bin upserts by
+    // fingerprint under the native tier).
+    if mem_cost_runs.is_empty() {
+        out.push_str("  \"mem_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"mem_cost_runs\": [\n");
+        for (i, row) in mem_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < mem_cost_runs.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -1883,6 +2050,18 @@ mod tests {
             reps: 3,
         };
         let access_rows = vec![access_cost_row_json(&access, "fp-access-1")];
+        let mem_cost = NativeCost {
+            baseline: dispatch.baseline,
+            fused: dispatch.fused,
+            native: ViolationThroughput {
+                minstr_per_s: 120.0,
+                minstr_ci95: 3.0,
+                instrs: 1_000_000,
+                reps: 3,
+            },
+            reps: 3,
+        };
+        let mem_rows = vec![mem_cost_row_json(&mem_cost, "fp-mem-1")];
         let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5, "fp-sweep-1")];
         let json = render_farm_json(
             &reports,
@@ -1894,6 +2073,7 @@ mod tests {
             &dispatch_rows,
             &native_rows,
             &access_rows,
+            &mem_rows,
             &rows,
         );
         assert_eq!(
@@ -1925,6 +2105,8 @@ mod tests {
         assert!(json.contains("\"native_speedup\": 3.00"));
         assert!(json.contains("\"access_cost_runs\""));
         assert!(json.contains("\"paged_maccess_per_s\""));
+        assert!(json.contains("\"mem_cost_runs\""));
+        assert!(json.contains("\"speedup_over_super\": 2.00"));
         assert!(json.contains("\"lookup\": \"table\""));
         assert!(json.contains("\"lookup\": \"paged\""));
         // Round trip: extract the rows back and append another (a new
@@ -1991,6 +2173,18 @@ mod tests {
         let asame = append_access_cost_row(&agrown, &access_cost_row_json(&access, "fp-access-2"))
             .expect("upsert access row");
         assert_eq!(extract_access_cost_rows(&asame).len(), 2);
+        assert_eq!(extract_mem_cost_rows(&json), mem_rows);
+        let mgrown = append_mem_cost_row(&json, &mem_cost_row_json(&mem_cost, "fp-mem-2"))
+            .expect("append mem row");
+        assert_eq!(extract_mem_cost_rows(&mgrown).len(), 2);
+        let msame = append_mem_cost_row(&mgrown, &mem_cost_row_json(&mem_cost, "fp-mem-2"))
+            .expect("upsert mem row");
+        assert_eq!(extract_mem_cost_rows(&msame).len(), 2);
+        assert_eq!(
+            extract_mode_sweep_rows(&mgrown),
+            rows,
+            "growing mem_cost_runs must not disturb the sweep trajectory"
+        );
         assert_eq!(
             appended.matches('{').count(),
             appended.matches('}').count(),
@@ -2159,6 +2353,22 @@ mod tests {
         assert_eq!(extract_dispatch_cost_rows(&ngrown).len(), 1);
         let nsame = append_native_cost_row(&ngrown, &nrow).expect("upsert native");
         assert_eq!(extract_native_cost_rows(&nsame).len(), 1);
+        // ... and mem_cost_runs.
+        let mrow = mem_cost_row_json(
+            &NativeCost {
+                baseline: violation,
+                fused: violation,
+                native: violation,
+                reps: 1,
+            },
+            "fp-old-m1",
+        );
+        let mgrown = append_mem_cost_row(&nsame, &mrow).expect("create mem section");
+        assert_eq!(extract_mem_cost_rows(&mgrown), vec![mrow.clone()]);
+        assert_eq!(extract_native_cost_rows(&mgrown).len(), 1);
+        assert_eq!(extract_mode_sweep_rows(&mgrown).len(), 1);
+        let msame = append_mem_cost_row(&mgrown, &mrow).expect("upsert mem");
+        assert_eq!(extract_mem_cost_rows(&msame).len(), 1);
     }
 
     #[test]
@@ -2181,10 +2391,17 @@ mod tests {
         assert_ne!(access_cost_fingerprint(8), access_cost_fingerprint(24));
         assert_eq!(native_cost_fingerprint(8), native_cost_fingerprint(8));
         assert_ne!(native_cost_fingerprint(8), native_cost_fingerprint(24));
+        assert_eq!(mem_cost_fingerprint(8), mem_cost_fingerprint(8));
+        assert_ne!(mem_cost_fingerprint(8), mem_cost_fingerprint(24));
         assert_ne!(
             native_cost_fingerprint(8),
             dispatch_cost_fingerprint(8),
             "the two loop benches must never collide"
+        );
+        assert_ne!(
+            mem_cost_fingerprint(8),
+            native_cost_fingerprint(8),
+            "the copy loop and the pure-local loop must never collide"
         );
         // Concatenation ambiguity is broken by the separator.
         assert_ne!(fingerprint_of(&["ab", "c"]), fingerprint_of(&["a", "bc"]));

@@ -19,7 +19,7 @@ pub mod farm_report;
 pub mod sweep_report;
 
 use foc_memory::Mode;
-use foc_servers::{apache, mc, mutt, pine, sendmail, workload, Measured};
+use foc_servers::{apache, mc, mutt, pine, sendmail, workload, BootSpec, Measured, ServerKind};
 use foc_vm::cost::cycles_to_ms;
 
 /// Number of repetitions per request (the paper: "at least twenty").
@@ -101,7 +101,10 @@ fn expect_ok(m: &Measured, what: &str) -> u64 {
 pub fn fig2_pine() -> Vec<RptRow> {
     let mut rows = Vec::new();
     let run = |mode: Mode| -> (Vec<u64>, Vec<u64>, Vec<u64>) {
-        let mut p = pine::Pine::boot(mode, pine::Pine::standard_mailbox(REPS + 10));
+        let mut p = pine::Pine::boot_spec(
+            &BootSpec::new(ServerKind::Pine, mode),
+            pine::Pine::standard_mailbox(REPS + 10),
+        );
         assert!(p.usable());
         let mut read = Vec::new();
         let mut compose = Vec::new();
@@ -137,7 +140,7 @@ pub fn fig2_pine() -> Vec<RptRow> {
 /// Reproduces Figure 3 (Apache: Small / Large page serves).
 pub fn fig3_apache() -> Vec<RptRow> {
     let run = |mode: Mode| -> (Vec<u64>, Vec<u64>) {
-        let mut w = apache::ApacheWorker::boot(mode);
+        let mut w = apache::ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode));
         let mut small = Vec::new();
         let mut large = Vec::new();
         for _ in 0..REPS {
@@ -171,7 +174,7 @@ pub fn fig3_apache() -> Vec<RptRow> {
 /// Reproduces Figure 4 (Sendmail: Recv/Send × Small/Large).
 pub fn fig4_sendmail() -> Vec<RptRow> {
     let run = |mode: Mode| -> [Vec<u64>; 4] {
-        let mut sm = sendmail::Sendmail::boot(mode);
+        let mut sm = sendmail::Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode));
         assert!(sm.usable(), "sendmail must boot in {mode:?}");
         let mut out: [Vec<u64>; 4] = Default::default();
         for i in 0..REPS as u64 {
@@ -211,7 +214,7 @@ pub fn fig5_mc() -> Vec<RptRow> {
     let copy_size = 31 * 1024 * 1024 / MC_SIZE_SCALE;
     let del_size = 3_276_800 / MC_SIZE_SCALE;
     let run = |mode: Mode| -> [Vec<u64>; 4] {
-        let mut m = mc::Mc::boot(mode, &mc::clean_config());
+        let mut m = mc::Mc::boot_spec(&BootSpec::new(ServerKind::Mc, mode), &mc::clean_config());
         assert!(m.usable());
         let mut out: [Vec<u64>; 4] = Default::default();
         for i in 0..REPS {
@@ -260,7 +263,7 @@ pub fn fig5_mc() -> Vec<RptRow> {
 /// Reproduces Figure 6 (Mutt: Read / Move).
 pub fn fig6_mutt() -> Vec<RptRow> {
     let run = |mode: Mode| -> (Vec<u64>, Vec<u64>) {
-        let mut mt = mutt::Mutt::boot(mode, REPS + 5);
+        let mut mt = mutt::Mutt::boot_spec(&BootSpec::new(ServerKind::Mutt, mode), REPS + 5);
         assert_eq!(mt.open_folder(b"INBOX").outcome.ret(), Some(0));
         let mut read = Vec::new();
         let mut mv = Vec::new();
@@ -404,7 +407,7 @@ pub fn security_matrix(mode: Mode) -> Vec<MatrixCell> {
     {
         let mut mailbox = pine::Pine::standard_mailbox(4);
         mailbox.insert(2, (pine::attack_from(40), b"pwn".to_vec(), b"x".to_vec()));
-        let mut p = pine::Pine::boot(mode, mailbox);
+        let mut p = pine::Pine::boot_spec(&BootSpec::new(ServerKind::Pine, mode), mailbox);
         let init_ok = p.usable();
         let attack = describe(p.init_outcome());
         let serves_after = init_ok && p.read(0).outcome.ret() == Some(0);
@@ -419,7 +422,7 @@ pub fn security_matrix(mode: Mode) -> Vec<MatrixCell> {
 
     // Apache: attack URL against a single child.
     {
-        let mut w = apache::ApacheWorker::boot(mode);
+        let mut w = apache::ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode));
         let r = w.get(&apache::attack_url());
         let attack = describe(&r.outcome);
         let serves_after = w.get(b"/index.html").outcome.ret() == Some(200);
@@ -434,7 +437,7 @@ pub fn security_matrix(mode: Mode) -> Vec<MatrixCell> {
 
     // Sendmail: daemon wake-up at boot, then the attack address.
     {
-        let mut sm = sendmail::Sendmail::boot(mode);
+        let mut sm = sendmail::Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode));
         let init_ok = sm.usable();
         let attack = if init_ok {
             describe(&sm.mail_from(&sendmail::attack_address(400)).outcome)
@@ -462,7 +465,10 @@ pub fn security_matrix(mode: Mode) -> Vec<MatrixCell> {
 
     // MC: blank config line at startup, then the archive attack.
     {
-        let mut m = mc::Mc::boot(mode, &mc::config_with_blank_line());
+        let mut m = mc::Mc::boot_spec(
+            &BootSpec::new(ServerKind::Mc, mode),
+            &mc::config_with_blank_line(),
+        );
         let init_ok = m.usable();
         let attack = if init_ok {
             describe(&m.open_archive(&mc::attack_links()).outcome)
@@ -484,7 +490,7 @@ pub fn security_matrix(mode: Mode) -> Vec<MatrixCell> {
 
     // Mutt: malicious folder name.
     {
-        let mut mt = mutt::Mutt::boot(mode, 2);
+        let mut mt = mutt::Mutt::boot_spec(&BootSpec::new(ServerKind::Mutt, mode), 2);
         let r = mt.open_folder(&mutt::attack_folder_name(40));
         let attack = describe(&r.outcome);
         let serves_after = mt.open_folder(b"INBOX").outcome.ret() == Some(0)

@@ -44,9 +44,10 @@ use crate::bytecode::{pack_scalar, AluOp, CmpOp, CompiledProgram, Instr};
 /// The tier is part of every boot spec: fused and unfused images hash to
 /// different [`crate::ProgramId`]s (the bytecode differs), so they never
 /// alias in the image or checkpoint caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecTier {
     /// The unfused baseline instruction stream straight out of `lower`.
+    #[default]
     Baseline,
     /// The superinstruction stream produced by [`fuse_program`].
     Super,

@@ -257,16 +257,19 @@ pub enum NOp {
         /// Fault seam.
         at: FaultAt,
     },
-    /// A maximal run (length ≥ 2) of pure frame-local micro-ops,
-    /// lowered to register form: every op inside touches only the
-    /// operand stack and the current frame's byte window, cannot
-    /// fault, and adds no per-access cycle extras — so the operand
-    /// stack is statically known at every point and each push/pop is
-    /// resolved to a fixed scratch-register index ahead of time. The
-    /// executor borrows the frame window once for the whole block and
-    /// runs the register ops back to back: no region bounds/commit
-    /// round-trips, no operand-stack traffic — the "pre-resolved
-    /// operands" half of the native tier's dispatch win.
+    /// A maximal run (length ≥ 2) of register-lowerable micro-ops: the
+    /// operand stack is statically known at every point, so each
+    /// push/pop is resolved to a fixed scratch-register index ahead of
+    /// time and the ops run back to back with no operand-stack
+    /// traffic. Pure frame-local ops service their accesses off a
+    /// borrowed frame window (no region bounds/commit round-trips);
+    /// checked guest accesses ([`ROp::GLoad`]/[`ROp::GStore`] and the
+    /// pointer ops) stay inside the block too, probing the space's
+    /// placement fast path inline against the live register file and
+    /// deopting to the full access path — seam, spill, refund — only
+    /// on a probe miss. This is the "pre-resolved operands" half of
+    /// the native tier's dispatch win, extended across the memory
+    /// boundary.
     Locals(LocalsBlock),
 }
 
@@ -289,6 +292,12 @@ pub struct LocalsBlock {
     pub consumes: u8,
     /// Operand-stack values produced at exit.
     pub produces: u8,
+    /// Whether the block contains guest-memory register ops (the
+    /// `G`-prefixed [`ROp`] variants). A pure block (`mem == false`)
+    /// runs on the executor's single-borrow fast path; a memory block
+    /// runs segmented, releasing the frame borrow at each guest access
+    /// so the space's placement machinery is reachable in between.
+    pub mem: bool,
     /// The straight-line register ops.
     pub ops: Box<[ROp]>,
 }
@@ -422,6 +431,113 @@ pub enum ROp {
         size: AccessSize,
         /// Signedness.
         signed: bool,
+    },
+    /// Checked guest load against the live register file: the address
+    /// comes from register `at` and the loaded value replaces it. The
+    /// executor probes the space's pre-resolved placement fast path
+    /// inline; a probe miss deopts to the full access path (violation
+    /// continuation included), and a fault spills registers
+    /// `0..spill` back to the operand stack — reproducing the
+    /// interpreted stack image after the address pop — before
+    /// unwinding at the pre-baked seam.
+    GLoad {
+        /// Address register, also the destination.
+        at: u8,
+        /// Access width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+        /// Fault seam.
+        seam: FaultAt,
+        /// Live registers to spill to the operand stack on a fault.
+        spill: u8,
+    },
+    /// Checked guest store against the live register file (consumes
+    /// the address and value registers). Probe/deopt/spill contract as
+    /// [`ROp::GLoad`].
+    GStore {
+        /// Address register.
+        addr: u8,
+        /// Value register.
+        val: u8,
+        /// Access width.
+        size: AccessSize,
+        /// Fault seam.
+        seam: FaultAt,
+        /// Live registers to spill to the operand stack on a fault.
+        spill: u8,
+    },
+    /// Checked pointer arithmetic in register form: `r[dst] =
+    /// ptr_add(r[ptr], r[count] * esz)`. Runs the interpreter's exact
+    /// routine (out-of-bounds interning included) — it cannot fault,
+    /// so it needs no seam.
+    GPtrAdd {
+        /// Destination register.
+        dst: u8,
+        /// Base-pointer register.
+        ptr: u8,
+        /// Element-count register.
+        count: u8,
+        /// Element size.
+        esz: u64,
+    },
+    /// Pointer difference in register form (effective addresses of
+    /// both operands; cannot fault).
+    GPtrDiff {
+        /// Destination register.
+        dst: u8,
+        /// Lhs register.
+        a: u8,
+        /// Rhs register.
+        b: u8,
+        /// Element size.
+        esz: u64,
+    },
+    /// Effective-address fold in register form (cannot fault).
+    GEffAddr {
+        /// In-place operand register.
+        at: u8,
+    },
+    /// A [`ROp::GPtrAdd`] whose derived pointer immediately feeds a
+    /// [`ROp::GLoad`] — the variable-index access shape. One placement
+    /// lookup answers both the derivation and the access on the hit
+    /// path (units never overlap, so in-unit containment of the target
+    /// proves both), exactly as the fused constant-index fast path
+    /// does; a miss runs the exact two-step sequence.
+    GIdxLoad {
+        /// Destination register (the pair's net stack slot).
+        dst: u8,
+        /// Base-pointer register.
+        ptr: u8,
+        /// Element-count register.
+        count: u8,
+        /// Element size.
+        esz: u64,
+        /// Loaded width.
+        size: AccessSize,
+        /// Sign-extend when set.
+        signed: bool,
+        /// The load's fault seam (`spent` covers the pointer add).
+        seam: FaultAt,
+        /// Live registers to spill to the operand stack on a fault.
+        spill: u8,
+    },
+    /// Store twin of [`ROp::GIdxLoad`].
+    GIdxStore {
+        /// Base-pointer register.
+        ptr: u8,
+        /// Element-count register.
+        count: u8,
+        /// Value register.
+        val: u8,
+        /// Element size.
+        esz: u64,
+        /// Stored width.
+        size: AccessSize,
+        /// The store's fault seam (`spent` covers the pointer add).
+        seam: FaultAt,
+        /// Live registers to spill to the operand stack on a fault.
+        spill: u8,
     },
 }
 
@@ -762,12 +878,12 @@ fn build_region(
 
 /// Whether `op` is a pure frame-local micro-op: it touches only the
 /// operand stack and the frame's byte window, cannot fault, and adds no
-/// per-access stat extras — the eligibility predicate for
-/// [`NOp::Locals`] grouping. Anything that consults the memory space's
-/// placement machinery (guest loads/stores, pointer arithmetic,
-/// effective-address folding) or that can trap (division) stays
-/// top-level so its fault seam and cycle extras land exactly where the
-/// interpreted stream puts them.
+/// per-access stat extras. Pure ops run on the block executor's
+/// single-borrow fast path; [`is_block_heap`] ops join blocks too but
+/// force the segmented executor. Division stays top-level (its seam is
+/// cheap to keep there and it never clusters with access traffic), as
+/// do the frame-anchored fused access shapes, whose top-level handlers
+/// already carry their own fast paths.
 fn is_local_pure(op: &NOp) -> bool {
     matches!(
         op,
@@ -791,24 +907,46 @@ fn is_local_pure(op: &NOp) -> bool {
     )
 }
 
-/// Groups maximal runs (length ≥ 2) of pure frame-local ops into
-/// register-form [`NOp::Locals`] blocks. Singleton runs stay as-is:
-/// the block only pays for its one-time frame borrow when at least two
-/// ops amortize it. Runs whose stack shape exceeds [`LOCALS_REGS`]
-/// also stay in individual-op form (the executor's slow path is
-/// observationally identical). Blocks are built from a flat op vector,
-/// so they never nest.
+/// Whether `op` is a guest-memory micro-op a [`LocalsBlock`] can span:
+/// checked loads/stores (probe inline, deopt on miss) and the pointer
+/// ops (which run the interpreter's exact space routines and cannot
+/// fault). These force the block onto the segmented executor — see
+/// [`LocalsBlock::mem`].
+fn is_block_heap(op: &NOp) -> bool {
+    matches!(
+        op,
+        NOp::Load { .. }
+            | NOp::Store { .. }
+            | NOp::PtrAdd { .. }
+            | NOp::PtrDiff { .. }
+            | NOp::EffAddr
+    )
+}
+
+/// Block-membership predicate for [`group_locals`].
+fn is_block_member(op: &NOp) -> bool {
+    is_local_pure(op) || is_block_heap(op)
+}
+
+/// Groups maximal runs (length ≥ 2) of register-lowerable ops — pure
+/// frame-local ops plus the guest-memory ops of [`is_block_heap`] —
+/// into register-form [`NOp::Locals`] blocks. Singleton runs stay
+/// as-is: the block only pays for its stack-to-register traffic when
+/// at least two ops amortize it. Runs whose stack shape exceeds
+/// [`LOCALS_REGS`] also stay in individual-op form (the executor's
+/// slow path is observationally identical). Blocks are built from a
+/// flat op vector, so they never nest.
 fn group_locals(ops: Vec<NOp>) -> Vec<NOp> {
     let mut out = Vec::with_capacity(ops.len());
     let mut i = 0;
     while i < ops.len() {
-        if !is_local_pure(&ops[i]) {
+        if !is_block_member(&ops[i]) {
             out.push(ops[i].clone());
             i += 1;
             continue;
         }
         let mut j = i + 1;
-        while j < ops.len() && is_local_pure(&ops[j]) {
+        while j < ops.len() && is_block_member(&ops[j]) {
             j += 1;
         }
         match (j - i >= 2).then(|| lower_locals(&ops[i..j])).flatten() {
@@ -833,17 +971,25 @@ fn stack_shape(op: &NOp) -> (i32, i32) {
         NOp::Alu(_) | NOp::Cmp(_) => (2, -1),
         NOp::Neg | NOp::BitNot | NOp::Not | NOp::Normalize { .. } | NOp::ConstAlu { .. } => (1, 0),
         NOp::IncLocal { .. } => (0, 0),
-        other => unreachable!("impure op in a pure-local run: {other:?}"),
+        NOp::Load { .. } | NOp::EffAddr => (1, 0),
+        NOp::Store { .. } => (2, -2),
+        NOp::PtrAdd { .. } | NOp::PtrDiff { .. } => (2, -1),
+        other => unreachable!("non-member op in a locals run: {other:?}"),
     }
 }
 
-/// Lowers a pure-local run to register form. The run is straight-line,
-/// so the operand-stack depth at every op is static: stack slot `d`
-/// (relative to the block's deepest excursion below its entry depth)
-/// becomes scratch register `d`, and every push/pop turns into a fixed
-/// register index. A `Drop` vanishes entirely — the dead value simply
-/// never makes it back to the operand stack. Returns `None` when the
-/// run's stack shape exceeds [`LOCALS_REGS`].
+/// Lowers a block-member run to register form. The run is
+/// straight-line, so the operand-stack depth at every op is static:
+/// stack slot `d` (relative to the block's deepest excursion below its
+/// entry depth) becomes scratch register `d`, and every push/pop turns
+/// into a fixed register index. A `Drop` vanishes entirely — the dead
+/// value simply never makes it back to the operand stack. Guest
+/// accesses bake their fault seam and static spill count per site, so
+/// a mid-block fault can reproduce the interpreted operand-stack image
+/// exactly; a `GPtrAdd` feeding the immediately following access fuses
+/// into the combined `GIdx*` form (one placement lookup for the pair,
+/// the same peephole the fused constant-index shapes get). Returns
+/// `None` when the run's stack shape exceeds [`LOCALS_REGS`].
 fn lower_locals(run: &[NOp]) -> Option<LocalsBlock> {
     // Pass 1: the run's depth envelope relative to its entry depth.
     let mut depth: i32 = 0;
@@ -949,14 +1095,140 @@ fn lower_locals(run: &[NOp]) -> Option<LocalsBlock> {
                 size,
                 signed,
             }),
-            ref other => unreachable!("impure op in a pure-local run: {other:?}"),
+            NOp::Load { size, signed, at } => {
+                // Pops the address, pushes the value: same slot. The
+                // spill image on a fault is everything below the
+                // popped address.
+                ops.push(ROp::GLoad {
+                    at: r(d - 1),
+                    size,
+                    signed,
+                    seam: at,
+                    spill: r(d - 1),
+                });
+            }
+            NOp::Store { size, at } => {
+                ops.push(ROp::GStore {
+                    addr: r(d - 1),
+                    val: r(d - 2),
+                    size,
+                    seam: at,
+                    spill: r(d - 2),
+                });
+                d -= 2;
+            }
+            NOp::PtrAdd { esz } => {
+                ops.push(ROp::GPtrAdd {
+                    dst: r(d - 2),
+                    ptr: r(d - 2),
+                    count: r(d - 1),
+                    esz,
+                });
+                d -= 1;
+            }
+            NOp::PtrDiff { esz } => {
+                ops.push(ROp::GPtrDiff {
+                    dst: r(d - 2),
+                    a: r(d - 2),
+                    b: r(d - 1),
+                    esz,
+                });
+                d -= 1;
+            }
+            NOp::EffAddr => ops.push(ROp::GEffAddr { at: r(d - 1) }),
+            ref other => unreachable!("non-member op in a locals run: {other:?}"),
         }
     }
+    let ops = fuse_idx_pairs(ops);
+    let mem = ops.iter().any(is_heap_rop);
     Some(LocalsBlock {
         consumes: bias as u8,
         produces: (d + bias) as u8,
+        mem,
         ops: ops.into_boxed_slice(),
     })
+}
+
+/// Whether a register op touches guest memory (decides
+/// [`LocalsBlock::mem`], and where the segmented executor must release
+/// its frame borrow).
+pub fn is_heap_rop(op: &ROp) -> bool {
+    matches!(
+        op,
+        ROp::GLoad { .. }
+            | ROp::GStore { .. }
+            | ROp::GPtrAdd { .. }
+            | ROp::GPtrDiff { .. }
+            | ROp::GEffAddr { .. }
+            | ROp::GIdxLoad { .. }
+            | ROp::GIdxStore { .. }
+    )
+}
+
+/// Fuses each `GPtrAdd` whose derived pointer feeds the immediately
+/// following `GLoad`/`GStore` into the combined one-lookup form. The
+/// pointer register the pair threads through is dead afterwards (the
+/// access pops it), so the rewrite is invisible: on the hit path one
+/// in-unit containment check proves both steps, and on the miss path
+/// the executor runs the exact two-step sequence.
+fn fuse_idx_pairs(ops: Vec<ROp>) -> Vec<ROp> {
+    let mut out: Vec<ROp> = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        if let ROp::GPtrAdd {
+            dst,
+            ptr,
+            count,
+            esz,
+        } = ops[i]
+        {
+            match ops.get(i + 1) {
+                Some(&ROp::GLoad {
+                    at,
+                    size,
+                    signed,
+                    seam,
+                    spill,
+                }) if at == dst => {
+                    out.push(ROp::GIdxLoad {
+                        dst,
+                        ptr,
+                        count,
+                        esz,
+                        size,
+                        signed,
+                        seam,
+                        spill,
+                    });
+                    i += 2;
+                    continue;
+                }
+                Some(&ROp::GStore {
+                    addr,
+                    val,
+                    size,
+                    seam,
+                    spill,
+                }) if addr == dst => {
+                    out.push(ROp::GIdxStore {
+                        ptr,
+                        count,
+                        val,
+                        esz,
+                        size,
+                        seam,
+                        spill,
+                    });
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(ops[i]);
+        i += 1;
+    }
+    out
 }
 
 /// Lowers one non-terminator, non-breaker instruction. `pc` is the
@@ -1346,6 +1618,131 @@ mod tests {
         assert!(
             ops.iter().any(|op| matches!(op, NOp::Locals(_))),
             "pure neighbours should still group"
+        );
+    }
+
+    #[test]
+    fn heap_accesses_group_into_memory_blocks() {
+        // The access_cost copy shape: the loop body's `dst[i] = src[i]`
+        // is address arithmetic plus two checked accesses — all block
+        // members now, so it must collapse into a single memory block
+        // whose address+access pairs fuse into the combined index ops.
+        let src = "long f(long n) { long src[4]; long dst[4]; long i; \
+                   for (i = 0; i < n; i++) dst[i] = src[i]; return dst[0]; }";
+        let native = lower(src);
+        let blocks: Vec<&LocalsBlock> = native.funcs[0]
+            .regions
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter_map(|op| match op {
+                NOp::Locals(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            blocks.iter().any(|b| b.mem),
+            "the copy body must form a memory-spanning block"
+        );
+        let fused_idx = blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|r| matches!(r, ROp::GIdxLoad { .. } | ROp::GIdxStore { .. }))
+            .count();
+        assert!(
+            fused_idx >= 2,
+            "variable-index load and store must fuse into GIdx forms"
+        );
+        for b in &blocks {
+            if !b.mem {
+                assert!(
+                    !b.ops.iter().any(is_heap_rop),
+                    "a pure block must not carry heap ops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heap_lowering_pins_seam_and_spill() {
+        // LocalAddr pushes the address (depth 0 → 1); the load pops it
+        // and pushes the value back into the same register. A fault at
+        // the load must surface the baked seam with an empty spill
+        // image (nothing sat below the popped address).
+        let seam = FaultAt { pc: 7, spent: 3 };
+        let run = [
+            NOp::LocalAddr(16),
+            NOp::Load {
+                size: AccessSize::B8,
+                signed: true,
+                at: seam,
+            },
+        ];
+        let block = lower_locals(&run).expect("heap run lowers");
+        assert!(block.mem);
+        assert_eq!(block.consumes, 0);
+        assert_eq!(block.produces, 1);
+        assert_eq!(
+            &*block.ops,
+            &[
+                ROp::Addr { dst: 0, off: 16 },
+                ROp::GLoad {
+                    at: 0,
+                    size: AccessSize::B8,
+                    signed: true,
+                    seam,
+                    spill: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn ptr_add_access_pairs_fuse_into_idx_ops() {
+        // value, base, index, PtrAdd, Store — the classic indexed-store
+        // pattern. The PtrAdd's derived pointer feeds the store
+        // directly, so the pair must fuse into one GIdxStore carrying
+        // the access's seam and the store's spill image (just the
+        // not-yet-consumed value... nothing: the store pops both).
+        let seam = FaultAt { pc: 11, spent: 4 };
+        let run = [
+            NOp::Const(5),
+            NOp::LocalAddr(0),
+            NOp::LoadLocal {
+                off: 32,
+                size: AccessSize::B8,
+                signed: true,
+            },
+            NOp::PtrAdd { esz: 8 },
+            NOp::Store {
+                size: AccessSize::B8,
+                at: seam,
+            },
+        ];
+        let block = lower_locals(&run).expect("heap run lowers");
+        assert!(block.mem);
+        assert_eq!(block.consumes, 0);
+        assert_eq!(block.produces, 0);
+        assert_eq!(
+            &*block.ops,
+            &[
+                ROp::Const { dst: 0, c: 5 },
+                ROp::Addr { dst: 1, off: 0 },
+                ROp::Load {
+                    dst: 2,
+                    off: 32,
+                    size: AccessSize::B8,
+                    signed: true
+                },
+                ROp::GIdxStore {
+                    ptr: 1,
+                    count: 2,
+                    val: 0,
+                    esz: 8,
+                    size: AccessSize::B8,
+                    seam,
+                    spill: 0
+                },
+            ]
         );
     }
 

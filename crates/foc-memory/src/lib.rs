@@ -42,7 +42,7 @@ pub use heap::HeapError;
 pub use log::{ErrorKind, MemoryErrorLog, MemoryErrorRecord};
 pub use manufacture::{Manufacturer, ValueSequence};
 pub use oob::{OobId, OobRegistry};
-pub use page::{LookupLayer, PageHit, PageMap, PAGE_SHIFT, PAGE_SIZE};
+pub use page::{LookupLayer, PageHit, PageMap, LOOKUP_ENV, PAGE_SHIFT, PAGE_SIZE};
 pub use policy::{BoundlessStore, Mode};
 pub use report::{summarize, LogReport, SiteReport};
 pub use space::{
@@ -52,5 +52,6 @@ pub use space::{
 pub use store::UnitStore;
 pub use table::{
     AutoTable, BTreeTable, FlatTable, ObjectTable, Placement, SplayTable, TableKind, AUTO_PROMOTE,
+    TABLE_ENV,
 };
 pub use unit::{DataUnit, UnitId, UnitKind};

@@ -461,6 +461,78 @@ impl MemorySpace {
         }
     }
 
+    /// Pre-resolved probe for a register-form guest load — the
+    /// fast-path entry the native tier's memory-spanning blocks call
+    /// with an address straight out of the live register file. The hit
+    /// path is byte-for-byte the hit path of [`MemorySpace::load`]:
+    /// same placement lookup (shift+mask page probe under
+    /// [`LookupLayer::Paged`], table search under
+    /// [`LookupLayer::Table`]), same bounds compare, same counter
+    /// advances — so a probe hit is observationally indistinguishable
+    /// from the interpreted access. `None` means "run the full access":
+    /// an out-of-bounds-zone pointer, a guard page, a placement miss,
+    /// a bounds failure, or (unchecked mode) an unmapped address. The
+    /// probe touches no counters on a miss, so the caller's fallback
+    /// through [`MemorySpace::load`] re-drives the substrate exactly
+    /// once, violations and faults included.
+    #[inline]
+    pub fn probe_load(&mut self, a: u64, size: AccessSize) -> Option<u64> {
+        if !self.mode.is_checked() {
+            let value = self.region(a)?.read(a, size)?;
+            self.stats.loads += 1;
+            return Some(value);
+        }
+        if addr::is_oob_zone(a) {
+            return None;
+        }
+        let pl = self.lookup_placement(a)?;
+        if a + size.bytes() <= pl.base + pl.size {
+            self.stats.loads += 1;
+            self.stats.checked_accesses += 1;
+            let value = self
+                .region(a)
+                .and_then(|r| r.read(a, size))
+                .expect("resolved access must be mapped");
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Store twin of [`MemorySpace::probe_load`]; `false` means "run
+    /// the full access" (the value is untouched).
+    #[inline]
+    pub fn probe_store(&mut self, a: u64, size: AccessSize, value: u64) -> bool {
+        if !self.mode.is_checked() {
+            let ok = match self.region_mut(a) {
+                Some(r) => r.write(a, size, value),
+                None => false,
+            };
+            if ok {
+                self.stats.stores += 1;
+            }
+            return ok;
+        }
+        if addr::is_oob_zone(a) {
+            return false;
+        }
+        let Some(pl) = self.lookup_placement(a) else {
+            return false;
+        };
+        if a + size.bytes() <= pl.base + pl.size {
+            self.stats.stores += 1;
+            self.stats.checked_accesses += 1;
+            let ok = self
+                .region_mut(a)
+                .map(|r| r.write(a, size, value))
+                .unwrap_or(false);
+            debug_assert!(ok, "resolved access must be mapped");
+            true
+        } else {
+            false
+        }
+    }
+
     /// Copies host bytes into guest memory, bypassing checks.
     pub fn write_bytes_raw(&mut self, a: u64, bytes: &[u8]) -> bool {
         match self.region_mut(a) {

@@ -241,25 +241,31 @@ pub struct ApacheCheckpoint {
 }
 
 impl ApacheWorker {
-    /// Boots one worker from the interned image.
+    /// Legacy convenience over [`ApacheWorker::boot_spec`] with a
+    /// default spec for `mode`; prefer constructing a [`BootSpec`] at
+    /// the call site.
     pub fn boot(mode: Mode) -> ApacheWorker {
         ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode))
     }
 
-    /// Boots one worker with an explicit object-table backend.
+    /// Legacy convenience over [`ApacheWorker::boot_spec`] for the mode
+    /// × table subset; prefer constructing a [`BootSpec`] at the call
+    /// site.
     pub fn boot_table(mode: Mode, table: TableKind) -> ApacheWorker {
         ApacheWorker::boot_spec(&BootSpec::new(ServerKind::Apache, mode).with_table(table))
     }
 
-    /// Boots one worker from an explicit image (pools hold their own
-    /// handle; tests pass a fresh uncached compile).
+    /// Legacy convenience over [`ApacheWorker::boot_image_spec`];
+    /// prefer constructing a [`BootSpec`] at the call site.
     pub fn from_image(image: &ProgramImage, mode: Mode) -> ApacheWorker {
-        ApacheWorker::from_image_table(image, mode, TableKind::default())
+        ApacheWorker::boot_image_spec(image, &BootSpec::new(ServerKind::Apache, mode))
     }
 
-    /// Boots one worker from an explicit image and table backend.
+    /// Legacy convenience over [`ApacheWorker::boot_image_spec`] for
+    /// the mode × table subset; prefer constructing a [`BootSpec`] at
+    /// the call site.
     pub fn from_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> ApacheWorker {
-        ApacheWorker::from_image_spec(
+        ApacheWorker::boot_image_spec(
             image,
             &BootSpec::new(ServerKind::Apache, mode).with_table(table),
         )
@@ -279,11 +285,18 @@ impl ApacheWorker {
 
     /// Boots one worker from an explicit image and a full [`BootSpec`],
     /// bypassing the checkpoint cache (the cache's own fill path, and
-    /// the differential baseline of the equivalence tests).
-    pub fn from_image_spec(image: &ProgramImage, spec: &BootSpec) -> ApacheWorker {
+    /// the differential baseline of the equivalence tests). Named like
+    /// every other driver's image-spec constructor; `from_image_spec`
+    /// remains as its historical alias.
+    pub fn boot_image_spec(image: &ProgramImage, spec: &BootSpec) -> ApacheWorker {
         let mut proc = Process::boot_spec(image, spec);
         init_worker(&mut proc);
         ApacheWorker { proc }
+    }
+
+    /// Historical alias of [`ApacheWorker::boot_image_spec`].
+    pub fn from_image_spec(image: &ProgramImage, spec: &BootSpec) -> ApacheWorker {
+        ApacheWorker::boot_image_spec(image, spec)
     }
 
     /// Freezes this worker's state.

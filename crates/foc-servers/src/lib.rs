@@ -147,19 +147,61 @@ pub struct BootSpec {
 
 impl BootSpec {
     /// A spec for `kind` under `mode` with the remaining axes at their
-    /// defaults (splay table, the paper's cycling sequence, the kind's
-    /// standard fuel budget, the session-default execution tier from
-    /// `FOC_EXEC_TIER`, the session-default lookup layer from
-    /// `FOC_LOOKUP`).
+    /// session defaults: the paper's cycling sequence, the kind's
+    /// standard fuel budget, and the three environment axes — table
+    /// backend from `FOC_TABLE`, execution tier from `FOC_EXEC_TIER`,
+    /// lookup layer from `FOC_LOOKUP` (each defaulting when unset).
+    /// Unknown env values exit the process with a one-line diagnostic;
+    /// use [`BootSpec::from_env`] to get the error as a value instead.
     pub fn new(kind: ServerKind, mode: Mode) -> BootSpec {
         BootSpec {
             mode,
-            table: TableKind::default(),
+            table: TableKind::from_env(),
             sequence: ValueSequence::default(),
             fuel: kind.fuel(),
             tier: ExecTier::from_env(),
             lookup: LookupLayer::from_env(),
         }
+    }
+
+    /// The strict, fallible twin of [`BootSpec::new`]: reads the same
+    /// three environment axes (`FOC_EXEC_TIER`, `FOC_LOOKUP`,
+    /// `FOC_TABLE`) in one place and returns the first configuration
+    /// error as a typed [`EnvError`] instead of exiting — the single
+    /// entry the bench binaries and CI read session config through, so
+    /// an unknown value surfaces as one uniform diagnostic no matter
+    /// which axis it hit.
+    pub fn from_env(kind: ServerKind, mode: Mode) -> Result<BootSpec, EnvError> {
+        BootSpec::from_env_with(kind, mode, |var| std::env::var(var).ok())
+    }
+
+    /// [`BootSpec::from_env`] over an arbitrary variable source, so the
+    /// unknown-value matrix is unit-testable without mutating the
+    /// process environment.
+    fn from_env_with(
+        kind: ServerKind,
+        mode: Mode,
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<BootSpec, EnvError> {
+        fn axis<T>(get: &impl Fn(&str) -> Option<String>, var: &'static str) -> Result<T, EnvError>
+        where
+            T: Default + std::str::FromStr<Err = String>,
+        {
+            match get(var) {
+                Some(value) => value
+                    .parse()
+                    .map_err(|detail| EnvError { var, value, detail }),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(BootSpec {
+            mode,
+            table: axis(&get, foc_memory::TABLE_ENV)?,
+            sequence: ValueSequence::default(),
+            fuel: kind.fuel(),
+            tier: axis(&get, foc_compiler::EXEC_TIER_ENV)?,
+            lookup: axis(&get, foc_memory::LOOKUP_ENV)?,
+        })
     }
 
     /// Same spec on a different object-table backend.
@@ -192,6 +234,27 @@ impl BootSpec {
         self
     }
 }
+
+/// A rejected environment value from [`BootSpec::from_env`]: which
+/// variable, what it held, and the parser's diagnostic (which lists the
+/// accepted spellings). One error type for all three config axes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The rejected value.
+    pub value: String,
+    /// Why it was rejected, with the valid spellings.
+    pub detail: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.detail)
+    }
+}
+
+impl std::error::Error for EnvError {}
 
 /// Cap on pooled scratch buffers per process (a driver never has more
 /// than a handful of request strings in flight at once).
@@ -226,22 +289,21 @@ pub struct Process {
 }
 
 impl Process {
-    /// Boots a shared compiled image under `mode` with the default
-    /// (splay) object-table backend. This is the farm's hot path: no
-    /// compilation, just globals/strings allocation — restarts and pool
-    /// respawns reuse the interned image.
+    /// Legacy convenience over [`Process::boot_spec`] with the session
+    /// defaults on the table/tier/lookup axes; prefer constructing a
+    /// [`BootSpec`] at the call site.
     ///
     /// # Panics
     ///
     /// Panics when the image fails to load (global region exhaustion —
     /// a harness bug, since the server images are fixed).
     pub fn boot(image: &ProgramImage, mode: Mode, fuel: u64) -> Process {
-        Process::boot_table(image, mode, TableKind::default(), fuel)
+        Process::boot_table(image, mode, TableKind::from_env(), fuel)
     }
 
-    /// Boots a shared compiled image with an explicit object-table
-    /// backend — the end of the `FarmConfig` → driver → machine →
-    /// `MemorySpace` configuration thread.
+    /// Legacy convenience over [`Process::boot_spec`] for the
+    /// mode × table subset; prefer constructing a [`BootSpec`] at the
+    /// call site.
     ///
     /// # Panics
     ///
@@ -260,9 +322,13 @@ impl Process {
         )
     }
 
-    /// Boots a shared compiled image from a full [`BootSpec`] — all four
-    /// sweep axes (mode, table backend, value sequence, fuel budget)
-    /// decided by the caller.
+    /// Boots a shared compiled image from a full [`BootSpec`] — every
+    /// sweep axis (mode, table backend, value sequence, fuel budget,
+    /// execution tier, lookup layer) decided by the caller. This is the
+    /// one canonical construction path: every other constructor, here
+    /// and in the five drivers, is a thin forwarder into it. The farm's
+    /// hot path too: no compilation, just globals/strings allocation —
+    /// restarts and pool respawns reuse the interned image.
     ///
     /// # Panics
     ///
@@ -286,9 +352,10 @@ impl Process {
         }
     }
 
-    /// Compiles `source` cold and boots it — the pre-interning path,
-    /// kept for one-off programs and as the differential baseline the
-    /// image-sharing property tests compare against.
+    /// Legacy convenience: compiles `source` cold and boots it through
+    /// [`Process::boot`] — the pre-interning path, kept for one-off
+    /// programs and as the differential baseline the image-sharing
+    /// property tests compare against.
     ///
     /// # Panics
     ///
@@ -436,6 +503,88 @@ mod tests {
         assert!((s - 2.138089935299395).abs() < 1e-9);
         assert_eq!(mean_stddev(&[]), (0.0, 0.0));
         assert_eq!(mean_stddev(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn boot_spec_from_env_defaults_when_unset() {
+        let spec =
+            BootSpec::from_env_with(ServerKind::Pine, Mode::FailureOblivious, |_| None).unwrap();
+        assert_eq!(spec.tier, ExecTier::Baseline);
+        assert_eq!(spec.lookup, LookupLayer::Table);
+        assert_eq!(spec.table, TableKind::Splay);
+        assert_eq!(spec.mode, Mode::FailureOblivious);
+        assert_eq!(spec.fuel, ServerKind::Pine.fuel());
+        assert_eq!(spec.sequence, ValueSequence::default());
+    }
+
+    #[test]
+    fn boot_spec_from_env_parses_every_valid_spelling() {
+        for tier in ExecTier::ALL {
+            for lookup in LookupLayer::ALL {
+                for table in [
+                    TableKind::Splay,
+                    TableKind::BTree,
+                    TableKind::Flat,
+                    TableKind::Auto,
+                ] {
+                    // Upper-case to pin case-insensitivity on all axes.
+                    let vals = [
+                        (foc_compiler::EXEC_TIER_ENV, tier.label().to_uppercase()),
+                        (foc_memory::LOOKUP_ENV, lookup.name().to_uppercase()),
+                        (foc_memory::TABLE_ENV, table.name().to_uppercase()),
+                    ];
+                    let spec = BootSpec::from_env_with(ServerKind::Mutt, Mode::Standard, |var| {
+                        vals.iter().find(|(v, _)| *v == var).map(|(_, s)| s.clone())
+                    })
+                    .unwrap();
+                    assert_eq!((spec.tier, spec.lookup, spec.table), (tier, lookup, table));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boot_spec_from_env_rejects_unknown_values_on_every_axis() {
+        for (var, value) in [
+            (foc_compiler::EXEC_TIER_ENV, "turbo"),
+            (foc_compiler::EXEC_TIER_ENV, ""),
+            (foc_memory::LOOKUP_ENV, "hashed"),
+            (foc_memory::LOOKUP_ENV, "paged "),
+            (foc_memory::TABLE_ENV, "rbtree"),
+            (foc_memory::TABLE_ENV, "splay,btree"),
+        ] {
+            let err = BootSpec::from_env_with(ServerKind::Sendmail, Mode::BoundsCheck, |v| {
+                (v == var).then(|| value.to_string())
+            })
+            .expect_err("unknown value must be rejected");
+            assert_eq!(err.var, var);
+            assert_eq!(err.value, value);
+            assert!(
+                err.detail.contains("unknown"),
+                "diagnostic names the problem: {}",
+                err.detail
+            );
+            let shown = err.to_string();
+            assert!(
+                shown.contains(var) && shown.contains(&format!("{value:?}")),
+                "display carries variable and value: {shown}"
+            );
+        }
+    }
+
+    #[test]
+    fn boot_spec_from_env_reports_the_axis_that_failed_first() {
+        // Two bad axes: the error must be attributed to one of them
+        // (the table axis is read first), never mixed.
+        let err = BootSpec::from_env_with(ServerKind::Mc, Mode::Standard, |var| {
+            Some(match var {
+                v if v == foc_memory::TABLE_ENV => "cuckoo".to_string(),
+                _ => "bogus".to_string(),
+            })
+        })
+        .expect_err("bad config must be rejected");
+        assert_eq!(err.var, foc_memory::TABLE_ENV);
+        assert_eq!(err.value, "cuckoo");
     }
 
     #[test]

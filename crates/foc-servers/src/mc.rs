@@ -227,13 +227,14 @@ pub fn attack_links() -> Vec<Vec<u8>> {
 }
 
 impl Mc {
-    /// Boots MC: loads the configuration (which may itself fault) and
-    /// populates a working directory.
+    /// Legacy convenience over [`Mc::boot_spec`] with a default spec
+    /// for `mode`; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot(mode: Mode, config: &[u8]) -> Mc {
         Mc::boot_spec(&BootSpec::new(ServerKind::Mc, mode), config)
     }
 
-    /// Boots MC with an explicit object-table backend.
+    /// Legacy convenience over [`Mc::boot_spec`] for the mode × table
+    /// subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_table(mode: Mode, table: TableKind, config: &[u8]) -> Mc {
         Mc::boot_spec(
             &BootSpec::new(ServerKind::Mc, mode).with_table(table),
@@ -241,12 +242,14 @@ impl Mc {
         )
     }
 
-    /// Boots MC from an explicit compiled image.
+    /// Legacy convenience over [`Mc::boot_image_spec`]; prefer
+    /// constructing a [`BootSpec`] at the call site.
     pub fn boot_image(image: &ProgramImage, mode: Mode, config: &[u8]) -> Mc {
-        Mc::boot_image_table(image, mode, TableKind::default(), config)
+        Mc::boot_image_spec(image, &BootSpec::new(ServerKind::Mc, mode), config)
     }
 
-    /// Boots MC from an explicit image and table backend.
+    /// Legacy convenience over [`Mc::boot_image_spec`] for the mode ×
+    /// table subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_image_table(
         image: &ProgramImage,
         mode: Mode,

@@ -256,13 +256,14 @@ pub fn attack_folder_name(pairs: usize) -> Vec<u8> {
 }
 
 impl Mutt {
-    /// Boots Mutt (IMAP folder list, startup allocations) and seeds the
-    /// mailbox with `seed_messages` ordinary messages.
+    /// Legacy convenience over [`Mutt::boot_spec`] with a default spec
+    /// for `mode`; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot(mode: Mode, seed_messages: usize) -> Mutt {
         Mutt::boot_spec(&BootSpec::new(ServerKind::Mutt, mode), seed_messages)
     }
 
-    /// Boots Mutt with an explicit object-table backend.
+    /// Legacy convenience over [`Mutt::boot_spec`] for the mode × table
+    /// subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_table(mode: Mode, table: TableKind, seed_messages: usize) -> Mutt {
         Mutt::boot_spec(
             &BootSpec::new(ServerKind::Mutt, mode).with_table(table),
@@ -270,12 +271,14 @@ impl Mutt {
         )
     }
 
-    /// Boots Mutt from an explicit compiled image.
+    /// Legacy convenience over [`Mutt::boot_image_spec`]; prefer
+    /// constructing a [`BootSpec`] at the call site.
     pub fn boot_image(image: &ProgramImage, mode: Mode, seed_messages: usize) -> Mutt {
-        Mutt::boot_image_table(image, mode, TableKind::default(), seed_messages)
+        Mutt::boot_image_spec(image, &BootSpec::new(ServerKind::Mutt, mode), seed_messages)
     }
 
-    /// Boots Mutt from an explicit image and table backend.
+    /// Legacy convenience over [`Mutt::boot_image_spec`] for the mode ×
+    /// table subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_image_table(
         image: &ProgramImage,
         mode: Mode,

@@ -244,14 +244,14 @@ pub fn attack_from(quoted: usize) -> Vec<u8> {
 }
 
 impl Pine {
-    /// Boots Pine from the interned image over the given mail file
-    /// contents (checkpoint-cached when the mail file is the standard
-    /// seed mailbox).
+    /// Legacy convenience over [`Pine::boot_spec`] with a default spec
+    /// for `mode`; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot(mode: Mode, mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>) -> Pine {
         Pine::boot_spec(&BootSpec::new(ServerKind::Pine, mode), mailbox)
     }
 
-    /// Boots Pine with an explicit object-table backend.
+    /// Legacy convenience over [`Pine::boot_spec`] for the mode × table
+    /// subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_table(
         mode: Mode,
         table: TableKind,
@@ -263,16 +263,18 @@ impl Pine {
         )
     }
 
-    /// Boots Pine from an explicit compiled image.
+    /// Legacy convenience over [`Pine::boot_image_spec`]; prefer
+    /// constructing a [`BootSpec`] at the call site.
     pub fn boot_image(
         image: &ProgramImage,
         mode: Mode,
         mailbox: Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>,
     ) -> Pine {
-        Pine::boot_image_table(image, mode, TableKind::default(), mailbox)
+        Pine::boot_image_spec(image, &BootSpec::new(ServerKind::Pine, mode), mailbox)
     }
 
-    /// Boots Pine from an explicit image and table backend.
+    /// Legacy convenience over [`Pine::boot_image_spec`] for the mode ×
+    /// table subset; prefer constructing a [`BootSpec`] at the call site.
     pub fn boot_image_table(
         image: &ProgramImage,
         mode: Mode,

@@ -249,23 +249,29 @@ pub fn attack_address(pairs: usize) -> Vec<u8> {
 }
 
 impl Sendmail {
-    /// Boots the daemon from the interned image: the first wake-up
-    /// happens during init.
+    /// Legacy convenience over [`Sendmail::boot_spec`] with a default
+    /// spec for `mode`; prefer constructing a [`BootSpec`] at the call
+    /// site.
     pub fn boot(mode: Mode) -> Sendmail {
         Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode))
     }
 
-    /// Boots the daemon with an explicit object-table backend.
+    /// Legacy convenience over [`Sendmail::boot_spec`] for the mode ×
+    /// table subset; prefer constructing a [`BootSpec`] at the call
+    /// site.
     pub fn boot_table(mode: Mode, table: TableKind) -> Sendmail {
         Sendmail::boot_spec(&BootSpec::new(ServerKind::Sendmail, mode).with_table(table))
     }
 
-    /// Boots the daemon from an explicit compiled image.
+    /// Legacy convenience over [`Sendmail::boot_image_spec`]; prefer
+    /// constructing a [`BootSpec`] at the call site.
     pub fn boot_image(image: &ProgramImage, mode: Mode) -> Sendmail {
-        Sendmail::boot_image_table(image, mode, TableKind::default())
+        Sendmail::boot_image_spec(image, &BootSpec::new(ServerKind::Sendmail, mode))
     }
 
-    /// Boots the daemon from an explicit image and table backend.
+    /// Legacy convenience over [`Sendmail::boot_image_spec`] for the
+    /// mode × table subset; prefer constructing a [`BootSpec`] at the
+    /// call site.
     pub fn boot_image_table(image: &ProgramImage, mode: Mode, table: TableKind) -> Sendmail {
         Sendmail::boot_image_spec(
             image,

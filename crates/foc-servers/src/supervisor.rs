@@ -19,7 +19,8 @@
 
 use foc_memory::Mode;
 
-use crate::{mc, mutt, pine, sendmail};
+use crate::image::ServerKind;
+use crate::{mc, mutt, pine, sendmail, BootSpec};
 
 /// Outcome of supervising one server under a persistent hostile
 /// environment.
@@ -63,7 +64,7 @@ pub fn restart_until_usable<T>(
 pub fn supervise_pine(mode: Mode) -> RestartStudy {
     let mut mailbox = pine::Pine::standard_mailbox(4);
     mailbox.insert(2, (pine::attack_from(40), b"pwn".to_vec(), b"x".to_vec()));
-    let mut p = pine::Pine::boot(mode, mailbox);
+    let mut p = pine::Pine::boot_spec(&BootSpec::new(ServerKind::Pine, mode), mailbox);
     let attempts = restart_until_usable(&mut p, RESTART_BUDGET, |p| p.usable(), |p| p.restart());
     let recovered = p.usable() && p.read(0).outcome.ret() == Some(0);
     RestartStudy {
@@ -77,7 +78,7 @@ pub fn supervise_pine(mode: Mode) -> RestartStudy {
 /// Supervises Mutt configured to open the malicious folder at startup.
 pub fn supervise_mutt(mode: Mode) -> RestartStudy {
     let boot = |mode| {
-        let mut m = mutt::Mutt::boot(mode, 3);
+        let mut m = mutt::Mutt::boot_spec(&BootSpec::new(ServerKind::Mutt, mode), 3);
         // The configured startup folder triggers the conversion.
         let startup = m.open_folder(&mutt::attack_folder_name(40));
         (m, startup.outcome.survived())
@@ -98,12 +99,13 @@ pub fn supervise_mutt(mode: Mode) -> RestartStudy {
 
 /// Supervises MC with the blank configuration line on disk.
 pub fn supervise_mc(mode: Mode) -> RestartStudy {
-    let mut m = mc::Mc::boot(mode, &mc::config_with_blank_line());
+    let spec = BootSpec::new(ServerKind::Mc, mode);
+    let mut m = mc::Mc::boot_spec(&spec, &mc::config_with_blank_line());
     let attempts = restart_until_usable(
         &mut m,
         RESTART_BUDGET,
         |m| m.usable(),
-        |m| *m = mc::Mc::boot(mode, &mc::config_with_blank_line()),
+        |m| *m = mc::Mc::boot_spec(&spec, &mc::config_with_blank_line()),
     );
     let recovered = m.usable() && {
         m.create(b"/t", 512, false);
@@ -119,12 +121,13 @@ pub fn supervise_mc(mode: Mode) -> RestartStudy {
 
 /// Supervises the Sendmail daemon (whose wake-up itself errs).
 pub fn supervise_sendmail(mode: Mode) -> RestartStudy {
-    let mut sm = sendmail::Sendmail::boot(mode);
+    let spec = BootSpec::new(ServerKind::Sendmail, mode);
+    let mut sm = sendmail::Sendmail::boot_spec(&spec);
     let attempts = restart_until_usable(
         &mut sm,
         RESTART_BUDGET,
         |sm| sm.usable(),
-        |sm| *sm = sendmail::Sendmail::boot(mode),
+        |sm| *sm = sendmail::Sendmail::boot_spec(&spec),
     );
     let recovered = sm.usable()
         && sm

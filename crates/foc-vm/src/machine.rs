@@ -3,7 +3,9 @@
 use std::collections::VecDeque;
 
 use foc_compiler::bytecode::unpack_scalar;
-use foc_compiler::native::{NOp, NativeRegion, ROp, Term, LOCALS_REGS, NO_REGION};
+use foc_compiler::native::{
+    is_heap_rop, LocalsBlock, NOp, NativeRegion, ROp, Term, LOCALS_REGS, NO_REGION,
+};
 use foc_compiler::{Instr, ProgramImage};
 use foc_memory::{AccessCtx, AccessSize, MemConfig, MemorySpace};
 
@@ -1132,90 +1134,39 @@ impl Machine {
                     }
                 }
                 NOp::Locals(ref block) => {
-                    // Register-form pure-local block: one borrow of the
-                    // frame's byte range covers every local access, and
-                    // every operand-stack slot was resolved to a fixed
-                    // scratch register at lowering time — no region
-                    // bounds/commit round-trips, no operand-stack
-                    // traffic. Nothing in a block can fault (pure local
-                    // ops only, by construction) and the region's
-                    // charge was paid up front, so no seam or stat
-                    // bookkeeping is needed anywhere inside.
-                    let frame = self
-                        .space
-                        .frame_mut(base, frame_total)
-                        .expect("active frame is mapped");
-                    let regs = &mut *nregs;
+                    // Register-form block: every operand-stack slot was
+                    // resolved to a fixed scratch register at lowering
+                    // time — no operand-stack traffic. A pure block
+                    // (`!block.mem`) borrows the frame's byte range
+                    // once for every local access and cannot fault, so
+                    // no seam or stat bookkeeping is needed inside. A
+                    // memory block runs the segmented executor, which
+                    // releases the frame borrow at each guest access:
+                    // the access probes the placement fast path inline
+                    // against the register file and falls back to the
+                    // full checked path (violation continuations,
+                    // fault seams, spill) on a probe miss.
                     let consumes = block.consumes as usize;
                     if consumes != 0 {
                         let split = self.stack.len() - consumes;
-                        regs[..consumes].copy_from_slice(&self.stack[split..]);
+                        nregs[..consumes].copy_from_slice(&self.stack[split..]);
                         self.stack.truncate(split);
                     }
-                    for r in block.ops.iter() {
-                        match *r {
-                            ROp::Const { dst, c } => regs[dst as usize] = c,
-                            ROp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
-                            ROp::Swap { a, b } => regs.swap(a as usize, b as usize),
-                            ROp::Rot3 { a, b, c } => {
-                                let t = regs[a as usize];
-                                regs[a as usize] = regs[b as usize];
-                                regs[b as usize] = regs[c as usize];
-                                regs[c as usize] = t;
-                            }
-                            ROp::Addr { dst, off } => {
-                                regs[dst as usize] = (base + off as u64) as i64;
-                            }
-                            ROp::Load {
-                                dst,
-                                off,
-                                size,
-                                signed,
-                            } => {
-                                let raw = frame_get(frame, off, size);
-                                regs[dst as usize] = extend(raw, size, signed);
-                            }
-                            ROp::Store { src, off, size } => {
-                                frame_put(frame, off, size, regs[src as usize] as u64);
-                            }
-                            ROp::Alu { dst, a, b, op } => {
-                                regs[dst as usize] = op.eval(regs[a as usize], regs[b as usize]);
-                            }
-                            ROp::ConstAlu { at, c, op } => {
-                                regs[at as usize] = op.eval(regs[at as usize], c);
-                            }
-                            ROp::Cmp { dst, a, b, op } => {
-                                regs[dst as usize] =
-                                    op.eval(regs[a as usize], regs[b as usize]) as i64;
-                            }
-                            ROp::Neg { at } => {
-                                regs[at as usize] = regs[at as usize].wrapping_neg();
-                            }
-                            ROp::BitNot { at } => regs[at as usize] = !regs[at as usize],
-                            ROp::Not { at } => {
-                                regs[at as usize] = (regs[at as usize] == 0) as i64;
-                            }
-                            ROp::Normalize { at, size, signed } => {
-                                regs[at as usize] = extend(regs[at as usize] as u64, size, signed);
-                            }
-                            ROp::Inc {
-                                off,
-                                delta,
-                                size,
-                                signed,
-                            } => {
-                                let raw = frame_get(frame, off, size);
-                                let mut new = extend(raw, size, signed).wrapping_add(delta);
-                                if size != AccessSize::B8 {
-                                    new = extend(new as u64, size, signed);
-                                }
-                                frame_put(frame, off, size, new as u64);
-                            }
+                    if block.mem {
+                        self.run_mem_block(block, func, base, frame_total, nregs)?;
+                    } else {
+                        let frame = self
+                            .space
+                            .frame_mut(base, frame_total)
+                            .expect("active frame is mapped");
+                        let regs = &mut *nregs;
+                        for r in block.ops.iter() {
+                            frame_rop(*r, regs, frame, base);
                         }
                     }
                     let produces = block.produces as usize;
                     if produces != 0 {
-                        self.stack.extend_from_slice(&regs[..produces]);
+                        self.stack.extend_from_slice(&nregs[..produces]);
                     }
                 }
             }
@@ -1292,6 +1243,175 @@ impl Machine {
             }
             Term::Fall(next) => next,
         })
+    }
+
+    /// Executes a memory-spanning register block: the segmented twin of
+    /// the pure-block loop in the `NOp::Locals` arm. Pure runs between
+    /// guest accesses borrow the frame window once per segment; each
+    /// guest access releases the borrow and probes the placement fast
+    /// path ([`MemorySpace::probe_load`]/[`MemorySpace::probe_store`],
+    /// or the combined index probes for fused address+access pairs)
+    /// with the address straight out of the register file. A probe hit
+    /// charges exactly what the interpreted hit path charges; a probe
+    /// miss deopts to the full access path (`g_load_at`/`g_store_at`),
+    /// which runs the complete checked machinery — violation
+    /// continuations, manufactured values, redirects, log records —
+    /// identically to one-dispatch-at-a-time interpretation. On a fault
+    /// the op's pre-baked seam supplies the architectural pc and the
+    /// spent component count, and the live registers below the faulting
+    /// operand spill back to the operand stack so the machine's
+    /// post-fault image is byte-identical to the baseline tier's.
+    fn run_mem_block(
+        &mut self,
+        block: &LocalsBlock,
+        func: u32,
+        base: u64,
+        frame_total: u64,
+        regs: &mut [i64; LOCALS_REGS],
+    ) -> Result<(), (u64, u32, VmFault)> {
+        let ops = &block.ops;
+        let mut i = 0;
+        while i < ops.len() {
+            if !is_heap_rop(&ops[i]) {
+                let frame = self
+                    .space
+                    .frame_mut(base, frame_total)
+                    .expect("active frame is mapped");
+                while i < ops.len() && !is_heap_rop(&ops[i]) {
+                    frame_rop(ops[i], regs, frame, base);
+                    i += 1;
+                }
+                continue;
+            }
+            match ops[i] {
+                ROp::GLoad {
+                    at,
+                    size,
+                    signed,
+                    seam,
+                    spill,
+                } => {
+                    let addr = regs[at as usize] as u64;
+                    if let Some(raw) = self.space.probe_load(addr, size) {
+                        if self.checked {
+                            self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                        }
+                        regs[at as usize] = extend(raw, size, signed);
+                    } else {
+                        let ctx = AccessCtx { func, pc: seam.pc };
+                        match self.g_load_at(addr, size, ctx) {
+                            Ok(raw) => regs[at as usize] = extend(raw, size, signed),
+                            Err(e) => {
+                                self.stack.extend_from_slice(&regs[..spill as usize]);
+                                return Err((seam.spent, seam.pc, e));
+                            }
+                        }
+                    }
+                }
+                ROp::GStore {
+                    addr,
+                    val,
+                    size,
+                    seam,
+                    spill,
+                } => {
+                    let a = regs[addr as usize] as u64;
+                    let v = regs[val as usize] as u64;
+                    if self.space.probe_store(a, size, v) {
+                        if self.checked {
+                            self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                        }
+                    } else {
+                        let ctx = AccessCtx { func, pc: seam.pc };
+                        if let Err(e) = self.g_store_at(a, size, v, ctx) {
+                            self.stack.extend_from_slice(&regs[..spill as usize]);
+                            return Err((seam.spent, seam.pc, e));
+                        }
+                    }
+                }
+                ROp::GPtrAdd {
+                    dst,
+                    ptr,
+                    count,
+                    esz,
+                } => {
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let delta = regs[count as usize].wrapping_mul(esz as i64);
+                    let out = self.space.ptr_add(regs[ptr as usize] as u64, delta);
+                    regs[dst as usize] = out as i64;
+                }
+                ROp::GPtrDiff { dst, a, b, esz } => {
+                    let l = self.space.effective_addr(regs[a as usize] as u64) as i64;
+                    let r = self.space.effective_addr(regs[b as usize] as u64) as i64;
+                    regs[dst as usize] = l.wrapping_sub(r) / esz.max(1) as i64;
+                }
+                ROp::GEffAddr { at } => {
+                    let v = self.space.effective_addr(regs[at as usize] as u64);
+                    regs[at as usize] = v as i64;
+                }
+                ROp::GIdxLoad {
+                    dst,
+                    ptr,
+                    count,
+                    esz,
+                    size,
+                    signed,
+                    seam,
+                    spill,
+                } => {
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let p = regs[ptr as usize] as u64;
+                    let delta = regs[count as usize].wrapping_mul(esz as i64);
+                    if let Some(raw) = self.space.idx_load_fast(p, delta, size) {
+                        self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                        regs[dst as usize] = extend(raw, size, signed);
+                    } else {
+                        let target = self.space.ptr_add(p, delta);
+                        let ctx = AccessCtx { func, pc: seam.pc };
+                        match self.g_load_at(target, size, ctx) {
+                            Ok(raw) => regs[dst as usize] = extend(raw, size, signed),
+                            Err(e) => {
+                                self.stack.extend_from_slice(&regs[..spill as usize]);
+                                return Err((seam.spent, seam.pc, e));
+                            }
+                        }
+                    }
+                }
+                ROp::GIdxStore {
+                    ptr,
+                    count,
+                    val,
+                    esz,
+                    size,
+                    seam,
+                    spill,
+                } => {
+                    if self.checked {
+                        self.stats.cycles += cost::PTR_CHECK_EXTRA;
+                    }
+                    let p = regs[ptr as usize] as u64;
+                    let delta = regs[count as usize].wrapping_mul(esz as i64);
+                    let v = regs[val as usize] as u64;
+                    if self.space.idx_store_fast(p, delta, size, v) {
+                        self.stats.cycles += cost::MEM_CHECK_EXTRA;
+                    } else {
+                        let target = self.space.ptr_add(p, delta);
+                        let ctx = AccessCtx { func, pc: seam.pc };
+                        if let Err(e) = self.g_store_at(target, size, v, ctx) {
+                            self.stack.extend_from_slice(&regs[..spill as usize]);
+                            return Err((seam.spent, seam.pc, e));
+                        }
+                    }
+                }
+                _ => unreachable!("pure op on the heap-op path"),
+            }
+            i += 1;
+        }
+        Ok(())
     }
 
     fn enter(&mut self, fid: u32, args: &[i64]) -> Result<(), VmFault> {
@@ -1458,6 +1578,81 @@ impl Machine {
 
     pub(crate) fn push_output_byte(&mut self, b: u8) {
         self.output.push(b);
+    }
+}
+
+/// Executes one pure register op against the scratch register file and
+/// a borrowed frame window. Shared by the pure-block fast loop (one
+/// frame borrow for the whole block) and the segmented memory-block
+/// executor (one borrow per pure segment between guest accesses).
+/// Heap-crossing ops never reach this: both callers route them through
+/// [`Machine::run_mem_block`]'s access arms.
+#[inline(always)]
+fn frame_rop(r: ROp, regs: &mut [i64; LOCALS_REGS], frame: &mut [u8], base: u64) {
+    match r {
+        ROp::Const { dst, c } => regs[dst as usize] = c,
+        ROp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+        ROp::Swap { a, b } => regs.swap(a as usize, b as usize),
+        ROp::Rot3 { a, b, c } => {
+            let t = regs[a as usize];
+            regs[a as usize] = regs[b as usize];
+            regs[b as usize] = regs[c as usize];
+            regs[c as usize] = t;
+        }
+        ROp::Addr { dst, off } => {
+            regs[dst as usize] = (base + off as u64) as i64;
+        }
+        ROp::Load {
+            dst,
+            off,
+            size,
+            signed,
+        } => {
+            let raw = frame_get(frame, off, size);
+            regs[dst as usize] = extend(raw, size, signed);
+        }
+        ROp::Store { src, off, size } => {
+            frame_put(frame, off, size, regs[src as usize] as u64);
+        }
+        ROp::Alu { dst, a, b, op } => {
+            regs[dst as usize] = op.eval(regs[a as usize], regs[b as usize]);
+        }
+        ROp::ConstAlu { at, c, op } => {
+            regs[at as usize] = op.eval(regs[at as usize], c);
+        }
+        ROp::Cmp { dst, a, b, op } => {
+            regs[dst as usize] = op.eval(regs[a as usize], regs[b as usize]) as i64;
+        }
+        ROp::Neg { at } => {
+            regs[at as usize] = regs[at as usize].wrapping_neg();
+        }
+        ROp::BitNot { at } => regs[at as usize] = !regs[at as usize],
+        ROp::Not { at } => {
+            regs[at as usize] = (regs[at as usize] == 0) as i64;
+        }
+        ROp::Normalize { at, size, signed } => {
+            regs[at as usize] = extend(regs[at as usize] as u64, size, signed);
+        }
+        ROp::Inc {
+            off,
+            delta,
+            size,
+            signed,
+        } => {
+            let raw = frame_get(frame, off, size);
+            let mut new = extend(raw, size, signed).wrapping_add(delta);
+            if size != AccessSize::B8 {
+                new = extend(new as u64, size, signed);
+            }
+            frame_put(frame, off, size, new as u64);
+        }
+        ROp::GLoad { .. }
+        | ROp::GStore { .. }
+        | ROp::GPtrAdd { .. }
+        | ROp::GPtrDiff { .. }
+        | ROp::GEffAddr { .. }
+        | ROp::GIdxLoad { .. }
+        | ROp::GIdxStore { .. } => unreachable!("heap op on the pure-block path"),
     }
 }
 
