@@ -1,0 +1,151 @@
+//! The connection-edge bench: what serving the farm over the simulated
+//! socket layer costs, and whether the farm meets its connection-level
+//! SLO. One Apache farm is timed over four transports — the in-process
+//! fast path, clean whole-frame sockets, a 3-byte slow-loris drip, and
+//! mid-frame disconnects with retransmission — with every run asserted
+//! to produce the *same* `FarmReport` (the edge is a transport axis,
+//! never a content axis), so the wall-time spread isolates framing,
+//! buffer state machines, and readiness-loop overhead.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p foc-bench --bin conn_cost [reps]` — full
+//!   measurement (default 12 reps per edge); upserts one row into
+//!   `BENCH_farm.json`'s `conn_cost_runs` trajectory (creating the
+//!   section in records that predate it). Rows are keyed by a
+//!   fingerprint of the measurement shape, so re-running the bin on an
+//!   unchanged tree replaces its row instead of duplicating it.
+//! * `cargo run --release -p foc-bench --bin conn_cost -- --check` —
+//!   CI gate, three assertions:
+//!   1. every socket scenario reproduces the in-process report
+//!      byte-for-byte (asserted inside the measurement);
+//!   2. a 100k-connection smoke farm — 256 servers × 404 connection
+//!      attempts each, accept-queue floods included — serves every
+//!      request;
+//!   3. the connection-level SLO holds: ≥ `SLO_FLOOR_BP` basis points
+//!      of completed requests land within 4× the median service
+//!      latency.
+
+use foc_bench::check::{check_fail, parse_reps, record_farm_row};
+use foc_bench::farm_report::{
+    append_conn_cost_row, conn_cost_fingerprint, conn_cost_row_json, conn_cost_smoke,
+    measure_conn_cost, ConnCost, CONN_SLO_K, CONN_SMOKE_FLOOD, CONN_SMOKE_POOL,
+    CONN_SMOKE_REQUESTS, CONN_SMOKE_SERVERS,
+};
+
+/// The CI bar on the socket edge's overhead: clean socket transport
+/// must stay within this factor of the in-process wall time. The
+/// measured overhead is well under 2× on the development host (the
+/// framing layer moves a few hundred bytes per request through bounded
+/// buffers); 4× holds with room on noisy CI hosts.
+const OVERHEAD_CEILING: f64 = 4.0;
+
+/// The CI floor on the connection-level SLO, in basis points: at least
+/// 75% of completed requests within 4× the median service latency.
+/// The Apache workload's measured value sits above 90% (the heavy tail
+/// is the big-file GET plus attack recoveries); 7500 leaves room for
+/// workload drift without letting a latency regression hide.
+const SLO_FLOOR_BP: u64 = 7_500;
+
+fn print_measurement(cost: &ConnCost) {
+    eprintln!(
+        "  in-process       {:>7.2} ms ± {:.2} ({:.0} req/s host, {} servers x {} reqs, {} reps)",
+        cost.in_process.wall_ms,
+        cost.in_process.wall_ms_ci95,
+        cost.in_process.host_rps,
+        cost.servers,
+        cost.requests,
+        cost.reps
+    );
+    eprintln!(
+        "  socket           {:>7.2} ms ± {:.2} ({:.0} req/s host, {:.2}x in-process)",
+        cost.socket.wall_ms,
+        cost.socket.wall_ms_ci95,
+        cost.socket.host_rps,
+        cost.socket_overhead()
+    );
+    eprintln!(
+        "  socket-slow-loris{:>7.2} ms ± {:.2} ({:.0} req/s host)",
+        cost.slow_loris.wall_ms, cost.slow_loris.wall_ms_ci95, cost.slow_loris.host_rps
+    );
+    eprintln!(
+        "  socket-disconnect{:>7.2} ms ± {:.2} ({:.0} req/s host)",
+        cost.disconnect.wall_ms, cost.disconnect.wall_ms_ci95, cost.disconnect.host_rps
+    );
+    eprintln!(
+        "  SLO: {} bp of completed requests within {}x median service latency",
+        cost.slo_within_bp, CONN_SLO_K
+    );
+}
+
+fn run_check() -> Result<(), String> {
+    eprintln!("conn_cost --check: socket edge vs in-process, report equality enforced ...");
+    let cost = measure_conn_cost(4);
+    print_measurement(&cost);
+    if cost.socket_overhead() > OVERHEAD_CEILING {
+        return Err(format!(
+            "socket transport overhead blew its ceiling: {:.2} vs {:.2} ms is {:.2}x \
+             in-process, ceiling {OVERHEAD_CEILING}x",
+            cost.socket.wall_ms,
+            cost.in_process.wall_ms,
+            cost.socket_overhead()
+        ));
+    }
+    if cost.slo_within_bp < SLO_FLOOR_BP {
+        return Err(format!(
+            "connection-level SLO broke: {} bp of completed requests within {}x median \
+             service latency, floor {} bp",
+            cost.slo_within_bp, CONN_SLO_K, SLO_FLOOR_BP
+        ));
+    }
+    let connections_per_server = CONN_SMOKE_POOL + CONN_SMOKE_FLOOD;
+    eprintln!(
+        "conn_cost --check: connection smoke, {} servers x {} connection attempts ...",
+        CONN_SMOKE_SERVERS, connections_per_server
+    );
+    let (report, connections) = conn_cost_smoke();
+    eprintln!(
+        "  {} simulated connections, {}/{} requests completed, {:.1} ms",
+        connections, report.stats.completed, report.stats.requests, report.host_wall_ms
+    );
+    if connections < 100_000 {
+        return Err(format!(
+            "connection smoke opened only {connections} connections; the gate requires 100k+"
+        ));
+    }
+    let expected = (CONN_SMOKE_SERVERS * CONN_SMOKE_REQUESTS) as u64;
+    if report.stats.requests != expected {
+        return Err(format!(
+            "connection smoke issued {} requests, want {expected}",
+            report.stats.requests
+        ));
+    }
+    if report.stats.completed + report.stats.dropped != report.stats.requests {
+        return Err(format!(
+            "connection smoke lost requests: {} completed + {} dropped != {} issued",
+            report.stats.completed, report.stats.dropped, report.stats.requests
+        ));
+    }
+    println!(
+        "conn_cost --check OK ({:.2}x socket overhead, {} bp SLO, {} connections)",
+        cost.socket_overhead(),
+        cost.slo_within_bp,
+        connections
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        if let Err(msg) = run_check() {
+            check_fail("conn_cost --check", &msg);
+        }
+        return;
+    }
+    let reps = parse_reps("conn_cost", &args, 12);
+    let cost = measure_conn_cost(reps);
+    print_measurement(&cost);
+    let row = conn_cost_row_json(&cost, &conn_cost_fingerprint(reps));
+    record_farm_row("conn_cost", &row, append_conn_cost_row);
+}

@@ -19,6 +19,7 @@ use foc_memory::{
     AccessCtx, AccessSize, LookupLayer, MemConfig, MemorySpace, Mode, TableKind, UnitKind,
     UnitStore,
 };
+use foc_servers::conn::{slo_within_basis_points, Edge, Scenario, SocketEdge};
 use foc_servers::farm::{run_farm, FarmConfig, FarmReport, ServerKind};
 use foc_servers::latency::LatencyHist;
 
@@ -1048,6 +1049,10 @@ pub struct FarmRecord {
     /// memory-spanning block executor). Appended by the `access_cost`
     /// bin under the native tier; regeneration carries them forward.
     pub mem_cost_runs: Vec<String>,
+    /// Accumulated `conn_cost` rows (the socket edge's transport
+    /// overhead per scenario plus the connection-level SLO). Appended
+    /// by the `conn_cost` bin; regeneration carries them forward.
+    pub conn_cost_runs: Vec<String>,
     /// Accumulated `mode_sweep` wall-time rows (pre-rendered JSON
     /// objects, one per recorded full-grid sweep). Regenerating bins
     /// carry these forward from the previous record so the sweep's own
@@ -1069,6 +1074,7 @@ impl FarmRecord {
             &self.native_cost_runs,
             &self.access_cost_runs,
             &self.mem_cost_runs,
+            &self.conn_cost_runs,
             &self.mode_sweep_runs,
         )
     }
@@ -1146,6 +1152,9 @@ pub fn measure_record(
             .map(extract_access_cost_rows)
             .unwrap_or_default(),
         mem_cost_runs: previous_json.map(extract_mem_cost_rows).unwrap_or_default(),
+        conn_cost_runs: previous_json
+            .map(extract_conn_cost_rows)
+            .unwrap_or_default(),
         mode_sweep_runs: previous_json
             .map(extract_mode_sweep_rows)
             .unwrap_or_default(),
@@ -1677,6 +1686,246 @@ pub fn append_mem_cost_row(json: &str, row: &str) -> Result<String, String> {
     Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
 }
 
+// ----------------------------------------------------------------------
+// Connection cost: the socket edge's transport overhead and SLO.
+// ----------------------------------------------------------------------
+
+/// Servers in the conn_cost measured farm.
+const CONN_COST_SERVERS: usize = 32;
+
+/// Requests per server in the conn_cost measured farm.
+const CONN_COST_REQUESTS: usize = 50;
+
+/// The SLO multiplier: a request is "within SLO" when its service
+/// latency bucket tops out at ≤ this many times the median bucket.
+pub const CONN_SLO_K: u64 = 4;
+
+/// Shape of the `--check` connection smoke: pooled plus flood
+/// connections per server sized so one farm run opens 100k+ simulated
+/// connections (the flood overflow past the backlog is refused, which
+/// the smoke also asserts).
+pub const CONN_SMOKE_SERVERS: usize = 256;
+/// Pooled connections per smoke server.
+pub const CONN_SMOKE_POOL: usize = 392;
+/// Flood connections per smoke server (past the backlog → refused).
+pub const CONN_SMOKE_FLOOD: usize = 12;
+/// Listener backlog per smoke server.
+pub const CONN_SMOKE_BACKLOG: usize = 8;
+/// Requests per smoke server (the smoke gates connection scale, not
+/// request volume).
+pub const CONN_SMOKE_REQUESTS: usize = 6;
+
+/// One edge's wall-time measurement on the conn_cost farm.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnEdgeRate {
+    /// Robust mean host wall time per run, milliseconds.
+    pub wall_ms: f64,
+    /// Half-width of the 95% confidence interval on `wall_ms`.
+    pub wall_ms_ci95: f64,
+    /// Completed requests per host second at the mean wall time.
+    pub host_rps: f64,
+}
+
+/// The connection edge's cost surface: the same farm timed over the
+/// in-process path, the clean socket edge, and the two adversarial
+/// transports, plus the run's connection-level SLO. All four runs are
+/// asserted to produce the *same* [`FarmReport`], so the wall-time
+/// spread is attributable to transport alone.
+#[derive(Debug, Clone)]
+pub struct ConnCost {
+    /// The historical direct-application path.
+    pub in_process: ConnEdgeRate,
+    /// Clean whole-frame socket transport.
+    pub socket: ConnEdgeRate,
+    /// 3-byte slow-loris drip.
+    pub slow_loris: ConnEdgeRate,
+    /// Mid-frame disconnect + retransmit every 3rd request.
+    pub disconnect: ConnEdgeRate,
+    /// Basis points of completed requests within [`CONN_SLO_K`]× the
+    /// median service latency (edge-invariant, like everything else in
+    /// the report).
+    pub slo_within_bp: u64,
+    /// Servers in the measured farm.
+    pub servers: usize,
+    /// Requests per server.
+    pub requests: usize,
+    /// Repetitions per edge.
+    pub reps: usize,
+}
+
+impl ConnCost {
+    /// Clean-socket-over-in-process wall-time ratio: what framing,
+    /// buffer state machines, and the readiness loop cost end to end.
+    pub fn socket_overhead(&self) -> f64 {
+        self.socket.wall_ms / self.in_process.wall_ms
+    }
+}
+
+/// The conn_cost farm: Apache under the failure-oblivious policy with
+/// the standard attack mix — the highest-request-rate server, so the
+/// per-request transport overhead is the dominant term being measured.
+fn conn_cost_config(edge: Edge) -> FarmConfig {
+    let mut config = FarmConfig::new(ServerKind::Apache, Mode::FailureOblivious).with_edge(edge);
+    config.servers = CONN_COST_SERVERS;
+    config.requests_per_server = CONN_COST_REQUESTS;
+    config
+}
+
+/// The four measured edges, label order fixed by the row schema.
+fn conn_cost_edges() -> [Edge; 4] {
+    [
+        Edge::InProcess,
+        Edge::Socket(SocketEdge::default()),
+        Edge::Socket(SocketEdge {
+            scenario: Scenario::SlowLoris { chunk: 3 },
+            ..SocketEdge::default()
+        }),
+        Edge::Socket(SocketEdge {
+            scenario: Scenario::Disconnect { every: 3 },
+            ..SocketEdge::default()
+        }),
+    ]
+}
+
+/// Measures [`ConnCost`]: `reps` timed farm runs per edge, asserting
+/// every edge's report equal to the in-process reference — the bench
+/// doubles as an equivalence check on the exact traffic it times.
+pub fn measure_conn_cost(reps: usize) -> ConnCost {
+    let reps = reps.max(1);
+    let requests_total = (CONN_COST_SERVERS * CONN_COST_REQUESTS) as f64;
+    let mut reference: Option<FarmReport> = None;
+    let mut rates = Vec::with_capacity(4);
+    for edge in conn_cost_edges() {
+        let config = conn_cost_config(edge.clone());
+        let mut walls = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let report = run_farm(&config);
+            walls.push(report.host_wall_ms);
+            match &reference {
+                None => reference = Some(report),
+                Some(reference) => assert_eq!(
+                    *reference,
+                    report,
+                    "{} must reproduce the in-process report",
+                    edge.label()
+                ),
+            }
+        }
+        let r = robust_summary(&walls);
+        rates.push(ConnEdgeRate {
+            wall_ms: r.mean,
+            wall_ms_ci95: r.ci95,
+            host_rps: requests_total / (r.mean / 1e3),
+        });
+    }
+    let reference = reference.expect("at least one run");
+    ConnCost {
+        in_process: rates[0],
+        socket: rates[1],
+        slow_loris: rates[2],
+        disconnect: rates[3],
+        slo_within_bp: slo_within_basis_points(&reference.stats.service_hist, CONN_SLO_K),
+        servers: CONN_COST_SERVERS,
+        requests: CONN_COST_REQUESTS,
+        reps,
+    }
+}
+
+/// Runs the 100k-connection smoke farm once over the flooded socket
+/// edge and returns its report plus the number of simulated connection
+/// attempts the run opened (pool + flood, per server).
+pub fn conn_cost_smoke() -> (FarmReport, u64) {
+    let edge = Edge::Socket(SocketEdge {
+        connections: CONN_SMOKE_POOL,
+        backlog: CONN_SMOKE_BACKLOG,
+        flood: CONN_SMOKE_FLOOD,
+        scenario: Scenario::Clean,
+    });
+    let mut config = FarmConfig::new(ServerKind::Apache, Mode::FailureOblivious).with_edge(edge);
+    config.servers = CONN_SMOKE_SERVERS;
+    config.requests_per_server = CONN_SMOKE_REQUESTS;
+    let connections = (CONN_SMOKE_SERVERS * (CONN_SMOKE_POOL + CONN_SMOKE_FLOOD)) as u64;
+    (run_farm(&config), connections)
+}
+
+/// Fingerprint for a `conn_cost` trajectory row: schema tag, execution
+/// tier, the Apache image identity (the measured guest), the farm and
+/// connection-pool shape, the SLO multiplier, and the rep count.
+pub fn conn_cost_fingerprint(reps: usize) -> String {
+    let tier = foc_compiler::ExecTier::from_env();
+    let pool = SocketEdge::default();
+    let parts: Vec<String> = vec![
+        "conn_cost/v1".to_string(),
+        tier.label().to_string(),
+        ServerKind::Apache.image_tier(tier).id().to_string(),
+        CONN_COST_SERVERS.to_string(),
+        CONN_COST_REQUESTS.to_string(),
+        pool.connections.to_string(),
+        pool.backlog.to_string(),
+        CONN_SLO_K.to_string(),
+        reps.to_string(),
+    ];
+    let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+    fingerprint_of(&refs)
+}
+
+/// Renders one `conn_cost` trajectory row: wall time per edge, the
+/// socket-over-in-process overhead ratio, and the connection-level SLO.
+pub fn conn_cost_row_json(cost: &ConnCost, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"in_process_wall_ms\": {:.2}, \"in_process_ci95\": {:.2}, ",
+            "\"socket_wall_ms\": {:.2}, \"socket_ci95\": {:.2}, ",
+            "\"slow_loris_wall_ms\": {:.2}, \"slow_loris_ci95\": {:.2}, ",
+            "\"disconnect_wall_ms\": {:.2}, \"disconnect_ci95\": {:.2}, ",
+            "\"socket_overhead\": {:.2}, \"slo_within_{}x_median_bp\": {}, ",
+            "\"servers\": {}, \"requests_per_server\": {}, \"reps\": {}, ",
+            "\"fingerprint\": \"{}\"}}"
+        ),
+        cost.in_process.wall_ms,
+        cost.in_process.wall_ms_ci95,
+        cost.socket.wall_ms,
+        cost.socket.wall_ms_ci95,
+        cost.slow_loris.wall_ms,
+        cost.slow_loris.wall_ms_ci95,
+        cost.disconnect.wall_ms,
+        cost.disconnect.wall_ms_ci95,
+        cost.socket_overhead(),
+        CONN_SLO_K,
+        cost.slo_within_bp,
+        cost.servers,
+        cost.requests,
+        cost.reps,
+        fingerprint,
+    )
+}
+
+/// Extracts the `conn_cost_runs` rows from an existing record (empty
+/// when the record predates the section).
+pub fn extract_conn_cost_rows(json: &str) -> Vec<String> {
+    extract_rows_section(json, "conn_cost_runs")
+}
+
+/// Returns `json` with `row` upserted into its `conn_cost_runs` array.
+/// A record that predates the section gains one, inserted just before
+/// `mode_sweep_runs`.
+pub fn append_conn_cost_row(json: &str, row: &str) -> Result<String, String> {
+    if json.contains("\"conn_cost_runs\": [") {
+        let mut rows = extract_conn_cost_rows(json);
+        upsert_row(&mut rows, row.to_string());
+        return replace_rows_section(json, "conn_cost_runs", &rows);
+    }
+    let Some(at) = json.find("  \"mode_sweep_runs\": [") else {
+        return Err(
+            "BENCH_farm.json has no mode_sweep_runs section to anchor conn_cost_runs; \
+             regenerate it with farm_scaling"
+                .to_string(),
+        );
+    };
+    let section = format!("  \"conn_cost_runs\": [\n    {row}\n  ],\n");
+    Ok(format!("{}{}{}", &json[..at], section, &json[at..]))
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -1775,6 +2024,7 @@ pub fn render_farm_json(
     native_cost_runs: &[String],
     access_cost_runs: &[String],
     mem_cost_runs: &[String],
+    conn_cost_runs: &[String],
     mode_sweep_runs: &[String],
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"farm\",\n  \"reports\": [\n");
@@ -1893,6 +2143,23 @@ pub fn render_farm_json(
             out.push_str("    ");
             out.push_str(row);
             if i + 1 < mem_cost_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    // The conn_cost trajectory: the socket edge's transport overhead
+    // per scenario plus the connection-level SLO, one row per recorded
+    // measurement (the conn_cost bin upserts by fingerprint).
+    if conn_cost_runs.is_empty() {
+        out.push_str("  \"conn_cost_runs\": [],\n");
+    } else {
+        out.push_str("  \"conn_cost_runs\": [\n");
+        for (i, row) in conn_cost_runs.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < conn_cost_runs.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -2062,6 +2329,31 @@ mod tests {
             reps: 3,
         };
         let mem_rows = vec![mem_cost_row_json(&mem_cost, "fp-mem-1")];
+        let edge_rate = ConnEdgeRate {
+            wall_ms: 10.0,
+            wall_ms_ci95: 0.5,
+            host_rps: 160_000.0,
+        };
+        let conn = ConnCost {
+            in_process: edge_rate,
+            socket: ConnEdgeRate {
+                wall_ms: 12.0,
+                ..edge_rate
+            },
+            slow_loris: ConnEdgeRate {
+                wall_ms: 15.0,
+                ..edge_rate
+            },
+            disconnect: ConnEdgeRate {
+                wall_ms: 14.0,
+                ..edge_rate
+            },
+            slo_within_bp: 9_250,
+            servers: 32,
+            requests: 50,
+            reps: 3,
+        };
+        let conn_rows = vec![conn_cost_row_json(&conn, "fp-conn-1")];
         let rows = vec![mode_sweep_row_json(150, 0, 17, 4, 1234.5, "fp-sweep-1")];
         let json = render_farm_json(
             &reports,
@@ -2074,6 +2366,7 @@ mod tests {
             &native_rows,
             &access_rows,
             &mem_rows,
+            &conn_rows,
             &rows,
         );
         assert_eq!(
@@ -2107,6 +2400,9 @@ mod tests {
         assert!(json.contains("\"paged_maccess_per_s\""));
         assert!(json.contains("\"mem_cost_runs\""));
         assert!(json.contains("\"speedup_over_super\": 2.00"));
+        assert!(json.contains("\"conn_cost_runs\""));
+        assert!(json.contains("\"socket_overhead\": 1.20"));
+        assert!(json.contains("\"slo_within_4x_median_bp\": 9250"));
         assert!(json.contains("\"lookup\": \"table\""));
         assert!(json.contains("\"lookup\": \"paged\""));
         // Round trip: extract the rows back and append another (a new
@@ -2180,6 +2476,18 @@ mod tests {
         let msame = append_mem_cost_row(&mgrown, &mem_cost_row_json(&mem_cost, "fp-mem-2"))
             .expect("upsert mem row");
         assert_eq!(extract_mem_cost_rows(&msame).len(), 2);
+        assert_eq!(extract_conn_cost_rows(&json), conn_rows);
+        let cgrown = append_conn_cost_row(&json, &conn_cost_row_json(&conn, "fp-conn-2"))
+            .expect("append conn row");
+        assert_eq!(extract_conn_cost_rows(&cgrown).len(), 2);
+        let csame = append_conn_cost_row(&cgrown, &conn_cost_row_json(&conn, "fp-conn-2"))
+            .expect("upsert conn row");
+        assert_eq!(extract_conn_cost_rows(&csame).len(), 2);
+        assert_eq!(
+            extract_mode_sweep_rows(&cgrown),
+            rows,
+            "growing conn_cost_runs must not disturb the sweep trajectory"
+        );
         assert_eq!(
             extract_mode_sweep_rows(&mgrown),
             rows,
@@ -2393,6 +2701,8 @@ mod tests {
         assert_ne!(native_cost_fingerprint(8), native_cost_fingerprint(24));
         assert_eq!(mem_cost_fingerprint(8), mem_cost_fingerprint(8));
         assert_ne!(mem_cost_fingerprint(8), mem_cost_fingerprint(24));
+        assert_eq!(conn_cost_fingerprint(8), conn_cost_fingerprint(8));
+        assert_ne!(conn_cost_fingerprint(8), conn_cost_fingerprint(24));
         assert_ne!(
             native_cost_fingerprint(8),
             dispatch_cost_fingerprint(8),

@@ -44,6 +44,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 pub use crate::image::ServerKind;
 
+use crate::conn::{ConnSession, Edge};
 use crate::latency::LatencyHist;
 use crate::steal::{run_stealing, Slice};
 use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload, BootSpec, Measured, Outcome};
@@ -97,6 +98,13 @@ pub struct FarmConfig {
     /// it — the work-stealing scheduler's interleaving grain. Affects
     /// host scheduling only, never the measured data (clamped to ≥ 1).
     pub slice_requests: usize,
+    /// How requests reach the servers: generated in-process (the
+    /// historical fast path) or carried over the simulated socket
+    /// layer ([`crate::conn`]). A pure transport axis: the edge never
+    /// changes what a stream contains or what a server computes (the
+    /// edge-equivalence battery asserts byte-identical reports), so,
+    /// like `threads`, it is excluded from [`FarmReport`] equality.
+    pub edge: Edge,
 }
 
 impl FarmConfig {
@@ -118,6 +126,7 @@ impl FarmConfig {
             attack_ratio: (1, 8),
             restart_budget: supervisor::RESTART_BUDGET,
             slice_requests: 16,
+            edge: Edge::from_env(),
         }
     }
 
@@ -169,6 +178,12 @@ impl FarmConfig {
     /// Same farm with a different attack ratio.
     pub fn with_attack_ratio(mut self, num: u32, den: u32) -> FarmConfig {
         self.attack_ratio = (num, den);
+        self
+    }
+
+    /// Same farm behind a different request edge.
+    pub fn with_edge(mut self, edge: Edge) -> FarmConfig {
+        self.edge = edge;
         self
     }
 }
@@ -299,11 +314,13 @@ impl PartialEq for FarmReport {
     fn eq(&self, other: &FarmReport) -> bool {
         let a = &self.config;
         let b = &other.config;
-        // Thread count, slice grain, table backend, and lookup layer
-        // are excluded: they shape host wall time only, never the
-        // measured data — that is the determinism contract (the backend
-        // half is asserted by the cross-backend transcript-equivalence
-        // tests, the layer half by the paged-vs-table battery).
+        // Thread count, slice grain, table backend, lookup layer, and
+        // the request edge are excluded: they shape host wall time
+        // only, never the measured data — that is the determinism
+        // contract (the backend half is asserted by the cross-backend
+        // transcript-equivalence tests, the layer half by the
+        // paged-vs-table battery, the edge half by the socket-vs-
+        // in-process battery in `tests/conn_equiv.rs`).
         a.kind == b.kind
             && a.mode == b.mode
             && a.sequence == b.sequence
@@ -329,21 +346,42 @@ impl FarmReport {
     }
 }
 
-/// One guest server process under farm supervision.
-enum FarmProcess {
+/// One guest server process under farm supervision. Driver-side
+/// workload state (Pine's mailbox-size view, MC's file counter) lives
+/// in [`RequestGen`], not here: the process is pure service, so the
+/// same enum can sit behind either request edge and behind the sweep's
+/// scripted inputs.
+pub(crate) enum FarmProcess {
     Apache(apache::ApacheWorker),
     Sendmail(sendmail::Sendmail),
-    Pine {
-        pine: pine::Pine,
-        /// Driver-side view of the mailbox size (read-index domain).
-        messages: i64,
-    },
+    Pine(pine::Pine),
     Mutt(mutt::Mutt),
-    Mc {
-        mc: mc::Mc,
-        /// Monotonic counter for unique file names.
-        files: u64,
-    },
+    Mc(mc::Mc),
+}
+
+/// The persistent environment a server process boots over — the
+/// "files on disk" that survive supervised restarts: Pine's mail file,
+/// MC's configuration, Mutt's folder seed. The farm always uses the
+/// standard environment (which the boot-checkpoint cache captures);
+/// the sweep's input library substitutes poisoned variants.
+pub(crate) struct ServerEnv {
+    /// Pine's seed mailbox (the mail file).
+    pub pine_mailbox: crate::image::Mailbox,
+    /// MC's configuration file contents.
+    pub mc_config: Vec<u8>,
+    /// Messages Mutt's folder seed starts with.
+    pub mutt_seed: usize,
+}
+
+impl ServerEnv {
+    /// The standard environment every farm process boots over.
+    pub fn standard() -> ServerEnv {
+        ServerEnv {
+            pine_mailbox: crate::image::standard_pine_mailbox().clone(),
+            mc_config: crate::image::standard_mc_config().clone(),
+            mutt_seed: MUTT_SEED_MESSAGES,
+        }
+    }
 }
 
 /// Messages every Pine farm process starts with (the standard seed
@@ -381,176 +419,518 @@ fn mc_attack() -> &'static [Vec<u8>] {
 }
 
 impl FarmProcess {
-    /// Boots one process of `kind` from the interned boot checkpoint —
-    /// the compiler runs at most once per kind per host process, and
-    /// boot plus standard environment replay run at most once per
-    /// `(kind, spec)`: every farm boot and supervised restart after the
-    /// first restores the frozen snapshot (the drivers' `boot_spec`
-    /// constructors route through [`crate::image::boot_checkpoint`]).
+    /// Boots one process of `kind` over the standard environment from
+    /// the interned boot checkpoint — the compiler runs at most once
+    /// per kind per host process, and boot plus standard environment
+    /// replay run at most once per `(kind, spec)`: every farm boot and
+    /// supervised restart after the first restores the frozen snapshot
+    /// (the drivers' `boot_spec` constructors route through
+    /// [`crate::image::boot_checkpoint`]).
     fn boot(kind: ServerKind, spec: &BootSpec) -> FarmProcess {
         match kind {
             ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot_spec(spec)),
             ServerKind::Sendmail => FarmProcess::Sendmail(sendmail::Sendmail::boot_spec(spec)),
-            ServerKind::Pine => FarmProcess::Pine {
-                pine: pine::Pine::boot_spec(spec, pine::Pine::standard_mailbox(PINE_SEED_MESSAGES)),
-                messages: PINE_SEED_MESSAGES as i64,
-            },
+            ServerKind::Pine => FarmProcess::Pine(pine::Pine::boot_spec(
+                spec,
+                pine::Pine::standard_mailbox(PINE_SEED_MESSAGES),
+            )),
             ServerKind::Mutt => FarmProcess::Mutt(mutt::Mutt::boot_spec(spec, MUTT_SEED_MESSAGES)),
-            ServerKind::Mc => FarmProcess::Mc {
-                mc: mc::Mc::boot_spec(spec, &mc::clean_config()),
-                files: 0,
-            },
+            ServerKind::Mc => FarmProcess::Mc(mc::Mc::boot_spec(spec, &mc::clean_config())),
+        }
+    }
+
+    /// Boots one process over an explicit environment (the sweep's
+    /// poisoned mailboxes and blank configurations). Standard
+    /// environments still hit the boot-checkpoint cache — the drivers'
+    /// eligibility checks compare contents, not provenance.
+    pub(crate) fn boot_env(kind: ServerKind, spec: &BootSpec, env: &ServerEnv) -> FarmProcess {
+        match kind {
+            ServerKind::Apache => FarmProcess::Apache(apache::ApacheWorker::boot_spec(spec)),
+            ServerKind::Sendmail => FarmProcess::Sendmail(sendmail::Sendmail::boot_spec(spec)),
+            ServerKind::Pine => {
+                FarmProcess::Pine(pine::Pine::boot_spec(spec, env.pine_mailbox.clone()))
+            }
+            ServerKind::Mutt => FarmProcess::Mutt(mutt::Mutt::boot_spec(spec, env.mutt_seed)),
+            ServerKind::Mc => FarmProcess::Mc(mc::Mc::boot_spec(spec, &env.mc_config)),
         }
     }
 
     /// Whether the process can serve requests.
-    fn usable(&self) -> bool {
+    pub(crate) fn usable(&self) -> bool {
         match self {
             FarmProcess::Apache(w) => !w.is_dead(),
             FarmProcess::Sendmail(s) => s.usable(),
-            FarmProcess::Pine { pine, .. } => pine.usable(),
+            FarmProcess::Pine(pine) => pine.usable(),
             FarmProcess::Mutt(m) => !m.process().is_dead(),
-            FarmProcess::Mc { mc, .. } => mc.usable(),
+            FarmProcess::Mc(mc) => mc.usable(),
         }
     }
 
-    /// Replaces the dead process, preserving persistent environment (the
-    /// Pine mailbox survives restarts — it is the mail file on disk).
-    /// Both arms are checkpoint restores: Pine restores its pre-index
-    /// restart base and replays only the delivered delta; the others
-    /// restore the standard boot snapshot.
-    fn restart(&mut self, kind: ServerKind, spec: &BootSpec) {
+    /// The underlying guest process (violation counters, error log).
+    pub(crate) fn process(&self) -> &crate::Process {
         match self {
-            FarmProcess::Pine { pine, .. } => pine.restart(),
-            other => *other = FarmProcess::boot(kind, spec),
+            FarmProcess::Apache(w) => w.process(),
+            FarmProcess::Sendmail(s) => s.process(),
+            FarmProcess::Pine(pine) => pine.process(),
+            FarmProcess::Mutt(m) => m.process(),
+            FarmProcess::Mc(mc) => mc.process(),
         }
     }
 
-    /// Serves one generated request. All request content derives from
-    /// `rng`, which must be dedicated to this server's stream; request
-    /// strings are built in the process's recycled scratch buffers, so
-    /// steady-state serving performs no host allocation per request.
-    fn serve(&mut self, rng: &mut StdRng, attack: bool) -> Measured {
+    /// The boot/initialization outcome, for the kinds whose init runs
+    /// guest code that can itself die (§4.4.4, §4.7). `None` for the
+    /// kinds that boot inertly (Apache's worker, Mutt).
+    pub(crate) fn init_outcome(&self) -> Option<Outcome> {
         match self {
-            FarmProcess::Apache(w) => {
+            FarmProcess::Apache(_) | FarmProcess::Mutt(_) => None,
+            FarmProcess::Sendmail(s) => Some(s.init_outcome().clone()),
+            FarmProcess::Pine(pine) => Some(pine.init_outcome().clone()),
+            FarmProcess::Mc(mc) => Some(mc.init_outcome().clone()),
+        }
+    }
+
+    /// Replaces the dead process, preserving the persistent environment
+    /// (the Pine mailbox survives restarts — it is the mail file on
+    /// disk; MC re-reads the same configuration). Both arms are
+    /// checkpoint restores: Pine restores its pre-index restart base
+    /// and replays only the delivered delta; the others restore the
+    /// boot snapshot of their environment.
+    pub(crate) fn restart(&mut self, kind: ServerKind, spec: &BootSpec, env: &ServerEnv) {
+        match self {
+            FarmProcess::Pine(pine) => pine.restart(),
+            other => *other = FarmProcess::boot_env(kind, spec, env),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests: content decoupled from transport.
+// ---------------------------------------------------------------------
+
+/// Request content bytes: an interned static payload (the attack
+/// constants, fixed benign paths) or an owned buffer (generated
+/// content, decoded frames). Splitting the two keeps the in-process
+/// fast path allocation-free exactly where the old inline generation
+/// was, while giving the socket edge a decodable owned form. Equality
+/// is by *content*, not provenance — a decoded `Owned` frame equals the
+/// `Static` original it was framed from.
+#[derive(Debug, Clone)]
+pub(crate) enum Bytes {
+    /// Interned constant content.
+    Static(&'static [u8]),
+    /// Generated or decoded content.
+    Owned(Vec<u8>),
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Bytes::Static(b) => b,
+            Bytes::Owned(b) => b,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+/// MC archive link lists, static/owned like [`Bytes`] (and, like it,
+/// compared by content).
+#[derive(Debug, Clone)]
+pub(crate) enum Links {
+    /// The interned attack archive.
+    Static(&'static [Vec<u8>]),
+    /// A decoded archive.
+    Owned(Vec<Vec<u8>>),
+}
+
+impl std::ops::Deref for Links {
+    type Target = [Vec<u8>];
+
+    fn deref(&self) -> &[Vec<u8>] {
+        match self {
+            Links::Static(l) => l,
+            Links::Owned(l) => l,
+        }
+    }
+}
+
+impl PartialEq for Links {
+    fn eq(&self, other: &Links) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Links {}
+
+/// One fully-formed request against one server kind — the unit the
+/// connection edge frames onto the wire and the in-process edge applies
+/// directly. Covers the farm's generated mix *and* the sweep's scripted
+/// vocabulary (`SendmailMailFrom` appears only in scripts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Request {
+    /// `GET path` against the Apache worker.
+    ApacheGet { path: Bytes },
+    /// Inbound mail through Sendmail's prescan.
+    SendmailReceive { from: Bytes, to: Bytes, body: Bytes },
+    /// Outbound mail.
+    SendmailSend { to: Bytes, body: Bytes },
+    /// The daemon's periodic wake-up.
+    SendmailWakeup,
+    /// A bare MAIL FROM (the §4.4 attack script's first step).
+    SendmailMailFrom { from: Bytes },
+    /// Delivery into Pine's mail file.
+    PineDeliver {
+        from: Bytes,
+        subject: Bytes,
+        body: Bytes,
+    },
+    /// Read message `index`.
+    PineRead { index: i64 },
+    /// Compose a draft.
+    PineCompose,
+    /// Move message `index`.
+    PineMove { index: i64 },
+    /// Open folder `name` (the Figure 1 conversion path).
+    MuttOpenFolder { name: Bytes },
+    /// Read message `index`.
+    MuttRead { index: i64 },
+    /// Copy `src` to `dst`.
+    McCopy { src: Bytes, dst: Bytes },
+    /// Create directory `path`.
+    McMkdir { path: Bytes },
+    /// Delete `path`.
+    McDelete { path: Bytes },
+    /// The §3 `'/'`-component scan over `name`.
+    McComponentEnd { name: Bytes },
+    /// Open an archive of symlink entries (§4.5).
+    McOpenArchive { links: Links },
+}
+
+impl Request {
+    /// Which server kind this request addresses.
+    pub(crate) fn kind(&self) -> ServerKind {
+        match self {
+            Request::ApacheGet { .. } => ServerKind::Apache,
+            Request::SendmailReceive { .. }
+            | Request::SendmailSend { .. }
+            | Request::SendmailWakeup
+            | Request::SendmailMailFrom { .. } => ServerKind::Sendmail,
+            Request::PineDeliver { .. }
+            | Request::PineRead { .. }
+            | Request::PineCompose
+            | Request::PineMove { .. } => ServerKind::Pine,
+            Request::MuttOpenFolder { .. } | Request::MuttRead { .. } => ServerKind::Mutt,
+            Request::McCopy { .. }
+            | Request::McMkdir { .. }
+            | Request::McDelete { .. }
+            | Request::McComponentEnd { .. }
+            | Request::McOpenArchive { .. } => ServerKind::Mc,
+        }
+    }
+
+    /// Executes this request against its server process. Pure dispatch:
+    /// every driver call site matches what the pre-edge inline
+    /// generation invoked, so transcripts are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request and process kinds disagree (a framing or
+    /// harness bug, never data-dependent).
+    pub(crate) fn apply(&self, process: &mut FarmProcess) -> Measured {
+        match (self, process) {
+            (Request::ApacheGet { path }, FarmProcess::Apache(w)) => w.get(path),
+            (Request::SendmailReceive { from, to, body }, FarmProcess::Sendmail(s)) => {
+                s.receive(from, to, body)
+            }
+            (Request::SendmailSend { to, body }, FarmProcess::Sendmail(s)) => s.send(to, body),
+            (Request::SendmailWakeup, FarmProcess::Sendmail(s)) => s.wakeup(),
+            (Request::SendmailMailFrom { from }, FarmProcess::Sendmail(s)) => s.mail_from(from),
+            (
+                Request::PineDeliver {
+                    from,
+                    subject,
+                    body,
+                },
+                FarmProcess::Pine(p),
+            ) => p.deliver(from, subject, body),
+            (Request::PineRead { index }, FarmProcess::Pine(p)) => p.read(*index),
+            (Request::PineCompose, FarmProcess::Pine(p)) => p.compose(),
+            (Request::PineMove { index }, FarmProcess::Pine(p)) => p.move_message(*index),
+            (Request::MuttOpenFolder { name }, FarmProcess::Mutt(m)) => m.open_folder(name),
+            (Request::MuttRead { index }, FarmProcess::Mutt(m)) => m.read_message(*index),
+            (Request::McCopy { src, dst }, FarmProcess::Mc(m)) => m.copy(src, dst),
+            (Request::McMkdir { path }, FarmProcess::Mc(m)) => m.mkdir(path),
+            (Request::McDelete { path }, FarmProcess::Mc(m)) => m.delete(path),
+            (Request::McComponentEnd { name }, FarmProcess::Mc(m)) => m.component_end(name),
+            (Request::McOpenArchive { links }, FarmProcess::Mc(m)) => m.open_archive(links),
+            _ => panic!("request kind does not match the server process"),
+        }
+    }
+}
+
+/// Cap on pooled request-content buffers (a stream has at most three
+/// content fields in flight per request).
+const GEN_POOL: usize = 8;
+
+/// The deterministic request generator for one server's stream: the
+/// seeded rng plus the driver-side workload state the old inline
+/// generation kept on the process (Pine's mailbox-size view, MC's file
+/// counter). Both edges draw from the *same* generator in stream
+/// order, which is the whole byte-identity argument: the socket layer
+/// moves frames, never content decisions.
+///
+/// The workload is a **closed loop**: request `k+1`'s content may
+/// depend on request `k`'s outcome (a delivery that survived grows the
+/// readable-mailbox range), so generation must observe each outcome
+/// before drawing the next request — see [`RequestGen::observe`].
+pub(crate) struct RequestGen {
+    rng: StdRng,
+    /// Driver-side view of Pine's mailbox size (read-index domain).
+    messages: i64,
+    /// Monotonic counter for unique MC file names.
+    files: u64,
+    /// Recycled content buffers, so steady-state generation performs no
+    /// host allocation per request (the scratch-pool idiom, moved off
+    /// the process and onto the stream).
+    pool: Vec<Vec<u8>>,
+}
+
+impl RequestGen {
+    /// A generator over `seed`, with Pine's view starting at the
+    /// standard seed-mailbox size.
+    pub(crate) fn new(seed: u64) -> RequestGen {
+        RequestGen {
+            rng: StdRng::seed_from_u64(seed),
+            messages: PINE_SEED_MESSAGES as i64,
+            files: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Draws the attack decision for the next request (the stream's
+    /// first rng draw per request, exactly as before the edge split).
+    pub(crate) fn draw_attack(&mut self, ratio: (u32, u32)) -> bool {
+        ratio.0 > 0 && self.rng.gen_ratio(ratio.0, ratio.1)
+    }
+
+    fn buf(&mut self) -> Vec<u8> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Generates the next request of the stream. The rng draw order
+    /// transcribes the pre-edge inline generation exactly — one
+    /// `gen_range(0..10)` selector, then the content draws in the same
+    /// order — so streams are bit-compatible with every recorded
+    /// artifact.
+    pub(crate) fn generate(&mut self, kind: ServerKind, attack: bool) -> Request {
+        use std::io::Write as _;
+        match kind {
+            ServerKind::Apache => {
                 if attack {
-                    return w.get(apache_attack());
+                    return Request::ApacheGet {
+                        path: Bytes::Static(apache_attack()),
+                    };
                 }
-                match rng.gen_range(0u32..10) {
-                    0..=5 => w.get(b"/index.html"),
-                    6..=7 => w.get(b"/rw/index.html"),
-                    8 => w.get(b"/big.bin"),
-                    _ => w.get(b"/nosuchpage.html"),
+                let path: &'static [u8] = match self.rng.gen_range(0u32..10) {
+                    0..=5 => b"/index.html",
+                    6..=7 => b"/rw/index.html",
+                    8 => b"/big.bin",
+                    _ => b"/nosuchpage.html",
+                };
+                Request::ApacheGet {
+                    path: Bytes::Static(path),
                 }
             }
-            FarmProcess::Sendmail(s) => {
+            ServerKind::Sendmail => {
                 if attack {
-                    let mut to = s.process_mut().scratch();
-                    workload::sendmail_address_into(&mut to, rng.next_u64());
-                    let r = s.receive(sendmail_attack(), &to, b"attack payload");
-                    s.process_mut().recycle(to);
-                    return r;
+                    let mut to = self.buf();
+                    workload::sendmail_address_into(&mut to, self.rng.next_u64());
+                    return Request::SendmailReceive {
+                        from: Bytes::Static(sendmail_attack()),
+                        to: Bytes::Owned(to),
+                        body: Bytes::Static(b"attack payload"),
+                    };
                 }
-                match rng.gen_range(0u32..10) {
+                match self.rng.gen_range(0u32..10) {
                     0..=6 => {
-                        let mut from = s.process_mut().scratch();
-                        let mut to = s.process_mut().scratch();
-                        let mut body = s.process_mut().scratch();
-                        workload::sendmail_address_into(&mut from, rng.next_u64());
-                        workload::sendmail_address_into(&mut to, rng.next_u64());
-                        workload::lorem_into(&mut body, 160, rng.next_u64());
-                        let r = s.receive(&from, &to, &body);
-                        for buf in [from, to, body] {
-                            s.process_mut().recycle(buf);
+                        let mut from = self.buf();
+                        let mut to = self.buf();
+                        let mut body = self.buf();
+                        workload::sendmail_address_into(&mut from, self.rng.next_u64());
+                        workload::sendmail_address_into(&mut to, self.rng.next_u64());
+                        workload::lorem_into(&mut body, 160, self.rng.next_u64());
+                        Request::SendmailReceive {
+                            from: Bytes::Owned(from),
+                            to: Bytes::Owned(to),
+                            body: Bytes::Owned(body),
                         }
-                        r
                     }
                     7..=8 => {
-                        let mut to = s.process_mut().scratch();
-                        let mut body = s.process_mut().scratch();
-                        workload::sendmail_address_into(&mut to, rng.next_u64());
-                        workload::lorem_into(&mut body, 200, rng.next_u64());
-                        let r = s.send(&to, &body);
-                        for buf in [to, body] {
-                            s.process_mut().recycle(buf);
+                        let mut to = self.buf();
+                        let mut body = self.buf();
+                        workload::sendmail_address_into(&mut to, self.rng.next_u64());
+                        workload::lorem_into(&mut body, 200, self.rng.next_u64());
+                        Request::SendmailSend {
+                            to: Bytes::Owned(to),
+                            body: Bytes::Owned(body),
                         }
-                        r
                     }
-                    _ => s.wakeup(),
+                    _ => Request::SendmailWakeup,
                 }
             }
-            FarmProcess::Pine { pine, messages } => {
+            ServerKind::Pine => {
                 if attack {
-                    // The poisoned message persists in the mailbox: every
-                    // restart replays it (§4.7).
-                    let r = pine.deliver(pine_attack(), b"pwn", b"payload");
-                    if r.outcome.survived() {
-                        *messages += 1;
-                    }
-                    return r;
+                    // The poisoned message persists in the mailbox:
+                    // every restart replays it (§4.7).
+                    return Request::PineDeliver {
+                        from: Bytes::Static(pine_attack()),
+                        subject: Bytes::Static(b"pwn"),
+                        body: Bytes::Static(b"payload"),
+                    };
                 }
-                match rng.gen_range(0u32..10) {
+                match self.rng.gen_range(0u32..10) {
                     0..=2 => {
-                        let mut from = pine.process_mut().scratch();
-                        let mut body = pine.process_mut().scratch();
-                        workload::from_field_into(&mut from, rng.next_u64());
-                        workload::lorem_into(&mut body, 300, rng.next_u64());
-                        let r = pine.deliver(&from, b"new mail", &body);
-                        for buf in [from, body] {
-                            pine.process_mut().recycle(buf);
+                        let mut from = self.buf();
+                        let mut body = self.buf();
+                        workload::from_field_into(&mut from, self.rng.next_u64());
+                        workload::lorem_into(&mut body, 300, self.rng.next_u64());
+                        Request::PineDeliver {
+                            from: Bytes::Owned(from),
+                            subject: Bytes::Static(b"new mail"),
+                            body: Bytes::Owned(body),
                         }
-                        if r.outcome.survived() {
-                            *messages += 1;
-                        }
-                        r
                     }
-                    3..=6 => pine.read(rng.gen_range(0..(*messages).max(1))),
-                    7..=8 => pine.compose(),
-                    _ => pine.move_message(rng.gen_range(0..(*messages).max(1))),
+                    3..=6 => Request::PineRead {
+                        index: self.rng.gen_range(0..self.messages.max(1)),
+                    },
+                    7..=8 => Request::PineCompose,
+                    _ => Request::PineMove {
+                        index: self.rng.gen_range(0..self.messages.max(1)),
+                    },
                 }
             }
-            FarmProcess::Mutt(m) => {
+            ServerKind::Mutt => {
                 if attack {
-                    return m.open_folder(mutt_attack());
+                    return Request::MuttOpenFolder {
+                        name: Bytes::Static(mutt_attack()),
+                    };
                 }
-                match rng.gen_range(0u32..10) {
-                    0..=3 => m.open_folder(b"INBOX"),
-                    4..=8 => m.read_message(rng.gen_range(0..MUTT_SEED_MESSAGES as i64)),
-                    _ => m.open_folder(b"work"),
+                match self.rng.gen_range(0u32..10) {
+                    0..=3 => Request::MuttOpenFolder {
+                        name: Bytes::Static(b"INBOX"),
+                    },
+                    4..=8 => Request::MuttRead {
+                        index: self.rng.gen_range(0..MUTT_SEED_MESSAGES as i64),
+                    },
+                    _ => Request::MuttOpenFolder {
+                        name: Bytes::Static(b"work"),
+                    },
                 }
             }
-            FarmProcess::Mc { mc, files } => {
-                use std::io::Write as _;
+            ServerKind::Mc => {
                 if attack {
-                    return mc.open_archive(mc_attack());
+                    return Request::McOpenArchive {
+                        links: Links::Static(mc_attack()),
+                    };
                 }
-                match rng.gen_range(0u32..10) {
+                match self.rng.gen_range(0u32..10) {
                     0..=3 => {
-                        *files += 1;
-                        let mut dst = mc.process_mut().scratch();
+                        self.files += 1;
+                        let files = self.files;
+                        let mut dst = self.buf();
                         let _ = write!(dst, "/tmp/copy{files}");
-                        let r = mc.copy(b"/home/user/data.bin", &dst);
-                        mc.process_mut().recycle(dst);
-                        r
+                        Request::McCopy {
+                            src: Bytes::Static(b"/home/user/data.bin"),
+                            dst: Bytes::Owned(dst),
+                        }
                     }
                     4..=5 => {
-                        *files += 1;
-                        let mut dir = mc.process_mut().scratch();
+                        self.files += 1;
+                        let files = self.files;
+                        let mut dir = self.buf();
                         let _ = write!(dir, "/tmp/dir{files}");
-                        let r = mc.mkdir(&dir);
-                        mc.process_mut().recycle(dir);
-                        r
+                        Request::McMkdir {
+                            path: Bytes::Owned(dir),
+                        }
                     }
-                    6..=7 => mc.component_end(b"usr/share/component/lib"),
+                    6..=7 => Request::McComponentEnd {
+                        name: Bytes::Static(b"usr/share/component/lib"),
+                    },
                     _ => {
-                        let mut victim = mc.process_mut().scratch();
+                        let files = self.files;
+                        let mut victim = self.buf();
                         let _ = write!(victim, "/tmp/copy{files}");
-                        let r = mc.delete(&victim);
-                        mc.process_mut().recycle(victim);
-                        r
+                        Request::McDelete {
+                            path: Bytes::Owned(victim),
+                        }
                     }
                 }
             }
+        }
+    }
+
+    /// Observes a served request's fate, updating the driver-side
+    /// state the next generation depends on: a Pine delivery that
+    /// survived grows the mailbox view (matching what the mail file
+    /// now holds). Must run before the next [`RequestGen::generate`].
+    pub(crate) fn observe(&mut self, request: &Request, survived: bool) {
+        if survived && matches!(request, Request::PineDeliver { .. }) {
+            self.messages += 1;
+        }
+    }
+
+    /// Returns a request's owned content buffers to the pool.
+    pub(crate) fn recycle(&mut self, request: Request) {
+        let mut give = |b: Bytes| {
+            if let Bytes::Owned(mut buf) = b {
+                if self.pool.len() < GEN_POOL {
+                    buf.clear();
+                    self.pool.push(buf);
+                }
+            }
+        };
+        match request {
+            Request::ApacheGet { path } => give(path),
+            Request::SendmailReceive { from, to, body } => {
+                give(from);
+                give(to);
+                give(body);
+            }
+            Request::SendmailSend { to, body } => {
+                give(to);
+                give(body);
+            }
+            Request::SendmailMailFrom { from } => give(from),
+            Request::PineDeliver {
+                from,
+                subject,
+                body,
+            } => {
+                give(from);
+                give(subject);
+                give(body);
+            }
+            Request::MuttOpenFolder { name } => give(name),
+            Request::McCopy { src, dst } => {
+                give(src);
+                give(dst);
+            }
+            Request::McMkdir { path } | Request::McDelete { path } => give(path),
+            Request::McComponentEnd { name } => give(name),
+            Request::SendmailWakeup
+            | Request::PineRead { .. }
+            | Request::PineCompose
+            | Request::PineMove { .. }
+            | Request::MuttRead { .. }
+            | Request::McOpenArchive { .. } => {}
         }
     }
 }
@@ -569,7 +949,12 @@ fn server_seed(farm_seed: u64, index: usize) -> u64 {
 /// attempt loop itself is the shared [`supervisor::restart_until_usable`]
 /// helper — one definition of supervision for the farm and the §4.7
 /// study.
-fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmConfig) {
+fn supervise(
+    process: &mut FarmProcess,
+    stats: &mut ServerStats,
+    config: &FarmConfig,
+    env: &ServerEnv,
+) {
     let remaining = u64::from(config.restart_budget).saturating_sub(stats.restarts);
     let budget = u32::try_from(remaining).unwrap_or(u32::MAX);
     let (kind, spec) = (config.kind, config.boot_spec());
@@ -577,7 +962,7 @@ fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmCo
         process,
         budget,
         |p| p.usable(),
-        |p| p.restart(kind, &spec),
+        |p| p.restart(kind, &spec, env),
     );
     stats.restarts += u64::from(attempts);
     stats.total_cycles += u64::from(attempts) * RESTART_COST_CYCLES;
@@ -595,8 +980,13 @@ fn supervise(process: &mut FarmProcess, stats: &mut ServerStats, config: &FarmCo
 /// varies.
 struct ServerRun {
     index: usize,
-    rng: StdRng,
+    gen: RequestGen,
     process: FarmProcess,
+    env: ServerEnv,
+    /// The socket session carrying this server's stream, when the farm
+    /// runs behind [`Edge::Socket`]. `None` is the in-process edge:
+    /// requests apply directly, no framing.
+    conn: Option<Box<ConnSession>>,
     stats: ServerStats,
     /// Requests issued so far (attempted, including refused connections).
     issued: usize,
@@ -607,38 +997,54 @@ impl ServerRun {
     /// restart budget initialization demands (Bounds Check Sendmail's
     /// wake-up, §4.4.4).
     fn boot(config: &FarmConfig, index: usize) -> Box<ServerRun> {
-        let rng = StdRng::seed_from_u64(server_seed(config.seed, index));
+        let gen = RequestGen::new(server_seed(config.seed, index));
+        let env = ServerEnv::standard();
         let mut stats = ServerStats::default();
         let mut process = FarmProcess::boot(config.kind, &config.boot_spec());
-        supervise(&mut process, &mut stats, config);
+        supervise(&mut process, &mut stats, config, &env);
+        let conn = match &config.edge {
+            Edge::InProcess => None,
+            Edge::Socket(socket) => Some(Box::new(ConnSession::new(config.kind, socket))),
+        };
         Box::new(ServerRun {
             index,
-            rng,
+            gen,
             process,
+            env,
+            conn,
             stats,
             issued: 0,
         })
     }
 
-    /// Issues the next request of this server's stream.
+    /// Issues the next request of this server's stream. The accounting
+    /// order (attack draw, drop-or-serve, cycle charge, supervision) is
+    /// the report contract; both edges flow through it identically.
     fn step(&mut self, config: &FarmConfig) {
         self.issued += 1;
         self.stats.requests += 1;
-        let attack = config.attack_ratio.0 > 0
-            && self
-                .rng
-                .gen_ratio(config.attack_ratio.0, config.attack_ratio.1);
+        let attack = self.gen.draw_attack(config.attack_ratio);
         if attack {
             self.stats.attacks += 1;
         }
 
         if !self.process.usable() {
-            // Down and out of budget: the connection is refused.
+            // Down and out of budget: the connection is refused (on the
+            // socket edge, literally — the listener is torn down).
             self.stats.dropped += 1;
+            if let Some(conn) = &mut self.conn {
+                conn.refused();
+            }
             return;
         }
 
-        let measured = self.process.serve(&mut self.rng, attack);
+        let request = self.gen.generate(config.kind, attack);
+        let measured = match &mut self.conn {
+            None => request.apply(&mut self.process),
+            Some(conn) => conn.transact(&request, &mut self.process),
+        };
+        self.gen.observe(&request, measured.outcome.survived());
+        self.gen.recycle(request);
         self.stats.total_cycles += measured.cycles;
         match measured.outcome {
             Outcome::Done { .. } => {
@@ -648,7 +1054,7 @@ impl ServerRun {
             Outcome::Crashed(_) => {
                 self.stats.dropped += 1;
                 self.stats.deaths += 1;
-                supervise(&mut self.process, &mut self.stats, config);
+                supervise(&mut self.process, &mut self.stats, config, &self.env);
             }
         }
     }
@@ -954,6 +1360,40 @@ mod tests {
             );
             assert!(r.stats.attacks > 0, "{} stream had no attacks", kind.name());
         }
+    }
+
+    #[test]
+    fn aggregate_of_empty_and_zero_completion_stats_pins_defaults() {
+        // The empty-latency guard: an aggregate with no completed
+        // requests must leave every percentile, histogram, and tail
+        // field at its default instead of indexing an empty vector or
+        // dividing by zero.
+        assert_eq!(aggregate(&[]), FarmStats::default());
+
+        // Zero completions with nonzero traffic (every request dropped,
+        // the §4.4.4 dead-farm shape): counters flow through, derived
+        // latency fields stay pinned at zero.
+        let stats = ServerStats {
+            requests: 5,
+            dropped: 5,
+            attacks: 2,
+            ..ServerStats::default()
+        };
+        let agg = aggregate(&[stats]);
+        assert_eq!(agg.requests, 5);
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.latency_mean_millicycles, 0);
+        assert_eq!(agg.latency_p50, 0);
+        assert_eq!(agg.latency_p90, 0);
+        assert_eq!(agg.latency_p99, 0);
+        assert_eq!(agg.latency_p999, 0);
+        assert_eq!(agg.latency_max, 0);
+        assert_eq!(agg.service_hist, LatencyHist::default());
+        assert_eq!(agg.restart_hist, LatencyHist::default());
+        assert_eq!(agg.tail_service_cycles, 0);
+        assert_eq!(agg.tail_restart_cycles, 0);
+        assert_eq!(agg.survival_rate(), 0.0);
+        assert_eq!(agg.throughput_per_mcycle(), 0.0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl LatencyHist {
     pub fn record(&mut self, v: u64) {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
-        self.total += v;
+        self.total = self.total.saturating_add(v);
     }
 
     /// Number of recorded values.
@@ -74,18 +74,23 @@ impl LatencyHist {
         self.count
     }
 
-    /// Sum of recorded values.
+    /// Sum of recorded values, saturating at `u64::MAX`. Virtual-cycle
+    /// sums at connection scale (100k+ streams merged into one
+    /// histogram) can exceed `u64`; a saturated total reads as "at
+    /// least this much" instead of wrapping to a silently small number.
+    /// Counts and bucket shapes are unaffected by saturation.
     pub fn total(&self) -> u64 {
         self.total
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one. The value sum saturates
+    /// like [`LatencyHist::record`]'s (see [`LatencyHist::total`]).
     pub fn merge(&mut self, other: &LatencyHist) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
         self.count += other.count;
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// The `num/den` quantile, resolved to its bucket's upper bound
@@ -98,8 +103,13 @@ impl LatencyHist {
         }
         // Rank of the quantile observation (1-based, ceiling), so
         // quantile(1, 1) is the max and quantile(1, 2) the median's
-        // upper bucket.
-        let rank = ((self.count * num).div_ceil(den)).max(1);
+        // upper bucket. The product is taken in u128: `count * num`
+        // overflows u64 once count exceeds `u64::MAX / num` — at
+        // connection-scale counts p99.9's num = 999 reaches that — and
+        // the wrapped rank silently selects a far-too-low bucket in
+        // release builds. The quotient is `<= count`, so it fits u64.
+        let rank =
+            ((u128::from(self.count) * u128::from(num)).div_ceil(u128::from(den)) as u64).max(1);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -178,6 +188,48 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn quantile_rank_survives_counts_past_the_u64_product_boundary() {
+        // Regression: the rank used to be computed as `count * num` in
+        // u64, overflowing once `count > u64::MAX / num` — for p99.9
+        // (num = 999) that is ~1.8e16, reachable by merged
+        // connection-scale histograms. Build such a count by repeated
+        // self-merge doubling (60 doublings of one record = 2^60
+        // observations, past the old boundary) and check the quantile
+        // still resolves to the single populated bucket.
+        let mut h = LatencyHist::new();
+        h.record(100);
+        for _ in 0..60 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), 1u64 << 60);
+        assert!(h.count() > u64::MAX / 999, "count must cross the boundary");
+        assert_eq!(h.quantile(999, 1000), 127, "p99.9 of an all-100 set");
+        assert_eq!(h.quantile(1, 1), 127, "max is overflow-safe too");
+        assert_eq!(h.quantile(1, 2), 127);
+    }
+
+    #[test]
+    fn total_saturates_instead_of_wrapping() {
+        // `record` saturation: two near-max values would wrap to a tiny
+        // sum under unchecked +=.
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX - 5);
+        h.record(1000);
+        assert_eq!(h.total(), u64::MAX, "record must saturate");
+        assert_eq!(h.count(), 2, "saturation never loses observations");
+        // `merge` saturation: folding two large-total histograms pins at
+        // the ceiling instead of wrapping.
+        let mut a = LatencyHist::new();
+        a.record(u64::MAX - 1);
+        let mut b = LatencyHist::new();
+        b.record(u64::MAX - 2);
+        a.merge(&b);
+        assert_eq!(a.total(), u64::MAX, "merge must saturate");
+        assert_eq!(a.count(), 2);
     }
 
     #[test]

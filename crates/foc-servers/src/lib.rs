@@ -16,6 +16,7 @@
 //! situation where the Bounds Check version dies during startup, §4.7).
 
 pub mod apache;
+pub mod conn;
 pub mod farm;
 pub mod image;
 pub mod latency;
@@ -75,7 +76,7 @@ impl Outcome {
 }
 
 /// A measured request: outcome plus virtual time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measured {
     /// What happened.
     pub outcome: Outcome,

@@ -36,6 +36,8 @@ use foc_compiler::Fnv1a;
 use foc_memory::{MemoryErrorRecord, Mode, SpaceStats, TableKind, ValueSequence};
 use foc_vm::VmFault;
 
+use crate::conn::{ConnSession, Edge};
+use crate::farm::{Bytes, FarmProcess, Links, Request, ServerEnv};
 use crate::steal::{run_stealing, Slice};
 use crate::{apache, mc, mutt, pine, sendmail, supervisor, workload};
 use crate::{BootSpec, Measured, Outcome, Process, ServerKind};
@@ -595,237 +597,178 @@ fn seal<T>(
 // The scripts.
 // ---------------------------------------------------------------------
 
-/// Records `steps` into `$trace` in order, stopping at the first crash.
-macro_rules! script {
-    ($trace:ident, [$($step:expr),* $(,)?]) => {
-        {
-            loop {
-                $(
-                    if !$trace.step(&$step) {
-                        break;
-                    }
-                )*
-                break;
-            }
+/// The persistent environment one library input boots its server into
+/// (most inputs take the standard one; the poisoned-mailbox and
+/// blank-config scripts seed their persistent trigger here, so every
+/// supervision restart replays it).
+fn script_env(kind: ServerKind, input: &str) -> ServerEnv {
+    let mut env = ServerEnv::standard();
+    match (kind, input) {
+        (ServerKind::Pine, "benign-session" | "attack-from") => {
+            env.pine_mailbox = pine::Pine::standard_mailbox(3);
         }
-    };
-}
-
-fn drive_pine(input: &str, spec: &BootSpec) -> Driven {
-    let mailbox = match input {
-        "benign-session" | "attack-from" => pine::Pine::standard_mailbox(3),
-        "deliver-read" => pine::Pine::standard_mailbox(2),
-        "poisoned-mailbox" => {
+        (ServerKind::Pine, "deliver-read") => {
+            env.pine_mailbox = pine::Pine::standard_mailbox(2);
+        }
+        (ServerKind::Pine, "poisoned-mailbox") => {
             let mut mb = pine::Pine::standard_mailbox(4);
             mb.insert(2, (pine::attack_from(40), b"pwn".to_vec(), b"x".to_vec()));
-            mb
+            env.pine_mailbox = mb;
         }
-        other => panic!("unknown Pine input {other:?}"),
-    };
-    let mut t = Trace::new();
-    let mut p = pine::Pine::boot_spec(spec, mailbox);
-    if t.outcome(&p.init_outcome().clone()) {
-        match input {
-            "benign-session" => {
-                script!(t, [p.read(0), p.compose(), p.move_message(1), p.read(2)]);
-            }
-            "deliver-read" => {
-                script!(
-                    t,
-                    [
-                        p.deliver(&workload::from_field(7), b"new mail", b"hello there"),
-                        p.read(2),
-                    ]
-                );
-            }
-            "attack-from" => {
-                // The poisoned message lands in the mail file; if the
-                // process dies delivering it, every restart replays it.
-                script!(
-                    t,
-                    [
-                        p.deliver(&pine::attack_from(40), b"pwn", b"payload"),
-                        p.read(3)
-                    ]
-                );
-            }
-            "poisoned-mailbox" => {
-                script!(t, [p.read(2), p.read(0)]);
-            }
-            _ => unreachable!(),
-        }
+        (ServerKind::Mc, "blank-config") => env.mc_config = mc::config_with_blank_line(),
+        (ServerKind::Mc, _) => env.mc_config = mc::clean_config(),
+        _ => {}
     }
-    seal(t, p, |p| p.process(), |p| p.usable(), |p| p.restart())
+    env
 }
 
-fn drive_apache(input: &str, spec: &BootSpec) -> Driven {
-    let mut t = Trace::new();
-    let mut w = apache::ApacheWorker::boot_spec(spec);
-    match input {
-        "benign-gets" => {
-            script!(
-                t,
-                [
-                    w.get(b"/index.html"),
-                    w.get(b"/missing.html"),
-                    w.get(b"/big.bin")
-                ]
-            );
+/// The fixed request script of one library input, in order. Scripts are
+/// plain [`Request`] values so one driver can apply them directly or
+/// carry them over the connection edge.
+fn script_requests(kind: ServerKind, input: &str) -> Vec<Request> {
+    match (kind, input) {
+        (ServerKind::Pine, "benign-session") => vec![
+            Request::PineRead { index: 0 },
+            Request::PineCompose,
+            Request::PineMove { index: 1 },
+            Request::PineRead { index: 2 },
+        ],
+        (ServerKind::Pine, "deliver-read") => vec![
+            Request::PineDeliver {
+                from: Bytes::Owned(workload::from_field(7)),
+                subject: Bytes::Static(b"new mail"),
+                body: Bytes::Static(b"hello there"),
+            },
+            Request::PineRead { index: 2 },
+        ],
+        // The poisoned message lands in the mail file; if the process
+        // dies delivering it, every restart replays it.
+        (ServerKind::Pine, "attack-from") => vec![
+            Request::PineDeliver {
+                from: Bytes::Owned(pine::attack_from(40)),
+                subject: Bytes::Static(b"pwn"),
+                body: Bytes::Static(b"payload"),
+            },
+            Request::PineRead { index: 3 },
+        ],
+        (ServerKind::Pine, "poisoned-mailbox") => vec![
+            Request::PineRead { index: 2 },
+            Request::PineRead { index: 0 },
+        ],
+        (ServerKind::Apache, "benign-gets") => vec![
+            Request::ApacheGet {
+                path: Bytes::Static(b"/index.html"),
+            },
+            Request::ApacheGet {
+                path: Bytes::Static(b"/missing.html"),
+            },
+            Request::ApacheGet {
+                path: Bytes::Static(b"/big.bin"),
+            },
+        ],
+        (ServerKind::Apache, "rewrite-ten") => vec![
+            Request::ApacheGet {
+                path: Bytes::Owned(apache::rewrite_url(10)),
+            },
+            Request::ApacheGet {
+                path: Bytes::Static(b"/index.html"),
+            },
+        ],
+        (ServerKind::Apache, "attack-url") => vec![
+            Request::ApacheGet {
+                path: Bytes::Owned(apache::attack_url()),
+            },
+            Request::ApacheGet {
+                path: Bytes::Static(b"/index.html"),
+            },
+        ],
+        (ServerKind::Sendmail, "benign-mail") => vec![
+            Request::SendmailReceive {
+                from: Bytes::Owned(workload::sendmail_address(1)),
+                to: Bytes::Owned(workload::sendmail_address(2)),
+                body: Bytes::Static(b"first message body"),
+            },
+            Request::SendmailSend {
+                to: Bytes::Owned(workload::sendmail_address(3)),
+                body: Bytes::Static(b"outbound body"),
+            },
+        ],
+        (ServerKind::Sendmail, "daemon-wakeup") => {
+            vec![Request::SendmailWakeup, Request::SendmailWakeup]
         }
-        "rewrite-ten" => {
-            script!(t, [w.get(&apache::rewrite_url(10)), w.get(b"/index.html")]);
-        }
-        "attack-url" => {
-            script!(t, [w.get(&apache::attack_url()), w.get(b"/index.html")]);
-        }
-        other => panic!("unknown Apache input {other:?}"),
+        (ServerKind::Sendmail, "attack-address") => vec![
+            Request::SendmailMailFrom {
+                from: Bytes::Owned(sendmail::attack_address(120)),
+            },
+            Request::SendmailReceive {
+                from: Bytes::Owned(workload::sendmail_address(8)),
+                to: Bytes::Owned(workload::sendmail_address(9)),
+                body: Bytes::Static(b"after attack"),
+            },
+        ],
+        (ServerKind::Mc, "benign-fileops") => vec![
+            Request::McCopy {
+                src: Bytes::Static(b"/home/user/data.bin"),
+                dst: Bytes::Static(b"/tmp/c1"),
+            },
+            Request::McMkdir {
+                path: Bytes::Static(b"/tmp/d"),
+            },
+            Request::McDelete {
+                path: Bytes::Static(b"/tmp/c1"),
+            },
+        ],
+        // The second name has no '/' and no room: the scan walks off
+        // the end of its buffer — §3's loop-condition case, where the
+        // value sequence decides termination.
+        (ServerKind::Mc, "component-scan") => vec![
+            Request::McComponentEnd {
+                name: Bytes::Static(b"usr/share/component/lib"),
+            },
+            Request::McComponentEnd {
+                name: Bytes::Static(b"noslashhere"),
+            },
+        ],
+        (ServerKind::Mc, "attack-symlinks") => vec![
+            Request::McOpenArchive {
+                links: Links::Owned(mc::attack_links()),
+            },
+            Request::McCopy {
+                src: Bytes::Static(b"/home/user/data.bin"),
+                dst: Bytes::Static(b"/tmp/y"),
+            },
+        ],
+        (ServerKind::Mc, "blank-config") => vec![Request::McCopy {
+            src: Bytes::Static(b"/home/user/data.bin"),
+            dst: Bytes::Static(b"/tmp/z"),
+        }],
+        (ServerKind::Mutt, "benign-folders") => vec![
+            Request::MuttOpenFolder {
+                name: Bytes::Static(b"INBOX"),
+            },
+            Request::MuttRead { index: 0 },
+            Request::MuttOpenFolder {
+                name: Bytes::Static(b"work"),
+            },
+        ],
+        (ServerKind::Mutt, "malformed-utf8") => vec![
+            Request::MuttOpenFolder {
+                name: Bytes::Owned(vec![0xC0, 0x80]),
+            },
+            Request::MuttOpenFolder {
+                name: Bytes::Static(b"INBOX"),
+            },
+        ],
+        (ServerKind::Mutt, "attack-folder") => vec![
+            Request::MuttOpenFolder {
+                name: Bytes::Owned(mutt::attack_folder_name(40)),
+            },
+            Request::MuttOpenFolder {
+                name: Bytes::Static(b"INBOX"),
+            },
+        ],
+        (kind, other) => panic!("unknown {} input {other:?}", kind.name()),
     }
-    seal(
-        t,
-        w,
-        |w| w.process(),
-        |w| !w.is_dead(),
-        |w| *w = apache::ApacheWorker::boot_spec(spec),
-    )
-}
-
-fn drive_sendmail(input: &str, spec: &BootSpec) -> Driven {
-    let mut t = Trace::new();
-    let mut sm = sendmail::Sendmail::boot_spec(spec);
-    if t.outcome(&sm.init_outcome().clone()) {
-        match input {
-            "benign-mail" => {
-                script!(
-                    t,
-                    [
-                        sm.receive(
-                            &workload::sendmail_address(1),
-                            &workload::sendmail_address(2),
-                            b"first message body",
-                        ),
-                        sm.send(&workload::sendmail_address(3), b"outbound body"),
-                    ]
-                );
-            }
-            "daemon-wakeup" => {
-                script!(t, [sm.wakeup(), sm.wakeup()]);
-            }
-            "attack-address" => {
-                script!(
-                    t,
-                    [
-                        sm.mail_from(&sendmail::attack_address(120)),
-                        sm.receive(
-                            &workload::sendmail_address(8),
-                            &workload::sendmail_address(9),
-                            b"after attack",
-                        ),
-                    ]
-                );
-            }
-            other => panic!("unknown Sendmail input {other:?}"),
-        }
-    }
-    seal(
-        t,
-        sm,
-        |sm| sm.process(),
-        |sm| sm.usable(),
-        |sm| *sm = sendmail::Sendmail::boot_spec(spec),
-    )
-}
-
-fn drive_mc(input: &str, spec: &BootSpec) -> Driven {
-    let config = match input {
-        "blank-config" => mc::config_with_blank_line(),
-        _ => mc::clean_config(),
-    };
-    let mut t = Trace::new();
-    let mut m = mc::Mc::boot_spec(spec, &config);
-    if t.outcome(&m.init_outcome().clone()) {
-        match input {
-            "benign-fileops" => {
-                script!(
-                    t,
-                    [
-                        m.copy(b"/home/user/data.bin", b"/tmp/c1"),
-                        m.mkdir(b"/tmp/d"),
-                        m.delete(b"/tmp/c1"),
-                    ]
-                );
-            }
-            "component-scan" => {
-                // The second name has no '/' and no room: the scan walks
-                // off the end of its buffer — §3's loop-condition case,
-                // where the value sequence decides termination.
-                script!(
-                    t,
-                    [
-                        m.component_end(b"usr/share/component/lib"),
-                        m.component_end(b"noslashhere"),
-                    ]
-                );
-            }
-            "attack-symlinks" => {
-                script!(
-                    t,
-                    [
-                        m.open_archive(&mc::attack_links()),
-                        m.copy(b"/home/user/data.bin", b"/tmp/y"),
-                    ]
-                );
-            }
-            "blank-config" => {
-                script!(t, [m.copy(b"/home/user/data.bin", b"/tmp/z")]);
-            }
-            other => panic!("unknown MC input {other:?}"),
-        }
-    }
-    seal(
-        t,
-        m,
-        |m| m.process(),
-        |m| m.usable(),
-        |m| *m = mc::Mc::boot_spec(spec, &config),
-    )
-}
-
-fn drive_mutt(input: &str, spec: &BootSpec) -> Driven {
-    const SEED_MESSAGES: usize = 2;
-    let mut t = Trace::new();
-    let mut m = mutt::Mutt::boot_spec(spec, SEED_MESSAGES);
-    match input {
-        "benign-folders" => {
-            script!(
-                t,
-                [
-                    m.open_folder(b"INBOX"),
-                    m.read_message(0),
-                    m.open_folder(b"work")
-                ]
-            );
-        }
-        "malformed-utf8" => {
-            script!(t, [m.open_folder(&[0xC0, 0x80]), m.open_folder(b"INBOX")]);
-        }
-        "attack-folder" => {
-            script!(
-                t,
-                [
-                    m.open_folder(&mutt::attack_folder_name(40)),
-                    m.open_folder(b"INBOX"),
-                ]
-            );
-        }
-        other => panic!("unknown Mutt input {other:?}"),
-    }
-    seal(
-        t,
-        m,
-        |m| m.process(),
-        |m| !m.process().is_dead(),
-        |m| *m = mutt::Mutt::boot_spec(spec, SEED_MESSAGES),
-    )
 }
 
 /// Drives one [`INPUT_LIBRARY`] entry under an explicit boot spec and
@@ -833,19 +776,59 @@ fn drive_mutt(input: &str, spec: &BootSpec) -> Driven {
 /// differential entry point: callers that need an axis the grid does
 /// not expose (the execution tier, an off-grid fuel budget) build the
 /// [`BootSpec`] themselves instead of going through [`CellSpec`].
+/// Requests travel over the edge the [`EDGE_ENV`][crate::conn::EDGE_ENV]
+/// variable selects, like the farm's.
 pub fn drive_input(input: &SweepInput, spec: &BootSpec) -> Driven {
-    drive(input.kind, input.name, spec)
+    drive_input_via(input, spec, &Edge::from_env())
+}
+
+/// [`drive_input`] with an explicit transport edge: the edge-equivalence
+/// battery (`tests/conn_equiv.rs`) calls this for both edges and asserts
+/// the [`Driven`]s equal — transcripts, violation counts, error logs,
+/// everything a client or operator can see.
+pub fn drive_input_via(input: &SweepInput, spec: &BootSpec, edge: &Edge) -> Driven {
+    drive_via(input.kind, input.name, spec, edge)
+}
+
+/// Drives one library input under one boot spec over one edge.
+fn drive_via(kind: ServerKind, input: &str, spec: &BootSpec, edge: &Edge) -> Driven {
+    let env = script_env(kind, input);
+    let mut t = Trace::new();
+    let mut process = FarmProcess::boot_env(kind, spec, &env);
+    let mut session = match edge {
+        Edge::InProcess => None,
+        Edge::Socket(socket) => Some(ConnSession::new(kind, socket)),
+    };
+    // The daemons (Sendmail, Pine, MC) do observable work at boot; the
+    // per-request workers (Apache, Mutt) do not. A daemon dead at init
+    // never sees its script.
+    let alive = match process.init_outcome() {
+        Some(outcome) => t.outcome(&outcome),
+        None => true,
+    };
+    if alive {
+        for request in &script_requests(kind, input) {
+            let measured = match &mut session {
+                Some(session) => session.transact(request, &mut process),
+                None => request.apply(&mut process),
+            };
+            if !t.step(&measured) {
+                break;
+            }
+        }
+    }
+    seal(
+        t,
+        process,
+        |p| p.process(),
+        |p| p.usable(),
+        |p| p.restart(kind, spec, &env),
+    )
 }
 
 /// Drives one library input under one boot spec.
 fn drive(kind: ServerKind, input: &str, spec: &BootSpec) -> Driven {
-    match kind {
-        ServerKind::Pine => drive_pine(input, spec),
-        ServerKind::Apache => drive_apache(input, spec),
-        ServerKind::Sendmail => drive_sendmail(input, spec),
-        ServerKind::Mc => drive_mc(input, spec),
-        ServerKind::Mutt => drive_mutt(input, spec),
-    }
+    drive_via(kind, input, spec, &Edge::from_env())
 }
 
 // ---------------------------------------------------------------------
